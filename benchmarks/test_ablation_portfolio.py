@@ -1,0 +1,74 @@
+"""Ablation E — the time-aware portfolio planner.
+
+Fig 10's deviation analysis found a small tail of tensors where a prior
+heuristic beats (opt-tree, dynamic). The portfolio planner prices every
+configuration with the model executor and keeps the fastest, restoring
+uniform dominance by construction. This bench quantifies: how often the
+portfolio deviates from opt-dynamic, and how much it recovers on the tail.
+"""
+
+import numpy as np
+
+from repro.bench.report import ascii_table
+from repro.bench.suite import paper_subsample
+from repro.hooi.model import predict
+from repro.hooi.portfolio import select_plan
+from repro.bench.algorithms import make_planner
+
+
+def _analyze(metas, machine):
+    deviations = 0
+    recovery = []
+    configs = {}
+    for m in metas:
+        choice = select_plan(m, 32, machine)
+        opt_seconds = choice.scores[("optimal", "dynamic")]
+        configs[choice.config] = configs.get(choice.config, 0) + 1
+        if choice.config != ("optimal", "dynamic"):
+            deviations += 1
+            recovery.append(opt_seconds / choice.modeled_seconds)
+        # dominance by construction
+        assert choice.modeled_seconds <= opt_seconds + 1e-15
+    return deviations, recovery, configs
+
+
+def test_ablation_portfolio(benchmark, machine):
+    metas = paper_subsample(5, count=250)
+    deviations, recovery, configs = benchmark.pedantic(
+        _analyze, args=(metas, machine), rounds=1, iterations=1
+    )
+    rows = [
+        [f"{t}/{g}", n, f"{100 * n / len(metas):.1f}%"]
+        for (t, g), n in sorted(configs.items(), key=lambda kv: -kv[1])
+    ]
+    print()
+    print(
+        ascii_table(
+            ["winning config", "tensors", "share"],
+            rows,
+            title="Ablation E: portfolio planner — which configuration wins",
+        )
+    )
+    if recovery:
+        print(
+            f"portfolio deviates from opt-dynamic on {deviations}/{len(metas)} "
+            f"tensors; recovery on those: median "
+            f"{float(np.median(recovery)):.2f}x, max {max(recovery):.2f}x"
+        )
+    # opt-dynamic should remain the workhorse...
+    assert configs.get(("optimal", "dynamic"), 0) / len(metas) >= 0.5
+    # ...but the portfolio must exploit the tail at least occasionally
+    assert deviations >= 1
+    # and every deviation is a strict improvement
+    assert all(r >= 1.0 for r in recovery)
+
+    # verify dominance against each individually-planned paper config on a
+    # small spot-check subset
+    for m in metas[::50]:
+        choice = select_plan(m, 32, machine)
+        for alg in ("chain-k", "chain-h", "balanced", "opt-dynamic"):
+            plan = make_planner(alg, 32).plan(m)
+            assert (
+                choice.modeled_seconds
+                <= predict(plan, machine).total_seconds + 1e-12
+            )

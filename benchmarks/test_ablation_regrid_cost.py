@@ -1,0 +1,74 @@
+"""Ablation B — sensitivity of dynamic gridding to the regrid price.
+
+The dynamic-grid DP charges ``|In(u)|`` per regrid. Scaling that charge in
+the DP's decisions (x0 = free regrids, x4 = regrids nearly banned) shows how
+much of the win comes from *where* the DP regrids vs from regridding being
+cheap, and that the scheme degrades gracefully to the optimal static grid as
+the price grows.
+"""
+
+import numpy as np
+
+from repro.bench.report import ascii_table
+from repro.bench.suite import paper_subsample
+from repro.core.dynamic_grid import optimal_dynamic_scheme
+from repro.core.opt_tree import optimal_tree
+from repro.core.static_grid import optimal_static_grid
+
+SCALES = (0.0, 0.5, 1.0, 2.0, 4.0)
+N_PROCS = 32
+
+
+def _analyze(metas):
+    per_scale = {s: [] for s in SCALES}
+    static_ratio = []
+    for m in metas:
+        tree = optimal_tree(m)
+        _, static_vol = optimal_static_grid(tree, m, N_PROCS)
+        base = optimal_dynamic_scheme(tree, m, N_PROCS).total_volume
+        if base == 0:
+            continue
+        static_ratio.append(static_vol / base)
+        for s in SCALES:
+            scheme = optimal_dynamic_scheme(
+                tree, m, N_PROCS, regrid_cost_scale=s
+            )
+            # volumes reported under the *unscaled* paper model
+            per_scale[s].append(scheme.total_volume / base)
+    rows = [
+        [
+            f"x{s:g}",
+            f"{np.median(per_scale[s]):.3f}",
+            f"{np.max(per_scale[s]):.3f}",
+        ]
+        for s in SCALES
+    ]
+    rows.append(
+        ["static", f"{np.median(static_ratio):.3f}", f"{np.max(static_ratio):.3f}"]
+    )
+    print()
+    print(
+        ascii_table(
+            ["regrid price", "median vol ratio", "max vol ratio"],
+            rows,
+            title="Ablation B: dynamic gridding vs regrid price "
+            "(volume normalized to the x1 scheme)",
+        )
+    )
+    return per_scale, static_ratio
+
+
+def test_ablation_regrid_cost(benchmark):
+    metas = paper_subsample(5, count=150)
+    per_scale, static_ratio = benchmark.pedantic(
+        _analyze, args=(metas,), rounds=1, iterations=1
+    )
+    # the true price (x1) is optimal under the paper model by construction
+    for s in SCALES:
+        assert min(per_scale[s]) >= 1.0 - 1e-12
+    # decisions under the correct price beat decisions under wrong prices
+    assert np.median(per_scale[1.0]) == 1.0
+    # overpricing regrids pushes the scheme toward (worse) static behaviour
+    assert np.median(per_scale[4.0]) >= np.median(per_scale[1.0])
+    # and the static grid itself is the worst of the family
+    assert np.median(static_ratio) >= np.median(per_scale[4.0]) - 1e-9

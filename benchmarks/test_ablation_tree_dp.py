@@ -1,0 +1,61 @@
+"""Ablation A — what the tree DP's two moves are each worth.
+
+The optimal-tree recurrence chooses between *reuse* (share one TTM across
+all factors below) and *split* (solve factor subsets independently).
+Handicapped policies isolate each move:
+
+* ``no_reuse``    — splits only (the best forest of independent chains,
+  i.e. chain trees with per-chain optimal orderings);
+* ``eager_reuse`` — must reuse whenever possible (the strategy the paper's
+  section 3.3 remark proves non-optimal).
+
+Measured: load ratios vs the full DP over the benchmark subsample.
+"""
+
+import numpy as np
+
+from repro.bench.report import ascii_table
+from repro.bench.suite import paper_subsample
+from repro.core.opt_tree import optimal_tree_cost
+
+
+def _analyze(metas):
+    rows = []
+    ratios = {"no_reuse": [], "eager_reuse": []}
+    for m in metas:
+        opt = optimal_tree_cost(m)
+        for policy in ratios:
+            ratios[policy].append(optimal_tree_cost(m, policy=policy) / opt)
+    for policy, vals in ratios.items():
+        arr = np.asarray(vals)
+        rows.append(
+            [
+                policy,
+                f"{arr.min():.3f}",
+                f"{np.median(arr):.3f}",
+                f"{arr.max():.3f}",
+                f"{(arr > 1.0 + 1e-12).mean() * 100:.1f}%",
+            ]
+        )
+    print()
+    print(
+        ascii_table(
+            ["policy", "min", "median", "max", "% strictly worse"],
+            rows,
+            title="Ablation A: handicapped tree-DP policies "
+            "(load ratio vs optimal tree)",
+        )
+    )
+    return ratios
+
+
+def test_ablation_reuse_vs_split(benchmark):
+    metas = paper_subsample(5, count=200) + paper_subsample(6, count=100)
+    ratios = benchmark.pedantic(_analyze, args=(metas,), rounds=1, iterations=1)
+    # both moves matter: each handicapped policy is dominated and strictly
+    # worse somewhere
+    for policy, vals in ratios.items():
+        assert min(vals) >= 1.0 - 1e-12, policy
+        assert max(vals) > 1.0 + 1e-9, policy
+    # reuse is the bigger lever on this suite: forbidding it hurts more
+    assert np.median(ratios["no_reuse"]) >= np.median(ratios["eager_reuse"])

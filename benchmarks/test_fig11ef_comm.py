@@ -1,0 +1,75 @@
+"""Figures 11e / 11f — communication time and volume: static vs dynamic.
+
+Both schemes run on the optimal tree; quantities are normalized to dynamic
+gridding. Paper claims: dynamic wins on volume up to 6x with at least 3x on
+90% of tensors (11f); communication *time* gains are larger still (median
+9.4x, up to 17x) because the all-to-all regrid moves bytes faster than the
+TTM reduce-scatter (11e).
+"""
+
+import numpy as np
+
+from repro.bench.percentiles import percentile_curve
+from repro.bench.report import format_curve
+from repro.bench.runner import normalize_against
+
+BASELINE = "opt-dynamic"
+STATIC = "opt-static"
+
+
+def _finite(values):
+    return [v for v in values if np.isfinite(v)]
+
+
+def _analyze(records5, records6):
+    out = {}
+    for metric, fig in (("comm_volume", "11f"), ("tree_comm_s", "11e")):
+        curves = {}
+        for label, records in (("5D", records5), ("6D", records6)):
+            ratios = normalize_against(records, metric, BASELINE)[STATIC]
+            curves[f"static/{label}"] = percentile_curve(ratios)
+            finite = _finite(ratios)
+            med = float(np.median(finite))
+            mx = float(np.max(finite))
+            p10 = float(np.percentile(finite, 10))
+            out[(fig, label)] = {"median": med, "max": mx, "p10": p10}
+            if metric == "comm_volume":
+                # dynamic gridding subsumes static schemes: the volume-DP
+                # guarantee is exact and pointwise
+                assert min(ratios) >= 1.0 - 1e-12
+            else:
+                # modeled *time* can dip below 1 on tiny tensors where the
+                # all-to-all alpha latency dominates (the volume-only DP is
+                # latency-blind); the paper's own claim is distributional
+                # ("outperforms on almost all tensors")
+                below = sum(1 for v in ratios if v < 1.0 - 1e-12)
+                assert below / len(ratios) <= 0.10
+        title = (
+            f"Fig {fig}: normalized communication "
+            f"{'volume' if metric == 'comm_volume' else 'time'} "
+            f"(static vs dynamic, opt tree)"
+        )
+        print()
+        print(format_curve(curves, title=title))
+    return out
+
+
+def test_fig11ef_comm_static_vs_dynamic(benchmark, records5, records6):
+    out = benchmark.pedantic(
+        _analyze, args=(records5, records6), rounds=1, iterations=1
+    )
+    for (fig, label), s in out.items():
+        print(
+            f"Fig {fig} {label}: median {s['median']:.2f}x, "
+            f"p10 {s['p10']:.2f}x, max {s['max']:.2f}x"
+        )
+    # volume: substantial gains with a multi-x median and >=2x for 90%
+    for label in ("5D", "6D"):
+        v = out[("11f", label)]
+        assert v["median"] >= 3.0
+        assert v["max"] >= 6.0
+        assert v["p10"] >= 1.5
+        # time gains exceed volume gains (all-to-all advantage)
+        t = out[("11e", label)]
+        assert t["median"] >= v["median"] * 0.9
+        assert t["max"] >= v["max"]

@@ -1,0 +1,70 @@
+"""Memory-footprint bench — the paper's section-6.1 memory constraint.
+
+The paper curtailed its real tensors "due to memory limitations" of the
+32 x 16 GB BG/Q platform. The memory model prices a plan's per-rank peak
+(resident DFS intermediates + TTM partial-product buffers + regrid
+staging). This bench reports the footprint per algorithm on the real
+tensors and checks two claims:
+
+* section 3.1's depth bound on simultaneously live intermediates;
+* all four algorithms fit the 16 GB/node budget on the (curtailed) real
+  tensors at P = 32 — consistent with the paper having run them.
+"""
+
+from repro.bench.algorithms import make_planner, paper_label
+from repro.bench.report import ascii_table
+from repro.bench.suite import REAL_TENSORS
+from repro.core.memory import (
+    max_live_intermediates,
+    plan_peak_bytes_per_rank,
+)
+
+ALGS = ("chain-k", "chain-h", "balanced", "opt-dynamic")
+GIB = 2.0**30
+
+
+def _analyze():
+    rows = []
+    for name, meta in REAL_TENSORS.items():
+        for alg in ALGS:
+            plan = make_planner(alg, 32).plan(meta)
+            mem = plan_peak_bytes_per_rank(plan)
+            assert max_live_intermediates(plan.tree) <= plan.tree.depth()
+            rows.append(
+                (
+                    name,
+                    alg,
+                    mem["resident"] / GIB,
+                    mem["ttm_buffer"] / GIB,
+                    mem["regrid_buffer"] / GIB,
+                    mem["total"] / GIB,
+                )
+            )
+    return rows
+
+
+def test_memory_footprint_real_tensors(benchmark):
+    rows = benchmark.pedantic(_analyze, rounds=1, iterations=1)
+    table = [
+        [
+            name,
+            paper_label(alg),
+            f"{res:.2f}",
+            f"{buf:.2f}",
+            f"{rg:.2f}",
+            f"{tot:.2f}",
+        ]
+        for name, alg, res, buf, rg, tot in rows
+    ]
+    print()
+    print(
+        ascii_table(
+            ["tensor", "alg", "resident", "ttm buf", "regrid buf", "total GiB"],
+            table,
+            title="Per-rank peak memory (GiB), P = 32, one HOOI invocation",
+        )
+    )
+    for name, alg, _, _, _, total in rows:
+        assert total < 16.0, (
+            f"{name}/{alg}: {total:.2f} GiB exceeds a BG/Q node's 16 GB"
+        )

@@ -1,0 +1,81 @@
+"""Ablation C — the paper's "negligible planning time" claims.
+
+Section 3.3: the optimal-tree DP runs in O(4^N); section 4.4: the dynamic
+gridding DP costs O(|H| psi(P, N)) lookups. Both are claimed negligible in
+practice (N <= 10). This bench times them as N and P grow.
+"""
+
+import time
+
+from repro.bench.report import ascii_table
+from repro.core.dynamic_grid import optimal_dynamic_scheme
+from repro.core.meta import TensorMeta
+from repro.core.opt_tree import optimal_tree
+from repro.core.planner import Planner
+
+
+def _meta(n: int) -> TensorMeta:
+    dims = tuple([20, 50, 100, 400, 50, 20, 100, 50, 20, 50][:n])
+    core = tuple(max(2, d // 5) for d in dims)
+    return TensorMeta(dims=dims, core=core)
+
+
+def test_opt_tree_dp_scaling(benchmark):
+    rows = []
+    for n in range(4, 11):
+        meta = _meta(n)
+        t0 = time.perf_counter()
+        tree = optimal_tree(meta)
+        dt = time.perf_counter() - t0
+        rows.append([n, tree.n_ttm_ops, f"{dt * 1e3:.1f} ms"])
+        assert dt < 30.0, f"tree DP no longer negligible at N={n}"
+    print()
+    print(
+        ascii_table(
+            ["N", "TTMs in opt tree", "DP time"],
+            rows,
+            title="Ablation C1: optimal-tree DP wall-clock vs N (O(4^N))",
+        )
+    )
+    benchmark(optimal_tree, _meta(7))
+
+
+def test_dynamic_grid_dp_scaling(benchmark):
+    rows = []
+    meta = _meta(6)
+    tree = optimal_tree(meta)
+    for p in (8, 32, 128, 1024):
+        t0 = time.perf_counter()
+        scheme = optimal_dynamic_scheme(tree, meta, p)
+        dt = time.perf_counter() - t0
+        rows.append([p, len(scheme.assignment), f"{dt * 1e3:.1f} ms"])
+        assert dt < 60.0
+    print()
+    print(
+        ascii_table(
+            ["P", "nodes gridded", "DP time"],
+            rows,
+            title="Ablation C2: dynamic-gridding DP wall-clock vs P "
+            "(O(|H| psi(P, N)))",
+        )
+    )
+    benchmark(optimal_dynamic_scheme, tree, meta, 32)
+
+
+def test_full_planner_negligible_vs_invocation(benchmark, machine):
+    # planning must be negligible compared to one modeled HOOI invocation
+    from repro.hooi.model import predict
+
+    meta = _meta(6)
+    t0 = time.perf_counter()
+    plan = Planner(32, tree="optimal", grid="dynamic").plan(meta)
+    planning = time.perf_counter() - t0
+    invocation = predict(plan, machine).total_seconds
+    print(
+        f"\nplanning {planning * 1e3:.1f} ms vs one modeled invocation "
+        f"{invocation:.2f} s ({invocation / max(planning, 1e-9):.0f}x)"
+    )
+    assert planning < invocation, (
+        "planner must be cheaper than a single HOOI invocation"
+    )
+    benchmark(Planner(32, tree="optimal", grid="dynamic").plan, meta)

@@ -1,0 +1,106 @@
+"""A guided tour of the planner: trees, grids, and what each choice costs.
+
+Walks the paper's decision space for one metadata instance (the paper's
+max-gain benchmark tensor, 400x100x100x50x20 -> 80x80x10x40x10):
+
+1. enumerate the candidate TTM-trees (chain orderings, balanced, optimal)
+   and their exact FLOP loads;
+2. the grid space: psi(32, 5) factorizations, validity filtering, and the
+   optimal static grid per tree;
+3. dynamic gridding: where the optimal scheme regrids and what it saves;
+4. plan serialization: plan once, reuse across HOOI invocations.
+
+Run:  python examples/planner_tour.py
+"""
+
+from repro import (
+    Planner,
+    TensorMeta,
+    balanced_tree,
+    chain_tree,
+    optimal_dynamic_scheme,
+    optimal_static_grid,
+    optimal_tree,
+    psi,
+    tree_cost,
+    valid_grids,
+)
+from repro.core.ordering import h_ordering, k_ordering
+from repro.core.planner import Plan
+
+META = TensorMeta(
+    dims=(400, 100, 100, 50, 20), core=(80, 80, 10, 40, 10)
+)
+P = 32
+
+
+def tour_trees() -> None:
+    print("=" * 72)
+    print(f"metadata: {META}   (the paper's maximum-gain tensor)")
+    print(f"\n1) TTM-trees and their exact loads (multiply-adds / |T|):")
+    candidates = {
+        "chain, natural": chain_tree(5),
+        "chain, K-order": chain_tree(5, k_ordering(META)),
+        "chain, h-order": chain_tree(5, h_ordering(META)),
+        "balanced": balanced_tree(5),
+        "optimal (DP)": optimal_tree(META),
+    }
+    base = tree_cost(candidates["optimal (DP)"], META)
+    for name, tree in candidates.items():
+        cost = tree_cost(tree, META)
+        print(
+            f"  {name:16s} {tree.n_ttm_ops:3d} TTMs, "
+            f"load {cost / META.cardinality:8.1f} |T|, "
+            f"{cost / base:5.2f}x optimal"
+        )
+    print("\noptimal tree structure:")
+    print(optimal_tree(META).pretty())
+
+
+def tour_grids() -> None:
+    print("=" * 72)
+    print("2) grids:")
+    print(f"  psi(32, 5) = {psi(32, 5)} factorizations "
+          f"(paper Table 1, first column)")
+    grids = valid_grids(P, META)
+    print(f"  valid grids (q_n <= K_n): {len(grids)}")
+    tree = optimal_tree(META)
+    grid, vol = optimal_static_grid(tree, META, P)
+    print(f"  optimal static grid for the optimal tree: {grid}, "
+          f"TTM volume {vol:,} elements")
+
+
+def tour_dynamic() -> None:
+    print("=" * 72)
+    print("3) dynamic gridding on the optimal tree:")
+    tree = optimal_tree(META)
+    _, static_vol = optimal_static_grid(tree, META, P)
+    scheme = optimal_dynamic_scheme(tree, META, P)
+    print(f"  static  volume: {static_vol:,}")
+    print(f"  dynamic volume: {scheme.total_volume:,} "
+          f"(TTM {scheme.ttm_volume:,} + regrid {scheme.regrid_volume:,})")
+    print(f"  improvement:    {static_vol / scheme.total_volume:.2f}x")
+    print(f"  regrids happen at tree nodes {list(scheme.regrid_nodes)}; "
+          f"initial grid {scheme.grid_of(tree.root.uid)}")
+    distinct = sorted({tuple(g) for g in scheme.assignment.values()})
+    print(f"  distinct grids used: {distinct}")
+
+
+def tour_plan_reuse() -> None:
+    print("=" * 72)
+    print("4) plan once, reuse forever:")
+    plan = Planner(P, tree="optimal", grid="dynamic").plan(META)
+    blob = plan.to_json()
+    plan2 = Plan.from_json(blob)
+    assert plan2.to_json() == blob
+    print(f"  plan serialized to {len(blob):,} bytes of JSON; round-trips "
+          f"bit-identically")
+    print(f"  predicted: flops {plan.flops:,}, TTM+regrid volume "
+          f"{plan.total_volume:,}")
+
+
+if __name__ == "__main__":
+    tour_trees()
+    tour_grids()
+    tour_dynamic()
+    tour_plan_reuse()

@@ -1,0 +1,110 @@
+"""TensorFaces-style multilinear PCA on a synthetic image ensemble.
+
+The paper motivates Tucker with computer-vision applications (Vasilescu &
+Terzopoulos' TensorFaces): an ensemble of face images varying by identity,
+illumination and pose forms a 5-D tensor
+(pixels_y x pixels_x x identity x illumination x pose), and the Tucker
+factors separate the variation modes — classic multilinear PCA.
+
+This example synthesizes such an ensemble (Gabor-ish identity templates,
+multiplicative illumination fields, shifted poses), Tucker-compresses it
+with the full planner+engine pipeline, and shows that a small multilinear
+rank captures the ensemble while the mode factors isolate each variation
+axis.
+
+Run:  python examples/tensorfaces.py
+"""
+
+import numpy as np
+
+from repro import (
+    Planner,
+    SimCluster,
+    TensorMeta,
+    hooi_distributed,
+    sthosvd,
+)
+
+PIX_Y, PIX_X = 24, 20
+N_IDENT, N_ILLUM, N_POSE = 8, 5, 4
+
+
+def synth_ensemble(seed: int = 5) -> np.ndarray:
+    """Build (pix_y, pix_x, identity, illumination, pose) image stack."""
+    rng = np.random.default_rng(seed)
+    yy, xx = np.meshgrid(
+        np.linspace(-1, 1, PIX_Y), np.linspace(-1, 1, PIX_X), indexing="ij"
+    )
+    # identity templates: sums of oriented Gaussian blobs
+    templates = []
+    for _ in range(N_IDENT):
+        img = np.zeros((PIX_Y, PIX_X))
+        for _ in range(4):
+            cy, cx = rng.uniform(-0.6, 0.6, 2)
+            sy, sx = rng.uniform(0.15, 0.5, 2)
+            img += rng.uniform(0.5, 1.5) * np.exp(
+                -((yy - cy) ** 2 / (2 * sy**2) + (xx - cx) ** 2 / (2 * sx**2))
+            )
+        templates.append(img)
+    # illumination: low-frequency multiplicative ramps
+    illums = [
+        1.0 + 0.5 * np.cos(np.pi * (a * yy + b * xx))
+        for a, b in rng.uniform(-1, 1, (N_ILLUM, 2))
+    ]
+    # pose: small shifts realized by rolling pixels
+    poses = [(0, 0), (1, 0), (0, 1), (1, 1)][:N_POSE]
+
+    t = np.empty((PIX_Y, PIX_X, N_IDENT, N_ILLUM, N_POSE))
+    for i, tmpl in enumerate(templates):
+        for j, ill in enumerate(illums):
+            for k, (dy, dx) in enumerate(poses):
+                t[:, :, i, j, k] = np.roll(tmpl * ill, (dy, dx), axis=(0, 1))
+    t += 0.01 * rng.standard_normal(t.shape)
+    return t
+
+
+def main() -> None:
+    ensemble = synth_ensemble()
+    dims = ensemble.shape
+    core = (10, 10, 6, 3, 2)  # pixel bases + per-axis variation subspaces
+    meta = TensorMeta(dims=dims, core=core)
+    print(f"image ensemble {dims} -> multilinear rank {core}")
+
+    init = sthosvd(ensemble, core)
+    plan = Planner(n_procs=8, tree="optimal", grid="dynamic").plan(meta)
+    cluster = SimCluster(8)
+    result = hooi_distributed(cluster, ensemble, init, plan=plan, max_iters=6)
+    dec = result.decomposition
+
+    print(f"STHOSVD error:   {init.error_vs(ensemble):.4f}")
+    print(f"HOOI errors:     {[f'{e:.4f}' for e in result.errors]}")
+    print(f"compression:     {dec.compression_ratio:.1f}x")
+
+    # Multilinear PCA reading: each factor spans one variation axis. The
+    # identity factor's rows embed identities; nearby rows = similar faces.
+    ident = dec.factors[2]  # (N_IDENT, 6)
+    gram = ident @ ident.T
+    print("\nidentity-mode similarity (F_id F_id^T, should be ~I since "
+          "identities were drawn independently):")
+    with np.printoptions(precision=2, suppress=True):
+        print(gram)
+
+    # Energy captured per illumination basis vector, read off the core:
+    # the first illumination component should dominate (ambient level).
+    energy = np.array(
+        [np.sum(dec.core[:, :, :, j, :] ** 2) for j in range(dec.core.shape[3])]
+    )
+    print(f"\nillumination component energy shares: "
+          f"{np.round(energy / energy.sum(), 3)} (first = ambient, dominates)")
+
+    # Reconstruction sanity on one held-out style of inspection: the
+    # recovered image for (identity 0, illum 0, pose 0).
+    recon = dec.reconstruct()
+    err0 = np.linalg.norm(
+        recon[:, :, 0, 0, 0] - ensemble[:, :, 0, 0, 0]
+    ) / np.linalg.norm(ensemble[:, :, 0, 0, 0])
+    print(f"\nper-image reconstruction error (id0/illum0/pose0): {err0:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .`` via pyproject build isolation) cannot build
+an editable wheel. This shim lets ``pip install -e . --no-build-isolation``
+fall back to the classic ``setup.py develop`` path. All metadata lives in
+pyproject.toml; keep this file trivial.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,116 @@
+"""repro: a reproduction of "On Optimizing Distributed Tucker Decomposition
+for Dense Tensors" (Chakaravarthy et al., IPDPS 2017).
+
+The package implements the paper's full system:
+
+* the **planner** — optimal TTM-trees (O(4^N) DP), optimal static grids and
+  the optimal dynamic-gridding DP, plus every prior-work heuristic the paper
+  benchmarks (chain/balanced trees, K-/h-orderings);
+* the **engine** — a block-distributed dense-tensor runtime (distributed
+  TTM via reduce-scatter, regridding via all-to-all, Gram+EVD SVD) running
+  on a deterministic in-process virtual cluster with exact communication
+  volume accounting and an alpha-beta time model (the paper's BG/Q is
+  unavailable; volumes and FLOPs are machine-independent, see DESIGN.md);
+* the **algorithms** — HOOI (Figure 2) and STHOSVD, sequential and
+  distributed;
+* the **benchmark harness** regenerating every table and figure of the
+  paper's evaluation (see benchmarks/ and EXPERIMENTS.md).
+
+Quickstart::
+
+    import numpy as np
+    from repro import TensorMeta, Planner, SimCluster, sthosvd, hooi_distributed
+
+    T = np.random.default_rng(0).standard_normal((40, 30, 20, 10))
+    meta = TensorMeta(dims=T.shape, core=(8, 6, 5, 4))
+    plan = Planner(n_procs=8, tree="optimal", grid="dynamic").plan(meta)
+    init = sthosvd(T, meta.core)
+    cluster = SimCluster(8)
+    result = hooi_distributed(cluster, T, init, plan=plan)
+    print(result.errors, cluster.stats.volume())
+"""
+
+from repro._version import __version__
+from repro.core import (
+    TensorMeta,
+    TTMTree,
+    chain_tree,
+    balanced_tree,
+    optimal_tree,
+    optimal_tree_cost,
+    tree_cost,
+    psi,
+    valid_grids,
+    optimal_static_grid,
+    optimal_dynamic_scheme,
+    GridScheme,
+    Plan,
+    Planner,
+)
+from repro.mpi import MachineModel, SimCluster
+from repro.dist import DistTensor, dist_ttm, regrid
+from repro.hooi import (
+    TuckerDecomposition,
+    sthosvd,
+    dist_sthosvd,
+    sthosvd_grid_plan,
+    hooi_sequential,
+    hooi_distributed,
+    hooi_reference_step,
+    ModelReport,
+    predict,
+    select_plan,
+    tucker,
+    TuckerResult,
+)
+from repro.tensor import (
+    ttm,
+    ttm_chain,
+    unfold,
+    fold,
+    random_tensor,
+    low_rank_tensor,
+    separable_field_tensor,
+)
+
+__all__ = [
+    "__version__",
+    "TensorMeta",
+    "TTMTree",
+    "chain_tree",
+    "balanced_tree",
+    "optimal_tree",
+    "optimal_tree_cost",
+    "tree_cost",
+    "psi",
+    "valid_grids",
+    "optimal_static_grid",
+    "optimal_dynamic_scheme",
+    "GridScheme",
+    "Plan",
+    "Planner",
+    "MachineModel",
+    "SimCluster",
+    "DistTensor",
+    "dist_ttm",
+    "regrid",
+    "TuckerDecomposition",
+    "sthosvd",
+    "dist_sthosvd",
+    "sthosvd_grid_plan",
+    "hooi_sequential",
+    "hooi_distributed",
+    "hooi_reference_step",
+    "ModelReport",
+    "predict",
+    "select_plan",
+    "tucker",
+    "TuckerResult",
+    "ttm",
+    "ttm_chain",
+    "unfold",
+    "fold",
+    "random_tensor",
+    "low_rank_tensor",
+    "separable_field_tensor",
+]

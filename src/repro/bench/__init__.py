@@ -1,0 +1,34 @@
+"""Benchmark substrate: the paper's tensor suite, algorithm configs, sweeps.
+
+This subpackage is library code (importable, tested); the actual
+table/figure regeneration lives in ``benchmarks/`` at the repository root
+and calls into here.
+"""
+
+from repro.bench.suite import (
+    REAL_TENSORS,
+    benchmark_metas,
+    paper_subsample,
+    real_tensor_meta,
+)
+from repro.bench.algorithms import ALGORITHMS, PAPER_HEURISTICS, make_planner
+from repro.bench.runner import evaluate_algorithms, sweep, normalize_against
+from repro.bench.percentiles import percentile_curve, curve_summary
+from repro.bench.report import ascii_table, format_curve
+
+__all__ = [
+    "REAL_TENSORS",
+    "benchmark_metas",
+    "paper_subsample",
+    "real_tensor_meta",
+    "ALGORITHMS",
+    "PAPER_HEURISTICS",
+    "make_planner",
+    "evaluate_algorithms",
+    "sweep",
+    "normalize_against",
+    "percentile_curve",
+    "curve_summary",
+    "ascii_table",
+    "format_curve",
+]

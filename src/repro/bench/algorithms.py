@@ -1,0 +1,42 @@
+"""Named algorithm configurations of the paper's evaluation (section 6.2).
+
+Prior heuristics all use the optimal *static* grid (as the paper does):
+
+* ``chain-k``  — chain tree, K-ordering        (paper's "(chain, K)" / CK)
+* ``chain-h``  — chain tree, h-ordering        ("(chain, h)" / CH)
+* ``balanced`` — balanced tree, natural order  ("(balanced)" / B)
+
+Our algorithms:
+
+* ``opt-static``  — optimal tree + optimal static grid
+* ``opt-dynamic`` — optimal tree + optimal dynamic gridding ("OPT")
+"""
+
+from __future__ import annotations
+
+from repro.core.planner import Planner
+
+#: name -> (tree kind, grid kind, paper label)
+ALGORITHMS: dict[str, tuple[str, str, str]] = {
+    "chain-k": ("chain-k", "static", "CK"),
+    "chain-h": ("chain-h", "static", "CH"),
+    "balanced": ("balanced", "static", "B"),
+    "opt-static": ("optimal", "static", "OPT-S"),
+    "opt-dynamic": ("optimal", "dynamic", "OPT"),
+}
+
+#: The three prior-work baselines of Figures 10 and 11.
+PAPER_HEURISTICS = ("chain-k", "chain-h", "balanced")
+
+
+def make_planner(name: str, n_procs: int) -> Planner:
+    """Instantiate the planner for a named algorithm configuration."""
+    if name not in ALGORITHMS:
+        raise KeyError(f"unknown algorithm {name!r}; have {sorted(ALGORITHMS)}")
+    tree, grid, _ = ALGORITHMS[name]
+    return Planner(n_procs, tree=tree, grid=grid)
+
+
+def paper_label(name: str) -> str:
+    """Short label used in the paper's figures (CK/CH/B/OPT)."""
+    return ALGORITHMS[name][2]

@@ -1,0 +1,46 @@
+"""Plain-text rendering of benchmark outputs (tables and curve series)."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def ascii_table(
+    headers: Sequence[str], rows: Sequence[Sequence], *, title: str | None = None
+) -> str:
+    """Render a simple aligned table; every cell is str()-ed."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_curve(
+    curves: Mapping[str, Mapping[int, float]], *, title: str | None = None
+) -> str:
+    """Render percentile curves as a table: one row per percentile."""
+    names = list(curves)
+    points = sorted(next(iter(curves.values())).keys())
+    headers = ["pct"] + names
+    rows = []
+    for p in points:
+        row = [p] + [
+            ("inf" if curves[n][p] == float("inf") else f"{curves[n][p]:.2f}")
+            for n in names
+        ]
+        rows.append(row)
+    return ascii_table(headers, rows, title=title)

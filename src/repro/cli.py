@@ -1,0 +1,164 @@
+"""Command-line interface: plan, inspect and model from the shell.
+
+Subcommands
+-----------
+``plan``   plan one metadata instance and print (or save) the plan
+``psi``    print the Table-1 grid counts for given P and N range
+``model``  model one HOOI invocation for every algorithm configuration
+``suite``  print benchmark-suite statistics
+
+Examples::
+
+    python -m repro plan --dims 400,100,100,50,20 --core 80,80,10,40,10 -p 32
+    python -m repro psi -p 32 --n-min 5 --n-max 10
+    python -m repro model --tensor SP -p 32
+    python -m repro suite --ndim 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.bench.algorithms import ALGORITHMS, make_planner, paper_label
+from repro.bench.report import ascii_table
+from repro.bench.suite import REAL_TENSORS, benchmark_metas, real_tensor_meta
+from repro.core.grids import psi
+from repro.core.memory import plan_peak_bytes_per_rank
+from repro.core.meta import TensorMeta
+from repro.core.planner import Planner
+from repro.hooi.model import predict
+from repro.mpi.machine import MachineModel
+
+
+def _parse_ints(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(x) for x in text.split(",") if x.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        ) from None
+
+
+def _meta_from_args(args) -> TensorMeta:
+    if getattr(args, "tensor", None):
+        return real_tensor_meta(args.tensor)
+    if not args.dims or not args.core:
+        raise SystemExit("provide --tensor NAME or both --dims and --core")
+    return TensorMeta(dims=args.dims, core=args.core)
+
+
+def cmd_plan(args) -> int:
+    meta = _meta_from_args(args)
+    planner = Planner(args.procs, tree=args.tree, grid=args.grid)
+    plan = planner.plan(meta)
+    print(f"metadata: {meta}")
+    print(f"tree: {args.tree} ({plan.tree.n_ttm_ops} TTMs), grid: {args.grid}")
+    print(f"flops (TTM component):  {plan.flops:,}")
+    print(f"TTM volume:             {plan.ttm_volume:,} elements")
+    print(f"regrid volume:          {plan.regrid_volume:,} elements")
+    print(f"initial grid:           {plan.initial_grid}")
+    mem = plan_peak_bytes_per_rank(plan)
+    print(f"peak memory per rank:   {mem['total'] / 2**30:.2f} GiB")
+    if args.show_tree:
+        print(plan.tree.pretty(meta))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(plan.to_json())
+        print(f"plan written to {args.out}")
+    return 0
+
+
+def cmd_psi(args) -> int:
+    ns = list(range(args.n_min, args.n_max + 1))
+    rows = [[f"P={args.procs}"] + [psi(args.procs, n) for n in ns]]
+    print(ascii_table(["P \\ N"] + [str(n) for n in ns], rows))
+    return 0
+
+
+def cmd_model(args) -> int:
+    meta = _meta_from_args(args)
+    machine = MachineModel.bgq_like()
+    rows = []
+    for name in ALGORITHMS:
+        plan = make_planner(name, args.procs).plan(meta)
+        rep = predict(plan, machine)
+        rows.append(
+            [
+                paper_label(name),
+                f"{plan.flops / 1e9:.1f}G",
+                f"{plan.total_volume / 1e6:.1f}M",
+                f"{rep.ttm_compute_seconds:.3f}",
+                f"{rep.ttm_comm_seconds:.3f}",
+                f"{rep.svd_seconds:.3f}",
+                f"{rep.total_seconds:.3f}",
+            ]
+        )
+    print(f"metadata: {meta}   P = {args.procs}")
+    print(
+        ascii_table(
+            ["alg", "flops", "volume", "comp s", "comm s", "svd s", "total s"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_suite(args) -> int:
+    metas = benchmark_metas(args.ndim)
+    cards = [m.cardinality for m in metas]
+    print(f"{args.ndim}-D canonical suite: {len(metas)} tensors")
+    print(f"cardinality range: {min(cards):,} .. {max(cards):,}")
+    print(f"real tensors available: {', '.join(REAL_TENSORS)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed Tucker decomposition planner/model "
+        "(Chakaravarthy et al., IPDPS 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_meta_args(p):
+        p.add_argument("--dims", type=_parse_ints, help="L1,L2,...")
+        p.add_argument("--core", type=_parse_ints, help="K1,K2,...")
+        p.add_argument(
+            "--tensor", help=f"real tensor name ({', '.join(REAL_TENSORS)})"
+        )
+        p.add_argument("-p", "--procs", type=int, default=32)
+
+    p_plan = sub.add_parser("plan", help="plan one metadata instance")
+    add_meta_args(p_plan)
+    p_plan.add_argument("--tree", default="optimal")
+    p_plan.add_argument("--grid", default="dynamic")
+    p_plan.add_argument("--show-tree", action="store_true")
+    p_plan.add_argument("--out", help="write the plan JSON here")
+    p_plan.set_defaults(func=cmd_plan)
+
+    p_psi = sub.add_parser("psi", help="grid counts (Table 1)")
+    p_psi.add_argument("-p", "--procs", type=int, default=32)
+    p_psi.add_argument("--n-min", type=int, default=5)
+    p_psi.add_argument("--n-max", type=int, default=10)
+    p_psi.set_defaults(func=cmd_psi)
+
+    p_model = sub.add_parser("model", help="model every algorithm config")
+    add_meta_args(p_model)
+    p_model.set_defaults(func=cmd_model)
+
+    p_suite = sub.add_parser("suite", help="benchmark-suite statistics")
+    p_suite.add_argument("--ndim", type=int, default=5)
+    p_suite.set_defaults(func=cmd_suite)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

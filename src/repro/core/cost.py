@@ -1,0 +1,62 @@
+"""FLOP cost of a TTM-tree (paper section 3.1, Figure 4).
+
+Each internal node ``u`` with mode ``n`` performs the matrix product
+``F_n^T (K_n x L_n) @ In(u)_(n) (L_n x |In(u)|/L_n)``, costing
+``K_n * |In(u)|`` multiply-adds and emitting a tensor of cardinality
+``h_n * |In(u)|``. Tree cost = sum over internal nodes. All arithmetic is
+exact-integer because every intermediate cardinality is
+``prod_{applied} K * prod_{rest} L``.
+"""
+
+from __future__ import annotations
+
+from repro.core.meta import TensorMeta
+from repro.core.trees import Node, TTMTree
+
+
+def node_costs(tree: TTMTree, meta: TensorMeta) -> dict[int, dict[str, int]]:
+    """Per-node cost table keyed by node uid.
+
+    Each entry holds ``in_card``, ``out_card`` and ``flops`` (0 for root and
+    leaves, whose "TTM" is vacuous; leaves inherit in/out = parent's output,
+    which the SVD model consumes).
+    """
+    if tree.n_modes != meta.ndim:
+        raise ValueError(
+            f"tree has {tree.n_modes} modes but meta has {meta.ndim} dims"
+        )
+    table: dict[int, dict[str, int]] = {}
+
+    def visit(node: Node, premult: int, in_card: int) -> None:
+        if node.kind == "ttm":
+            if (premult >> node.mode) & 1:
+                raise ValueError(
+                    f"mode {node.mode} multiplied twice on one path"
+                )
+            out_premult = premult | (1 << node.mode)
+            out_card = meta.card_after(out_premult)
+            flops = meta.core[node.mode] * in_card
+        else:
+            out_premult = premult
+            out_card = in_card
+            flops = 0
+        table[node.uid] = {
+            "in_card": in_card,
+            "out_card": out_card,
+            "flops": flops,
+        }
+        for child in node.children:
+            visit(child, out_premult, out_card)
+
+    visit(tree.root, 0, meta.cardinality)
+    return table
+
+
+def tree_cost(tree: TTMTree, meta: TensorMeta) -> int:
+    """Total multiply-adds of the tree's TTM component (exact integer)."""
+    return sum(entry["flops"] for entry in node_costs(tree, meta).values())
+
+
+def normalized_tree_cost(tree: TTMTree, meta: TensorMeta) -> float:
+    """Tree cost divided by ``|T|`` (the unit used in the paper's Figure 4)."""
+    return tree_cost(tree, meta) / meta.cardinality

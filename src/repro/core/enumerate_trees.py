@@ -1,0 +1,94 @@
+"""Exhaustive enumeration of TTM-trees for small N.
+
+The paper notes a naive search over all TTM-trees is prohibitive
+(``((N-1)!)^N`` chain realizations alone) but that the DP's state space can
+be re-used to *enumerate* the binary trees. That is what we do here: walk the
+same (P, Q) state space as :mod:`repro.core.opt_tree`, emitting every
+distinct sibling-list realization. Used by the tests to certify DP
+optimality for N <= 4 and to cross-check Lemma 3.1 (restriction to two-way
+splits loses nothing).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.core.cost import tree_cost
+from repro.core.meta import TensorMeta
+from repro.core.trees import LEAF, ROOT, TTM, Node, TTMTree
+from repro.util.partitions import iter_nonempty_proper_submasks
+
+
+def _subtrees(pmask: int, qmask: int, full: int) -> Iterator[tuple]:
+    """Yield canonical encodings of sibling lists for state (P, Q).
+
+    Encoding: a sorted tuple of sibling encodings; a sibling is
+    ``("leaf", mode)`` or ``("ttm", mode, children-encoding)``. Sorting makes
+    sibling order canonical so each distinct tree is produced exactly once.
+    """
+    rmask = full & ~pmask & ~qmask
+    if qmask.bit_count() == 1 and rmask == 0:
+        yield (("leaf", qmask.bit_length() - 1),)
+        return
+    seen: set[tuple] = set()
+    r = rmask
+    while r:
+        bit = r & -r
+        mode = bit.bit_length() - 1
+        r ^= bit
+        for children in _subtrees(pmask | bit, qmask, full):
+            enc = (("ttm", mode, children),)
+            if enc not in seen:
+                seen.add(enc)
+                yield enc
+    if qmask.bit_count() >= 2:
+        for q1 in iter_nonempty_proper_submasks(qmask):
+            q2 = qmask ^ q1
+            if q1 > q2:
+                continue
+            for left in _subtrees(pmask, q1, full):
+                for right in _subtrees(pmask, q2, full):
+                    enc = tuple(sorted(left + right))
+                    if enc not in seen:
+                        seen.add(enc)
+                        yield enc
+
+
+def _decode(encoding: tuple) -> list[Node]:
+    out: list[Node] = []
+    for item in encoding:
+        if item[0] == "leaf":
+            out.append(Node(LEAF, mode=item[1]))
+        else:
+            out.append(Node(TTM, mode=item[1], children=_decode(item[2])))
+    return out
+
+
+def enumerate_trees(n_modes: int, limit: int | None = None) -> Iterator[TTMTree]:
+    """Yield every distinct TTM-tree over ``n_modes`` modes.
+
+    Only trees reachable by the reuse/split grammar are produced; by
+    Lemma 3.1 these include a cost-optimal tree for every metadata. The count
+    explodes quickly — callers should keep ``n_modes <= 4`` or pass
+    ``limit``.
+    """
+    if n_modes < 1:
+        raise ValueError("n_modes must be >= 1")
+    full = (1 << n_modes) - 1
+    count = 0
+    for enc in _subtrees(0, full, full):
+        yield TTMTree(Node(ROOT, children=_decode(enc)), n_modes)
+        count += 1
+        if limit is not None and count >= limit:
+            return
+
+
+def brute_force_optimal_cost(meta: TensorMeta, limit: int | None = None) -> int:
+    """Minimum tree cost by exhaustive enumeration (test oracle)."""
+    best: int | None = None
+    for tree in enumerate_trees(meta.ndim, limit):
+        c = tree_cost(tree, meta)
+        if best is None or c < best:
+            best = c
+    assert best is not None
+    return best

@@ -1,0 +1,97 @@
+"""Processor grids (paper section 4.1-4.2).
+
+A grid for ``P`` processors and an ``N``-dimensional tensor is a tuple
+``g = (q_0, ..., q_{N-1})`` with ``prod q_n = P``; imposing it on a tensor
+block-partitions the tensor into ``P`` bricks. The number of grids is
+
+``psi(P, N) = prod_i C(e_i + N - 1, N - 1)``
+
+over the prime factorization ``P = prod p_i^{e_i}`` (Table 1 of the paper).
+A grid is **valid** for metadata ``meta`` when ``q_n <= K_n`` for every
+mode: then no processor owns an empty block of any tensor arising during
+HOOI (intermediate tensors have mode-n length ``K_n`` or ``L_n >= K_n``).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator
+
+from repro.core.meta import TensorMeta
+from repro.util.partitions import (
+    count_ordered_factorizations,
+    ordered_factorizations,
+)
+from repro.util.validation import check_positive_int
+
+Grid = tuple[int, ...]
+
+
+def psi(p: int, n: int) -> int:
+    """Number of grids: ordered factorizations of ``p`` into ``n`` factors."""
+    return count_ordered_factorizations(p, n)
+
+
+def enumerate_grids(p: int, n: int) -> Iterator[Grid]:
+    """Yield every grid (valid or not) for ``p`` ranks in ``n`` dimensions."""
+    p = check_positive_int(p, "p")
+    n = check_positive_int(n, "n")
+    yield from ordered_factorizations(p, n)
+
+
+def is_valid_grid(grid: Grid, meta: TensorMeta) -> bool:
+    """Check the paper's validity constraint ``q_n <= K_n`` for all modes."""
+    if len(grid) != meta.ndim:
+        raise ValueError(
+            f"grid has {len(grid)} entries but meta has {meta.ndim} modes"
+        )
+    return all(q <= k for q, k in zip(grid, meta.core))
+
+
+def valid_grids(p: int, meta: TensorMeta) -> list[Grid]:
+    """All valid grids for ``p`` ranks, in deterministic (sorted) order.
+
+    Raises ``ValueError`` when no valid grid exists (``p > prod K_n``), with
+    a message pointing at the offending constraint.
+    """
+    grids = sorted(g for g in enumerate_grids(p, meta.ndim) if is_valid_grid(g, meta))
+    if not grids:
+        raise ValueError(
+            f"no valid grid: P={p} cannot be factored with q_n <= K_n={meta.core}"
+        )
+    return grids
+
+
+def svd_regrid_target(
+    grid: Grid, lengths: tuple[int, ...], mode: int
+) -> Grid | None:
+    """Grid to compute a mode-``mode`` Gram on: ``q_mode = 1`` if possible.
+
+    The Gram of the mode-n unfolding needs *full-length* mode-n fibers on
+    each rank. Rather than allgathering fiber segments within the mode
+    group — volume ``(q_n - 1) |Z|``, which explodes for large ``q_n`` —
+    the engine regrids ``Z`` onto a grid with ``q_n = 1`` (volume at most
+    ``|Z|``, and ``|Z|`` is already compressed along every other mode).
+
+    Deterministic choice shared by engine and model: if ``grid`` already has
+    ``q_mode = 1`` return it unchanged; otherwise pick, among factorizations
+    of ``P`` with ``q_mode = 1`` and ``q_j <= lengths[j]``, the one agreeing
+    with ``grid`` on the most modes (then lexicographically smallest).
+    Returns ``None`` when no such factorization exists (the caller falls
+    back to the allgather path).
+    """
+    if grid[mode] == 1:
+        return grid
+    p = math.prod(grid)
+    best_key: tuple[int, Grid] | None = None
+    best_cand: Grid | None = None
+    for cand in ordered_factorizations(p, len(grid)):
+        if cand[mode] != 1:
+            continue
+        if any(q > ell for q, ell in zip(cand, lengths)):
+            continue
+        agreement = sum(1 for a, b in zip(cand, grid) if a == b)
+        key = (-agreement, cand)
+        if best_key is None or key < best_key:
+            best_key, best_cand = key, cand
+    return best_cand

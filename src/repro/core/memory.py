@@ -1,0 +1,132 @@
+"""Peak-memory model for plan execution.
+
+The paper bounds intermediate storage by the tree depth ("by executing the
+process via an in-order traversal, we can ensure that the maximum number of
+intermediate tensors stored at any point is bounded by the depth of the
+tree", section 3.1) and explicitly curtails benchmark tensors to fit the
+32 x 16 GB platform (section 6.1). This module makes that footprint a
+first-class, exact quantity:
+
+* :func:`traversal_peak_cards` — peak sum of live tensor cardinalities over
+  the depth-first execution of a tree (the input tensor ``T`` is resident
+  throughout; a node's output stays live while its children execute);
+* :func:`max_live_intermediates` — peak *count* of live intermediates,
+  which the depth bound caps;
+* :func:`plan_peak_bytes_per_rank` — per-rank bytes for a full plan,
+  including the transient buffers of the distributed TTM (the partial
+  product before reduce-scatter) and of regrids (send+receive staging).
+"""
+
+from __future__ import annotations
+
+from repro.core.cost import node_costs
+from repro.core.meta import TensorMeta
+from repro.core.planner import Plan
+from repro.core.trees import Node, TTMTree
+
+
+def traversal_peak_cards(tree: TTMTree, meta: TensorMeta) -> int:
+    """Peak sum of live cardinalities (elements) during DFS execution.
+
+    Counts the input tensor plus every intermediate alive at the deepest
+    moment: when executing node ``u``, the outputs of all its ancestors are
+    still live (each is reused by later siblings).
+    """
+    costs = node_costs(tree, meta)
+    peak = 0
+
+    def visit(node: Node, live: int) -> None:
+        nonlocal peak
+        out = costs[node.uid]["out_card"] if node.kind != "root" else 0
+        if node.kind == "leaf":
+            # the SVD consumes the parent's output; nothing new is stored
+            # beyond the (small) Gram matrix, which we neglect here
+            peak = max(peak, live)
+            return
+        now = live + out
+        peak = max(peak, now)
+        for child in node.children:
+            visit(child, now)
+
+    visit(tree.root, meta.cardinality)
+    return peak
+
+
+def max_live_intermediates(tree: TTMTree) -> int:
+    """Peak number of simultaneously live intermediate tensors.
+
+    Equals the largest number of TTM ancestors of any node plus one (the
+    node's own output) — by construction bounded by the tree depth, the
+    paper's section 3.1 claim (checked in the tests).
+    """
+    peak = 0
+
+    def visit(node: Node, live: int) -> None:
+        nonlocal peak
+        if node.kind == "ttm":
+            live += 1
+            peak = max(peak, live)
+        for child in node.children:
+            visit(child, live)
+
+    visit(tree.root, 0)
+    return peak
+
+
+def plan_peak_bytes_per_rank(
+    plan: Plan, *, bytes_per_element: int = 8
+) -> dict[str, float]:
+    """Per-rank peak memory (bytes) to execute one HOOI invocation.
+
+    Components (all divided by ``P``; valid grids keep blocks balanced to
+    within one slab):
+
+    * ``resident`` — peak live tensors along the DFS
+      (:func:`traversal_peak_cards`);
+    * ``ttm_buffer`` — the largest transient of any TTM: the local partial
+      product is ``K_n x local-fibers = q_n x`` the output block, held
+      together with the reduce-scatter result;
+    * ``regrid_buffer`` — staging for the largest redistribution (send
+      intersections + assembled new block, ~2x the tensor's local share).
+
+    Returns the components and their sum under ``"total"``.
+    """
+    meta = plan.meta
+    p = plan.n_procs
+    tree = plan.tree
+    costs = node_costs(tree, meta)
+
+    resident = traversal_peak_cards(tree, meta) / p
+
+    ttm_buffer = 0.0
+    regrid_buffer = 0.0
+    for node in tree.nodes:
+        if node.kind != "ttm":
+            continue
+        grid = plan.scheme.grid_of(node.uid)
+        out_card = costs[node.uid]["out_card"]
+        in_card = costs[node.uid]["in_card"]
+        q = grid[node.mode]
+        # partial product (q x output block) + scattered result (1 x)
+        ttm_buffer = max(ttm_buffer, (q + 1) * out_card / p)
+        parent = tree.parent(node)
+        if tuple(grid) != tuple(plan.scheme.grid_of(parent.uid)):
+            regrid_buffer = max(regrid_buffer, 2 * in_card / p)
+    # the core chain reuses the same machinery on ever-smaller tensors;
+    # its first step dominates its buffers
+    if plan.core_order:
+        first_grid = plan.core_scheme[0]
+        q = first_grid[plan.core_order[0]]
+        first_out = meta.card_after(1 << plan.core_order[0])
+        ttm_buffer = max(ttm_buffer, (q + 1) * first_out / p)
+        if tuple(first_grid) != tuple(plan.initial_grid):
+            regrid_buffer = max(regrid_buffer, 2 * meta.cardinality / p)
+
+    scale = float(bytes_per_element)
+    out = {
+        "resident": resident * scale,
+        "ttm_buffer": ttm_buffer * scale,
+        "regrid_buffer": regrid_buffer * scale,
+    }
+    out["total"] = sum(out.values())
+    return out

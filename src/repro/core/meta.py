@@ -1,0 +1,98 @@
+"""Tensor/core metadata: the planner's entire input.
+
+The paper stresses (sections 5, 6.1) that HOOI's computational load and
+communication volume depend only on the *metadata* — the input dimension
+lengths ``L_n`` and core dimension lengths ``K_n`` — never on tensor values.
+:class:`TensorMeta` packages that pair and provides the exact-integer
+quantities every planner component uses:
+
+* cost factor ``K_n`` and compression factor ``h_n = K_n / L_n`` per mode
+  (section 3.1);
+* cardinality of any partially-multiplied tensor ``T[P]``:
+  ``|T[P]| = prod_{n in P} K_n * prod_{n not in P} L_n`` — an exact integer,
+  so the DPs never touch floating point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.util.validation import check_core_dims, check_dims
+
+
+@dataclass(frozen=True)
+class TensorMeta:
+    """Metadata of one HOOI input: tensor dims ``L`` and core dims ``K``."""
+
+    dims: tuple[int, ...]
+    core: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        dims = check_dims(self.dims, "dims")
+        core = check_core_dims(self.core, dims, "core")
+        object.__setattr__(self, "dims", dims)
+        object.__setattr__(self, "core", core)
+
+    # -- basic quantities ------------------------------------------------ #
+
+    @property
+    def ndim(self) -> int:
+        return len(self.dims)
+
+    @property
+    def cardinality(self) -> int:
+        """``|T|`` — number of elements of the input tensor."""
+        return math.prod(self.dims)
+
+    @property
+    def core_cardinality(self) -> int:
+        """``|G|`` — number of elements of the core tensor."""
+        return math.prod(self.core)
+
+    def h(self, mode: int) -> Fraction:
+        """Compression factor ``h_n = K_n / L_n`` (exact rational, <= 1)."""
+        return Fraction(self.core[mode], self.dims[mode])
+
+    @property
+    def compression_ratio(self) -> float:
+        """``|T| / (|G| + sum |F_n|)`` — the data-compression headline."""
+        stored = self.core_cardinality + sum(
+            ell * k for ell, k in zip(self.dims, self.core)
+        )
+        return self.cardinality / stored
+
+    # -- partially multiplied tensors ------------------------------------ #
+
+    def card_after(self, premultiplied: int) -> int:
+        """``|T[P]|`` for the bitmask ``premultiplied`` of applied modes.
+
+        Mode ``n`` is applied iff bit ``n`` of the mask is set; applied modes
+        have length ``K_n``, untouched modes ``L_n``.
+        """
+        card = 1
+        for n in range(self.ndim):
+            card *= self.core[n] if (premultiplied >> n) & 1 else self.dims[n]
+        return card
+
+    def shape_after(self, premultiplied: int) -> tuple[int, ...]:
+        """Shape of ``T[P]`` under the same bitmask convention."""
+        return tuple(
+            self.core[n] if (premultiplied >> n) & 1 else self.dims[n]
+            for n in range(self.ndim)
+        )
+
+    # -- serialization ---------------------------------------------------- #
+
+    def to_dict(self) -> dict:
+        return {"dims": list(self.dims), "core": list(self.core)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TensorMeta":
+        return cls(dims=tuple(d["dims"]), core=tuple(d["core"]))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        dims = "x".join(map(str, self.dims))
+        core = "x".join(map(str, self.core))
+        return f"{dims} -> {core}"

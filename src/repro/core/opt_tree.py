@@ -1,0 +1,150 @@
+"""Optimal TTM-tree construction: the O(4^N) dynamic program (section 3.3).
+
+States are the paper's triples ``(P, Q, R)`` encoded as two bitmasks —
+``P`` (pre-multiplied modes) and ``Q`` (factors still to compute under this
+point); ``R = [N] \\ P \\ Q`` (reusable modes) is implicit. The value
+``cost*(P, Q)`` is the least FLOP count of any partial TTM-tree for the
+triple, computed by the recurrence
+
+* **reuse** (needs ``R != 0``): pick ``n in R``, multiply ``T[P]`` along
+  ``n`` once and share it with every factor in ``Q``:
+  ``K_n |T[P]| + cost*(P + n, Q)``;
+* **split** (needs ``|Q| >= 2``): partition ``Q = Q1 + Q2`` and solve the
+  halves independently: ``cost*(P, Q1) + cost*(P, Q2)``.
+
+Base case ``|Q| = 1, R = 0``: the chain is complete, a leaf (SVD) remains,
+cost 0. Lemma 3.1 (an optimal tree may be assumed binary) justifies
+considering only two-way splits.
+
+The module also exposes two deliberately handicapped policies used by the
+ablation benchmarks:
+
+* ``policy="no_reuse"`` — reuse is permitted only when forced
+  (``|Q| = 1``); the result is the best *forest of independent chains*,
+  i.e. the chain-tree family with per-chain optimal orderings.
+* ``policy="eager_reuse"`` — whenever ``R != 0`` the DP must reuse (it still
+  chooses the best mode). The paper's section 3.3 remark states this greedy
+  is suboptimal; the ablation quantifies by how much.
+"""
+
+from __future__ import annotations
+
+from repro.core.cost import tree_cost
+from repro.core.meta import TensorMeta
+from repro.core.trees import LEAF, ROOT, TTM, Node, TTMTree
+from repro.util.partitions import iter_nonempty_proper_submasks
+
+_POLICIES = ("optimal", "no_reuse", "eager_reuse")
+
+
+def _solve(meta: TensorMeta, policy: str) -> dict[tuple[int, int], tuple[int, tuple]]:
+    """Fill the DP table: ``(P, Q) -> (cost, choice)``.
+
+    ``choice`` is ``("leaf",)``, ``("reuse", n)`` or ``("split", Q1)``.
+    Tie-breaking is deterministic: reuse options (ascending mode) are
+    examined before splits (ascending ``Q1`` mask); strictly better costs
+    win, so the first-found minimum is kept.
+    """
+    if policy not in _POLICIES:
+        raise ValueError(f"policy must be one of {_POLICIES}, got {policy!r}")
+    n = meta.ndim
+    full = (1 << n) - 1
+    memo: dict[tuple[int, int], tuple[int, tuple]] = {}
+
+    def best(pmask: int, qmask: int) -> tuple[int, tuple]:
+        key = (pmask, qmask)
+        hit = memo.get(key)
+        if hit is not None:
+            return hit
+        rmask = full & ~pmask & ~qmask
+        q_size = qmask.bit_count()
+        if q_size == 1 and rmask == 0:
+            result = (0, ("leaf",))
+            memo[key] = result
+            return result
+
+        best_cost: int | None = None
+        best_choice: tuple | None = None
+
+        reuse_allowed = rmask != 0 and (policy != "no_reuse" or q_size == 1)
+        if reuse_allowed:
+            in_card = meta.card_after(pmask)
+            r = rmask
+            while r:
+                bit = r & -r
+                mode = bit.bit_length() - 1
+                r ^= bit
+                sub_cost, _ = best(pmask | bit, qmask)
+                cost = meta.core[mode] * in_card + sub_cost
+                if best_cost is None or cost < best_cost:
+                    best_cost = cost
+                    best_choice = ("reuse", mode)
+
+        split_allowed = q_size >= 2 and not (policy == "eager_reuse" and rmask != 0)
+        if split_allowed:
+            for q1 in iter_nonempty_proper_submasks(qmask):
+                q2 = qmask ^ q1
+                if q1 > q2:  # visit each unordered partition once
+                    continue
+                c1, _ = best(pmask, q1)
+                c2, _ = best(pmask, q2)
+                cost = c1 + c2
+                if best_cost is None or cost < best_cost:
+                    best_cost = cost
+                    best_choice = ("split", q1)
+
+        if best_cost is None:
+            raise RuntimeError(
+                f"no feasible action at state P={pmask:b} Q={qmask:b} "
+                f"(policy={policy})"
+            )
+        memo[key] = (best_cost, best_choice)
+        return memo[key]
+
+    best(0, full)
+    return memo
+
+
+def _build(
+    memo: dict[tuple[int, int], tuple[int, tuple]],
+    pmask: int,
+    qmask: int,
+) -> list[Node]:
+    """Reconstruct the sibling list hanging at state ``(P, Q)``."""
+    _, choice = memo[(pmask, qmask)]
+    if choice[0] == "leaf":
+        mode = qmask.bit_length() - 1
+        return [Node(LEAF, mode=mode)]
+    if choice[0] == "reuse":
+        mode = choice[1]
+        children = _build(memo, pmask | (1 << mode), qmask)
+        return [Node(TTM, mode=mode, children=children)]
+    q1 = choice[1]
+    return _build(memo, pmask, q1) + _build(memo, pmask, qmask ^ q1)
+
+
+def optimal_tree(meta: TensorMeta, policy: str = "optimal") -> TTMTree:
+    """Return a minimum-FLOP TTM-tree for ``meta`` under ``policy``.
+
+    The returned tree's :func:`repro.core.cost.tree_cost` equals
+    :func:`optimal_tree_cost` (asserted here — the reconstruction is
+    self-checking).
+    """
+    memo = _solve(meta, policy)
+    full = (1 << meta.ndim) - 1
+    root = Node(ROOT, children=_build(memo, 0, full))
+    tree = TTMTree(root, meta.ndim)
+    expected = memo[(0, full)][0]
+    actual = tree_cost(tree, meta)
+    if actual != expected:
+        raise AssertionError(
+            f"DP reconstruction mismatch: table says {expected}, tree costs {actual}"
+        )
+    return tree
+
+
+def optimal_tree_cost(meta: TensorMeta, policy: str = "optimal") -> int:
+    """Minimum FLOP count over all TTM-trees (exact integer)."""
+    memo = _solve(meta, policy)
+    full = (1 << meta.ndim) - 1
+    return memo[(0, full)][0]

@@ -1,0 +1,63 @@
+"""Mode-ordering heuristics and the exact full-chain ordering.
+
+Prior-work heuristics (paper section 3.2, due to Austin et al.):
+
+* **K-ordering** — increasing cost factor ``K_n``: cheap multiplications
+  first, while the tensor is large.
+* **h-ordering** — increasing compression factor ``h_n = K_n / L_n``:
+  shrink the tensor as fast as possible at the top of the tree.
+
+For a *single full chain over all N modes* (the new-core computation
+``G~ = T x_1 F~_1^T ... x_N F~_N^T``) the optimal order admits an exact
+exchange-argument characterization implemented by
+:func:`optimal_chain_ordering`: place ``a`` before ``b`` iff
+``K_a L_b (L_a + K_b) <= K_b L_a (L_b + K_a)``, derived from comparing the
+two-mode chain costs ``K_a + K_b h_a`` vs ``K_b + K_a h_b``.
+"""
+
+from __future__ import annotations
+
+from functools import cmp_to_key
+
+from repro.core.meta import TensorMeta
+
+
+def natural_ordering(meta: TensorMeta) -> list[int]:
+    """The input mode order ``0..N-1`` (the paper's 'naive' ordering)."""
+    return list(range(meta.ndim))
+
+
+def k_ordering(meta: TensorMeta) -> list[int]:
+    """Modes sorted by increasing ``K_n`` (ties by mode index)."""
+    return sorted(range(meta.ndim), key=lambda n: (meta.core[n], n))
+
+
+def h_ordering(meta: TensorMeta) -> list[int]:
+    """Modes sorted by increasing ``h_n = K_n / L_n`` (ties by mode index).
+
+    Comparison is exact: ``h_a < h_b`` iff ``K_a L_b < K_b L_a``.
+    """
+    return sorted(range(meta.ndim), key=lambda n: (meta.h(n), n))
+
+
+def optimal_chain_ordering(meta: TensorMeta, modes: list[int] | None = None) -> list[int]:
+    """Exact minimum-FLOP order for one TTM chain over ``modes``.
+
+    The pairwise exchange criterion is a total preorder (it is equivalent to
+    sorting by the scalar ``K_n L_n / (L_n - K_n)`` when ``K_n < L_n``, with
+    ``K_n = L_n`` modes last), so an ordinary comparison sort yields a global
+    optimum. We keep the integer cross-product form to stay exact.
+    """
+    if modes is None:
+        modes = list(range(meta.ndim))
+
+    def cmp(a: int, b: int) -> int:
+        lhs = meta.core[a] * meta.dims[b] * (meta.dims[a] + meta.core[b])
+        rhs = meta.core[b] * meta.dims[a] * (meta.dims[b] + meta.core[a])
+        if lhs < rhs:
+            return -1
+        if lhs > rhs:
+            return 1
+        return -1 if a < b else (1 if a > b else 0)
+
+    return sorted(modes, key=cmp_to_key(cmp))

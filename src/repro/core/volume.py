@@ -1,0 +1,78 @@
+"""Communication-volume semantics (paper sections 4.1 and 4.3).
+
+* TTM at node ``u`` (mode ``n``) with its input distributed on grid ``g``:
+  ``vol(u, g) = (g_n - 1) * |Out(u)|`` — the reduce-scatter over mode-n
+  fibers.
+* Regridding a tensor ``X`` from one grid to another: ``|X|`` (the model
+  charges a full redistribution; the engine reports the exact moved-element
+  count, which is <= this).
+
+A **grid scheme** maps every internal node to the grid its *input* (and
+output) live on; see :mod:`repro.core.dynamic_grid`. A static grid is the
+constant scheme.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.core.cost import node_costs
+from repro.core.grids import Grid, is_valid_grid
+from repro.core.meta import TensorMeta
+from repro.core.trees import TTMTree
+
+
+def static_volume(tree: TTMTree, meta: TensorMeta, grid: Grid) -> int:
+    """Total TTM communication volume of the tree under one static grid."""
+    if not is_valid_grid(grid, meta):
+        raise ValueError(f"grid {grid} is not valid for meta {meta}")
+    costs = node_costs(tree, meta)
+    total = 0
+    for node in tree.internal_nodes():
+        total += (grid[node.mode] - 1) * costs[node.uid]["out_card"]
+    return total
+
+
+def node_volumes(
+    tree: TTMTree, meta: TensorMeta, scheme: Mapping[int, Grid]
+) -> dict[int, dict[str, int]]:
+    """Per-node TTM and regrid volumes under a (possibly dynamic) scheme.
+
+    ``scheme`` maps internal-node uid -> grid of that node's input/output.
+    The root's grid is ``scheme[root.uid]`` — the initial distribution of
+    ``T`` — and incurs no regrid charge. A node whose grid differs from its
+    parent's pays ``|In(u)|``. Leaves carry no entry (they inherit the
+    parent grid).
+    """
+    costs = node_costs(tree, meta)
+    out: dict[int, dict[str, int]] = {}
+    root_uid = tree.root.uid
+    if root_uid not in scheme:
+        raise ValueError("scheme must assign a grid to the root (initial layout)")
+    for node in tree.nodes:
+        if node.kind == "leaf":
+            continue
+        grid = scheme.get(node.uid)
+        if grid is None:
+            raise ValueError(f"scheme missing grid for node uid={node.uid}")
+        if not is_valid_grid(grid, meta):
+            raise ValueError(f"grid {grid} at node uid={node.uid} is invalid")
+        entry = {"ttm": 0, "regrid": 0}
+        if node.kind == "ttm":
+            entry["ttm"] = (grid[node.mode] - 1) * costs[node.uid]["out_card"]
+            parent = tree.parent(node)
+            parent_grid = scheme[parent.uid]
+            if tuple(grid) != tuple(parent_grid):
+                entry["regrid"] = costs[node.uid]["in_card"]
+        out[node.uid] = entry
+    return out
+
+
+def scheme_volume(
+    tree: TTMTree, meta: TensorMeta, scheme: Mapping[int, Grid]
+) -> tuple[int, int]:
+    """Return ``(ttm_volume, regrid_volume)`` totals of a grid scheme."""
+    vols = node_volumes(tree, meta, scheme)
+    ttm = sum(v["ttm"] for v in vols.values())
+    regrid = sum(v["regrid"] for v in vols.values())
+    return ttm, regrid

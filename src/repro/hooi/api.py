@@ -1,0 +1,105 @@
+"""One-call front door: ``tucker()``.
+
+Wraps the full pipeline a downstream user wants by default: STHOSVD
+initialization, portfolio (or named) planning, HOOI refinement to
+tolerance, on either the sequential path or a virtual cluster.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.meta import TensorMeta
+from repro.core.planner import Plan, Planner
+from repro.hooi.decomposition import TuckerDecomposition
+from repro.hooi.hooi import HooiResult, hooi_distributed, hooi_sequential
+from repro.hooi.portfolio import select_plan
+from repro.hooi.sthosvd import sthosvd
+from repro.mpi.comm import SimCluster
+from repro.util.validation import check_core_dims
+
+
+@dataclass
+class TuckerResult:
+    """Everything ``tucker()`` produces."""
+
+    decomposition: TuckerDecomposition
+    plan: Plan
+    errors: list[float]
+    sthosvd_error: float
+
+    @property
+    def error(self) -> float:
+        return self.errors[-1] if self.errors else self.sthosvd_error
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.decomposition.compression_ratio
+
+
+def tucker(
+    tensor: np.ndarray,
+    core_dims: Sequence[int],
+    *,
+    cluster: SimCluster | None = None,
+    n_procs: int | None = None,
+    planner: str | Planner = "portfolio",
+    max_iters: int = 10,
+    tol: float = 1e-8,
+    skip_hooi: bool = False,
+) -> TuckerResult:
+    """Compute a Tucker decomposition of ``tensor`` with core ``core_dims``.
+
+    Parameters
+    ----------
+    cluster:
+        Run HOOI on this virtual cluster (distributed path). Without one,
+        everything is sequential; ``n_procs`` (default 1) still drives the
+        planner so plans remain comparable.
+    planner:
+        ``"portfolio"`` (model every configuration, keep the fastest — the
+        default), any tree kind accepted by :class:`Planner` (planned with
+        dynamic grids), or a ready :class:`Planner`.
+    skip_hooi:
+        Stop after STHOSVD (the paper notes STHOSVD alone suffices for some
+        domains); the result then carries the STHOSVD decomposition.
+    """
+    tensor = np.asarray(tensor, dtype=np.float64)
+    core_dims = check_core_dims(core_dims, tensor.shape)
+    meta = TensorMeta(dims=tensor.shape, core=core_dims)
+    procs = cluster.n_procs if cluster is not None else (n_procs or 1)
+
+    if isinstance(planner, Planner):
+        plan = planner.plan(meta)
+    elif planner == "portfolio":
+        plan = select_plan(meta, procs).plan
+    else:
+        plan = Planner(procs, tree=planner, grid="dynamic").plan(meta)
+
+    init = sthosvd(tensor, core_dims, mode_order="optimal")
+    init_error = init.error_vs(tensor)
+    if skip_hooi:
+        return TuckerResult(
+            decomposition=init,
+            plan=plan,
+            errors=[],
+            sthosvd_error=init_error,
+        )
+
+    if cluster is not None:
+        result: HooiResult = hooi_distributed(
+            cluster, tensor, init, plan=plan, max_iters=max_iters, tol=tol
+        )
+    else:
+        result = hooi_sequential(
+            tensor, init, plan=plan, max_iters=max_iters, tol=tol
+        )
+    return TuckerResult(
+        decomposition=result.decomposition,
+        plan=plan,
+        errors=result.errors,
+        sthosvd_error=init_error,
+    )

@@ -1,0 +1,176 @@
+"""Plan execution: walking a TTM-tree sequentially or on the engine.
+
+The executor realizes the paper's top-down process (section 3.1): each
+internal node multiplies its parent's output along its mode by ``F_mode^T``
+and the result is shared by all children; each leaf performs the SVD step.
+Traversal is depth-first with children processed in order, so at most
+``depth`` intermediate tensors are alive at once — the in-order bound the
+paper cites.
+
+Distributed execution additionally honors the plan's grid scheme: before a
+node's TTM, if the scheme assigns the node a different grid from its
+parent's, the parent's output is regridded (each child regrids its own copy;
+the parent's representation is never mutated, matching the model's
+per-child ``|In(u)|`` charge).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.meta import TensorMeta
+from repro.core.ordering import optimal_chain_ordering
+from repro.core.planner import Plan
+from repro.core.trees import Node, TTMTree
+from repro.dist.dtensor import DistTensor
+from repro.dist.gram import dist_leading_factor
+from repro.dist.regrid import regrid
+from repro.dist.ttm import dist_ttm
+from repro.tensor.linalg import leading_left_singular_vectors
+from repro.tensor.ttm import ttm, ttm_chain
+from repro.tensor.unfold import unfold
+
+
+def _check_factors(
+    factors: Sequence[np.ndarray], meta: TensorMeta
+) -> list[np.ndarray]:
+    factors = [np.asarray(f, dtype=np.float64) for f in factors]
+    if len(factors) != meta.ndim:
+        raise ValueError(f"need {meta.ndim} factors, got {len(factors)}")
+    for n, f in enumerate(factors):
+        if f.shape != (meta.dims[n], meta.core[n]):
+            raise ValueError(
+                f"factor {n} has shape {f.shape}, expected "
+                f"{(meta.dims[n], meta.core[n])}"
+            )
+    return factors
+
+
+def execute_tree_sequential(
+    tensor: np.ndarray,
+    factors: Sequence[np.ndarray],
+    tree: TTMTree,
+    meta: TensorMeta,
+    *,
+    svd_method: str = "gram",
+) -> dict[int, np.ndarray]:
+    """Run the TTM component + SVDs of one HOOI invocation, sequentially.
+
+    Returns ``{mode: new factor}``. ``factors`` are the *current* factor
+    matrices (the chains multiply by their transposes).
+    """
+    factors = _check_factors(factors, meta)
+    new_factors: dict[int, np.ndarray] = {}
+
+    def visit(node: Node, x: np.ndarray) -> None:
+        for child in node.children:
+            if child.kind == "ttm":
+                visit(child, ttm(x, factors[child.mode].T, child.mode))
+            else:
+                new_factors[child.mode] = leading_left_singular_vectors(
+                    unfold(x, child.mode), meta.core[child.mode], method=svd_method
+                )
+
+    visit(tree.root, np.asarray(tensor, dtype=np.float64))
+    if sorted(new_factors) != list(range(meta.ndim)):
+        raise AssertionError("tree execution did not produce every factor")
+    return new_factors
+
+
+def compute_core_sequential(
+    tensor: np.ndarray,
+    new_factors: Sequence[np.ndarray],
+    meta: TensorMeta,
+) -> np.ndarray:
+    """New core ``G~ = T x_1 F~_1^T ... x_N F~_N^T`` (optimal chain order)."""
+    order = optimal_chain_ordering(meta)
+    return ttm_chain(
+        np.asarray(tensor, dtype=np.float64),
+        [new_factors[m] for m in order],
+        order,
+        transpose=True,
+    )
+
+
+def execute_tree_distributed(
+    dtensor: DistTensor,
+    factors: Sequence[np.ndarray],
+    plan: Plan,
+    *,
+    tag: str = "hooi",
+) -> dict[int, np.ndarray]:
+    """Run one invocation's TTM component + SVDs on the engine.
+
+    ``dtensor`` must be distributed on ``plan.initial_grid``. Factor inputs
+    and outputs are replicated (they are small; the paper keeps a copy per
+    processor). Communication lands in the cluster ledger with tags
+    ``{tag}:ttm...``, ``{tag}:regrid...`` and ``{tag}:svd...``.
+    """
+    meta = plan.meta
+    factors = _check_factors(factors, meta)
+    if dtensor.global_shape != meta.dims:
+        raise ValueError(
+            f"tensor shape {dtensor.global_shape} != plan dims {meta.dims}"
+        )
+    if dtensor.grid.shape != plan.initial_grid:
+        raise ValueError(
+            f"tensor grid {dtensor.grid.shape} != plan initial grid "
+            f"{plan.initial_grid}; distribute (or regrid) first"
+        )
+    tree = plan.tree
+    scheme = plan.scheme
+    new_factors: dict[int, np.ndarray] = {}
+
+    def visit(node: Node, x: DistTensor) -> None:
+        for child in node.children:
+            if child.kind == "ttm":
+                want = scheme.grid_of(child.uid)
+                x_child = regrid(x, want, tag=f"{tag}:regrid:n{child.uid}")
+                y = dist_ttm(
+                    x_child,
+                    factors[child.mode].T,
+                    child.mode,
+                    tag=f"{tag}:ttm:n{child.uid}",
+                )
+                visit(child, y)
+            else:
+                new_factors[child.mode] = dist_leading_factor(
+                    x, child.mode, meta.core[child.mode],
+                    tag=f"{tag}:svd:m{child.mode}",
+                )
+
+    visit(tree.root, dtensor)
+    if sorted(new_factors) != list(range(meta.ndim)):
+        raise AssertionError("tree execution did not produce every factor")
+    return new_factors
+
+
+def compute_core_distributed(
+    dtensor: DistTensor,
+    new_factors: Sequence[np.ndarray],
+    meta: TensorMeta,
+    *,
+    core_order: Sequence[int] | None = None,
+    core_scheme: Sequence[Sequence[int]] | None = None,
+    tag: str = "core",
+) -> DistTensor:
+    """Distributed new-core chain.
+
+    With ``core_scheme`` (one grid per chain position, from the plan), the
+    tensor is regridded ahead of the steps that ask for it — the dynamic
+    algorithm's path-DP gridding. Without it, the chain stays on the
+    tensor's current grid.
+    """
+    order = list(core_order) if core_order else optimal_chain_ordering(meta)
+    current = dtensor
+    for i, mode in enumerate(order):
+        if core_scheme is not None:
+            current = regrid(
+                current, tuple(core_scheme[i]), tag=f"{tag}:regrid{i}"
+            )
+        current = dist_ttm(
+            current, new_factors[mode].T, mode, tag=f"{tag}:ttm{mode}"
+        )
+    return current

@@ -1,0 +1,21 @@
+"""Simulated MPI substrate.
+
+The paper runs on a 32-node IBM BG/Q with MPI; that hardware (and ``mpi4py``)
+is unavailable here, so this subpackage provides a **deterministic in-process
+virtual cluster**: :class:`~repro.mpi.comm.SimCluster` executes the same
+collective algorithms a distributed HOOI engine uses (reduce-scatter,
+all-to-all-v, all-gather, all-reduce, broadcast) on real NumPy blocks, while
+recording exact per-operation communication volume and modeled time under an
+alpha-beta :class:`~repro.mpi.machine.MachineModel`.
+
+The paper's two optimization metrics — FLOP load and communication volume —
+are machine-independent; the virtual cluster reproduces them exactly.
+Modeled time uses a BG/Q-like preset so that relative comparisons ("who wins,
+by what factor") carry over.
+"""
+
+from repro.mpi.machine import MachineModel
+from repro.mpi.stats import Record, StatsLedger
+from repro.mpi.comm import SimCluster
+
+__all__ = ["MachineModel", "Record", "StatsLedger", "SimCluster"]

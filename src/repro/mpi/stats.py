@@ -1,0 +1,150 @@
+"""Ledger of communication and computation events.
+
+Every collective executed by :class:`repro.mpi.comm.SimCluster` and every
+modeled compute kernel appends a :class:`Record`. The benchmark harness then
+aggregates volumes and modeled times per *tag* — tags follow a
+``"component:detail"`` convention, e.g. ``"ttm:mode3"``, ``"regrid:node7"``,
+``"svd:gram"``, ``"core:chain"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+
+@dataclass(frozen=True)
+class Record:
+    """One communication or computation event.
+
+    Attributes
+    ----------
+    category: ``"comm"`` or ``"compute"``.
+    op: operation name (``"reduce_scatter"``, ``"alltoallv"``, ``"gemm"``...).
+    tag: caller-supplied label for aggregation.
+    group_size: number of ranks participating (1 for compute).
+    elements: total elements moved across the group (0 for compute). This is
+        the paper's "communication volume" unit.
+    flops: total multiply-adds (0 for comm).
+    seconds: modeled critical-path time of the event.
+    """
+
+    category: str
+    op: str
+    tag: str
+    group_size: int = 1
+    elements: float = 0.0
+    flops: float = 0.0
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.category not in ("comm", "compute"):
+            raise ValueError(f"bad category {self.category!r}")
+        if self.group_size < 1:
+            raise ValueError("group_size must be >= 1")
+        if self.elements < 0 or self.flops < 0 or self.seconds < 0:
+            raise ValueError("elements/flops/seconds must be non-negative")
+
+
+class StatsLedger:
+    """Append-only list of :class:`Record` with aggregation helpers."""
+
+    def __init__(self) -> None:
+        self._records: list[Record] = []
+
+    # -- recording ------------------------------------------------------ #
+
+    def add(self, record: Record) -> None:
+        self._records.append(record)
+
+    def add_comm(
+        self, op: str, tag: str, group_size: int, elements: float, seconds: float
+    ) -> None:
+        self.add(
+            Record(
+                category="comm",
+                op=op,
+                tag=tag,
+                group_size=group_size,
+                elements=elements,
+                seconds=seconds,
+            )
+        )
+
+    def add_compute(self, op: str, tag: str, flops: float, seconds: float) -> None:
+        self.add(
+            Record(category="compute", op=op, tag=tag, flops=flops, seconds=seconds)
+        )
+
+    # -- access ---------------------------------------------------------- #
+
+    @property
+    def records(self) -> tuple[Record, ...]:
+        return tuple(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def merge(self, other: "StatsLedger") -> None:
+        """Append all records of ``other`` (used when composing phases)."""
+        self._records.extend(other.records)
+
+    # -- aggregation ----------------------------------------------------- #
+
+    def _select(
+        self,
+        category: str | None = None,
+        op: str | None = None,
+        tag_prefix: str | None = None,
+    ) -> Iterable[Record]:
+        for r in self._records:
+            if category is not None and r.category != category:
+                continue
+            if op is not None and r.op != op:
+                continue
+            if tag_prefix is not None and not r.tag.startswith(tag_prefix):
+                continue
+            yield r
+
+    def volume(self, op: str | None = None, tag_prefix: str | None = None) -> float:
+        """Total communication volume (elements) over matching records."""
+        return sum(r.elements for r in self._select("comm", op, tag_prefix))
+
+    def flops(self, tag_prefix: str | None = None) -> float:
+        """Total multiply-adds over matching compute records."""
+        return sum(r.flops for r in self._select("compute", None, tag_prefix))
+
+    def comm_seconds(
+        self, op: str | None = None, tag_prefix: str | None = None
+    ) -> float:
+        return sum(r.seconds for r in self._select("comm", op, tag_prefix))
+
+    def compute_seconds(self, tag_prefix: str | None = None) -> float:
+        return sum(r.seconds for r in self._select("compute", None, tag_prefix))
+
+    def total_seconds(self, tag_prefix: str | None = None) -> float:
+        return sum(r.seconds for r in self._select(None, None, tag_prefix))
+
+    def by_tag_prefix(
+        self, key: Callable[[str], str] = lambda tag: tag.split(":", 1)[0]
+    ) -> dict[str, dict[str, float]]:
+        """Aggregate volume/flops/seconds keyed by ``key(tag)``.
+
+        Default key takes the component part of ``component:detail`` tags.
+        """
+        out: dict[str, dict[str, float]] = {}
+        for r in self._records:
+            slot = out.setdefault(
+                key(r.tag),
+                {"volume": 0.0, "flops": 0.0, "comm_seconds": 0.0, "compute_seconds": 0.0},
+            )
+            if r.category == "comm":
+                slot["volume"] += r.elements
+                slot["comm_seconds"] += r.seconds
+            else:
+                slot["flops"] += r.flops
+                slot["compute_seconds"] += r.seconds
+        return out

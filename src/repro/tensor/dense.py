@@ -1,0 +1,47 @@
+"""Small helpers over plain ndarrays treated as dense tensors."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def cardinality(dims: Sequence[int]) -> int:
+    """Number of elements ``|T|`` of a tensor with the given shape.
+
+    Exact integer arithmetic — benchmark tensors reach 8e9 elements, beyond
+    float32 exactness and worth keeping exact for volume formulas.
+    """
+    return math.prod(int(d) for d in dims)
+
+
+def num_fibers(dims: Sequence[int], mode: int) -> int:
+    """Number of mode-``mode`` fibers: ``|T| / L_mode`` (paper section 2.1)."""
+    dims = tuple(int(d) for d in dims)
+    return cardinality(dims) // dims[mode]
+
+
+def fro_norm(tensor: np.ndarray) -> float:
+    """Frobenius norm of a dense tensor."""
+    return float(np.linalg.norm(np.asarray(tensor).ravel()))
+
+
+def relative_error(original: np.ndarray, recovered: np.ndarray) -> float:
+    """Normalized root-mean-square error ``||T - Z|| / ||T||``.
+
+    This is the paper's decomposition error metric (section 2.2). Returns 0
+    for two all-zero tensors and raises if shapes disagree.
+    """
+    original = np.asarray(original)
+    recovered = np.asarray(recovered)
+    if original.shape != recovered.shape:
+        raise ValueError(
+            f"shape mismatch: {original.shape} vs {recovered.shape}"
+        )
+    denom = fro_norm(original)
+    diff = fro_norm(original - recovered)
+    if denom == 0.0:
+        return 0.0 if diff == 0.0 else float("inf")
+    return diff / denom

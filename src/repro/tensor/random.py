@@ -1,0 +1,124 @@
+"""Synthetic tensor generators.
+
+The paper fills its benchmark tensors with random data (section 6.1) because
+HOOI's cost depends only on metadata. For *correctness* experiments we also
+need tensors with genuine low multilinear rank so that Tucker compression is
+meaningful; :func:`random_tucker`, :func:`low_rank_tensor` and
+:func:`separable_field_tensor` provide those (the last mimics smooth
+combustion-simulation fields: sums of separable Gaussian bumps over a grid,
+the structure that makes tensors like SP/HCCI compressible).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.tensor.ttm import ttm_chain
+from repro.util.validation import check_core_dims, check_dims
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_tensor(
+    dims: Sequence[int], seed: int | np.random.Generator | None = 0
+) -> np.ndarray:
+    """Uniform(-1, 1) dense tensor of the given shape (float64)."""
+    dims = check_dims(dims)
+    return _rng(seed).uniform(-1.0, 1.0, size=dims)
+
+
+def random_orthonormal(
+    rows: int, cols: int, seed: int | np.random.Generator | None = 0
+) -> np.ndarray:
+    """A ``rows x cols`` matrix with orthonormal columns (Haar-ish via QR)."""
+    if cols > rows:
+        raise ValueError(f"cols ({cols}) must be <= rows ({rows})")
+    q, r = np.linalg.qr(_rng(seed).standard_normal((rows, cols)))
+    # Fix QR sign ambiguity so the distribution is rotation invariant.
+    return q * np.sign(np.where(np.diag(r) == 0, 1.0, np.diag(r)))
+
+
+def random_tucker(
+    dims: Sequence[int],
+    core_dims: Sequence[int],
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Random core + orthonormal factors: the ingredients of a Tucker model.
+
+    Returns ``(core, factors)`` with ``factors[n]`` of shape ``L_n x K_n``.
+    """
+    dims = check_dims(dims)
+    core_dims = check_core_dims(core_dims, dims)
+    rng = _rng(seed)
+    core = rng.standard_normal(core_dims)
+    factors = [random_orthonormal(ell, k, rng) for ell, k in zip(dims, core_dims)]
+    return core, factors
+
+
+def low_rank_tensor(
+    dims: Sequence[int],
+    core_dims: Sequence[int],
+    noise: float = 0.0,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """An (approximately) low-multilinear-rank tensor.
+
+    ``T = G x_1 F_1 ... x_N F_N + noise * E`` where ``E`` has unit Frobenius
+    norm scaled to the signal's norm; with ``noise=0`` the exact multilinear
+    rank is at most ``core_dims``.
+    """
+    dims = check_dims(dims)
+    core_dims = check_core_dims(core_dims, dims)
+    if noise < 0:
+        raise ValueError(f"noise must be >= 0, got {noise}")
+    rng = _rng(seed)
+    core, factors = random_tucker(dims, core_dims, rng)
+    signal = ttm_chain(core, factors, list(range(len(dims))))
+    if noise == 0.0:
+        return signal
+    e = rng.standard_normal(dims)
+    e *= np.linalg.norm(signal.ravel()) / np.linalg.norm(e.ravel())
+    return signal + noise * e
+
+
+def separable_field_tensor(
+    dims: Sequence[int],
+    n_bumps: int = 6,
+    noise: float = 1e-3,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Smooth synthetic "simulation field": a sum of separable Gaussians.
+
+    Mimics the structure of combustion-simulation tensors (HCCI/TJLR/SP in
+    the paper): smooth spatial variation makes every unfolding numerically
+    low-rank, so Tucker achieves large compression at small error. Each bump
+    contributes ``prod_n exp(-(x_n - c_n)^2 / (2 s_n^2))``.
+    """
+    dims = check_dims(dims)
+    if n_bumps < 1:
+        raise ValueError(f"n_bumps must be >= 1, got {n_bumps}")
+    rng = _rng(seed)
+    out = np.zeros(dims)
+    for _ in range(n_bumps):
+        weight = rng.uniform(0.5, 2.0)
+        factors_1d = []
+        for ell in dims:
+            grid = np.linspace(0.0, 1.0, ell)
+            center = rng.uniform(0.2, 0.8)
+            width = rng.uniform(0.08, 0.35)
+            factors_1d.append(np.exp(-((grid - center) ** 2) / (2 * width**2)))
+        bump = factors_1d[0]
+        for f in factors_1d[1:]:
+            bump = np.multiply.outer(bump, f)
+        out += weight * bump
+    if noise > 0:
+        e = rng.standard_normal(dims)
+        e *= np.linalg.norm(out.ravel()) / max(np.linalg.norm(e.ravel()), 1e-300)
+        out += noise * e
+    return out

@@ -1,0 +1,97 @@
+"""Sequential tensor-times-matrix products.
+
+``Z = T x_n A`` applies the linear map ``A`` (shape ``K x L_n``) to every
+mode-n fiber: ``Z_(n) = A @ T_(n)`` (paper section 2.1). The cost is
+``K * |T|`` multiply-adds; the output has the same shape as ``T`` except
+``L_n -> K``.
+
+The implementation avoids an explicit unfolding copy exactly as the
+distributed engine does (paper section 5 credits Austin et al.'s blocking
+strategy): ``moveaxis`` produces a view and the single ``reshape`` of that
+view is the only data movement before the dgemm.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.util.validation import check_mode
+
+
+def ttm(tensor: np.ndarray, matrix: np.ndarray, mode: int) -> np.ndarray:
+    """Multiply ``tensor`` by ``matrix`` along ``mode``.
+
+    Parameters
+    ----------
+    tensor: ndarray of shape ``(L_0, ..., L_{N-1})``.
+    matrix: ndarray of shape ``(K, L_mode)``.
+    mode: 0-based mode index.
+
+    Returns
+    -------
+    ndarray with ``L_mode`` replaced by ``K``, C-contiguous.
+    """
+    tensor = np.asarray(tensor)
+    matrix = np.asarray(matrix)
+    mode = check_mode(mode, tensor.ndim)
+    if matrix.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {matrix.shape}")
+    if matrix.shape[1] != tensor.shape[mode]:
+        raise ValueError(
+            f"matrix columns ({matrix.shape[1]}) must equal tensor length "
+            f"along mode {mode} ({tensor.shape[mode]})"
+        )
+    moved = np.moveaxis(tensor, mode, 0)
+    flat = moved.reshape(tensor.shape[mode], -1)
+    out_flat = matrix @ flat
+    out_shape = (matrix.shape[0],) + moved.shape[1:]
+    return np.ascontiguousarray(
+        np.moveaxis(out_flat.reshape(out_shape), 0, mode)
+    )
+
+
+def ttm_chain(
+    tensor: np.ndarray,
+    matrices: Sequence[np.ndarray | None],
+    modes: Sequence[int] | None = None,
+    *,
+    transpose: bool = False,
+    skip: int | None = None,
+) -> np.ndarray:
+    """Multiply along several distinct modes (the TTM-chain of section 2.1).
+
+    Parameters
+    ----------
+    tensor: input tensor.
+    matrices: one matrix per entry of ``modes``; entries may be ``None`` to
+        skip a mode when ``modes`` is ``None`` (the convenient HOOI calling
+        convention: pass all N factor matrices and ``skip=n``).
+    modes: modes to multiply along; default ``range(ndim)``.
+    transpose: if True multiply by ``matrix.T`` (HOOI multiplies by the
+        factor transposes ``F_j^T``).
+    skip: optional mode to leave out (HOOI's "all modes except n").
+
+    The chain is evaluated in the order given; commutativity (paper
+    section 2.1) guarantees the result is order-independent, which the
+    property tests verify.
+    """
+    tensor = np.asarray(tensor)
+    if modes is None:
+        modes = list(range(tensor.ndim))
+    modes = [check_mode(m, tensor.ndim) for m in modes]
+    if len(modes) != len(set(modes)):
+        raise ValueError(f"modes must be distinct, got {modes}")
+    if len(matrices) != len(modes):
+        raise ValueError(
+            f"need one matrix per mode: {len(matrices)} matrices, {len(modes)} modes"
+        )
+    out = tensor
+    for matrix, mode in zip(matrices, modes):
+        if mode == skip:
+            continue
+        if matrix is None:
+            raise ValueError(f"matrix for mode {mode} is None and not skipped")
+        out = ttm(out, matrix.T if transpose else matrix, mode)
+    return out

@@ -1,0 +1,45 @@
+"""Mode-n unfolding and its inverse.
+
+The mode-n unfolding ``T_(n)`` is the ``L_n x (|T| / L_n)`` matrix whose
+columns are the mode-n fibers of ``T`` (paper section 2.1). The column order
+is a fixed lexicographic convention; the paper notes the details are not
+crucial as long as unfold/fold are mutually inverse, which the tests enforce.
+We use the convention ``moveaxis(T, n, 0).reshape(L_n, -1)`` (row-major over
+the remaining modes in their original order), matching Kolda & Bader up to a
+permutation of columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_mode
+
+
+def unfold(tensor: np.ndarray, mode: int) -> np.ndarray:
+    """Return the mode-``mode`` unfolding of ``tensor``.
+
+    The result is a view when possible, otherwise a copy (``reshape`` after
+    ``moveaxis`` generally copies for mode != 0).
+    """
+    tensor = np.asarray(tensor)
+    mode = check_mode(mode, tensor.ndim)
+    return np.moveaxis(tensor, mode, 0).reshape(tensor.shape[mode], -1)
+
+
+def fold(matrix: np.ndarray, mode: int, dims: tuple[int, ...]) -> np.ndarray:
+    """Inverse of :func:`unfold`: rebuild a tensor of shape ``dims``.
+
+    ``matrix`` must have shape ``(dims[mode], prod(dims)/dims[mode])``.
+    """
+    matrix = np.asarray(matrix)
+    dims = tuple(int(d) for d in dims)
+    mode = check_mode(mode, len(dims))
+    expected = (dims[mode], int(np.prod(dims, dtype=np.int64)) // dims[mode])
+    if matrix.shape != expected:
+        raise ValueError(
+            f"matrix shape {matrix.shape} incompatible with dims {dims} and "
+            f"mode {mode}; expected {expected}"
+        )
+    moved_shape = (dims[mode],) + tuple(d for i, d in enumerate(dims) if i != mode)
+    return np.moveaxis(matrix.reshape(moved_shape), 0, mode)

@@ -1,0 +1,37 @@
+"""Shared utilities: integer combinatorics, validation, serialization.
+
+These helpers are deliberately dependency-light; every other subpackage may
+import from :mod:`repro.util` but not vice versa.
+"""
+
+from repro.util.partitions import (
+    prime_factorization,
+    divisors,
+    ordered_factorizations,
+    count_ordered_factorizations,
+    iter_submasks,
+    iter_nonempty_proper_submasks,
+    multisets,
+    balanced_split,
+)
+from repro.util.validation import (
+    check_positive_int,
+    check_dims,
+    check_core_dims,
+    check_mode,
+)
+
+__all__ = [
+    "prime_factorization",
+    "divisors",
+    "ordered_factorizations",
+    "count_ordered_factorizations",
+    "iter_submasks",
+    "iter_nonempty_proper_submasks",
+    "multisets",
+    "balanced_split",
+    "check_positive_int",
+    "check_dims",
+    "check_core_dims",
+    "check_mode",
+]

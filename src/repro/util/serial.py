@@ -1,0 +1,39 @@
+"""Minimal JSON (de)serialization helpers for planner artifacts.
+
+Plans (trees + grid schemes) are metadata-only and cheap to persist; the
+paper's planner "needs to be executed only once and the output can be used
+across multiple invocations of the HOOI procedure" (section 5). These helpers
+keep that workflow: ``plan.to_json()`` / ``Plan.from_json()`` round-trip
+through plain dicts built here.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+
+def dumps(obj: dict[str, Any]) -> str:
+    """Serialize a plain dict deterministically (sorted keys)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def loads(text: str) -> dict[str, Any]:
+    """Inverse of :func:`dumps`."""
+    obj = json.loads(text)
+    if not isinstance(obj, dict):
+        raise ValueError(f"expected a JSON object, got {type(obj).__name__}")
+    return obj
+
+
+def as_int_tuple(seq) -> tuple[int, ...]:
+    """Coerce a JSON array into a tuple of ints, validating element types."""
+    out = []
+    for x in seq:
+        if isinstance(x, bool) or not isinstance(x, int):
+            if isinstance(x, float) and x.is_integer():
+                x = int(x)
+            else:
+                raise ValueError(f"expected integer entries, got {x!r}")
+        out.append(int(x))
+    return tuple(out)

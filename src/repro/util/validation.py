@@ -1,0 +1,53 @@
+"""Argument validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def check_positive_int(value, name: str) -> int:
+    """Return ``value`` as int, raising ``ValueError`` unless it is >= 1."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        try:
+            ivalue = int(value)
+        except (TypeError, ValueError):
+            raise TypeError(f"{name} must be an integer, got {value!r}") from None
+        if ivalue != value:
+            raise TypeError(f"{name} must be an integer, got {value!r}")
+        value = ivalue
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return int(value)
+
+
+def check_dims(dims: Sequence[int], name: str = "dims") -> tuple[int, ...]:
+    """Validate a tensor shape: a non-empty sequence of positive ints."""
+    dims = tuple(check_positive_int(d, f"{name}[{i}]") for i, d in enumerate(dims))
+    if len(dims) == 0:
+        raise ValueError(f"{name} must be non-empty")
+    return dims
+
+
+def check_core_dims(
+    core: Sequence[int], dims: Sequence[int], name: str = "core"
+) -> tuple[int, ...]:
+    """Validate core dims against tensor dims: same length and K_n <= L_n."""
+    core = check_dims(core, name)
+    if len(core) != len(dims):
+        raise ValueError(
+            f"{name} must have the same length as dims: {len(core)} != {len(dims)}"
+        )
+    for n, (k, ell) in enumerate(zip(core, dims)):
+        if k > ell:
+            raise ValueError(
+                f"{name}[{n}] = {k} exceeds tensor length {ell} along mode {n}"
+            )
+    return core
+
+
+def check_mode(mode: int, ndim: int) -> int:
+    """Validate a 0-based mode index against the number of dimensions."""
+    mode = int(mode)
+    if not 0 <= mode < ndim:
+        raise ValueError(f"mode must be in [0, {ndim}), got {mode}")
+    return mode

@@ -1,0 +1,53 @@
+"""Tests for percentile curves."""
+
+import pytest
+
+from repro.bench.percentiles import curve_summary, percentile_curve
+
+
+class TestPercentileCurve:
+    def test_known_quantiles(self):
+        vals = list(range(101))  # 0..100
+        curve = percentile_curve(vals)
+        assert curve[0] == 0
+        assert curve[50] == 50
+        assert curve[100] == 100
+
+    def test_interpretation_matches_paper(self):
+        # "normalized time t at percentile k: for k% of tensors the value is
+        # less than t" -- i.e. at most ~k% of values lie strictly below.
+        vals = [1.0] * 60 + [4.7] * 40
+        curve = percentile_curve(vals)
+        assert curve[50] == 1.0
+        assert curve[70] == 4.7
+
+    def test_single_value(self):
+        assert percentile_curve([2.5])[0] == 2.5
+        assert percentile_curve([2.5])[100] == 2.5
+
+    def test_inf_sorts_last(self):
+        vals = [1.0, 2.0, float("inf")]
+        curve = percentile_curve(vals, points=(0, 50, 100))
+        assert curve[0] == 1.0
+        assert curve[50] == 2.0
+        assert curve[100] == float("inf")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile_curve([])
+
+    def test_bad_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            percentile_curve([1.0], points=(101,))
+
+
+class TestCurveSummary:
+    def test_basic(self):
+        s = curve_summary([1.0, 2.0, 3.0, 10.0])
+        assert s["min"] == 1.0
+        assert s["median"] == 2.5
+        assert s["max"] == 10.0
+
+    def test_ignores_inf_when_finite_exist(self):
+        s = curve_summary([1.0, 3.0, float("inf")])
+        assert s["max"] == 3.0

@@ -1,0 +1,38 @@
+"""Tests for plain-text report rendering."""
+
+import pytest
+
+from repro.bench.report import ascii_table, format_curve
+
+
+class TestAsciiTable:
+    def test_alignment_and_content(self):
+        out = ascii_table(["name", "v"], [["a", 1], ["long-name", 22]])
+        lines = out.splitlines()
+        assert "name" in lines[0] and "v" in lines[0]
+        assert lines[1].count("-") > 0
+        assert "long-name" in out and "22" in out
+
+    def test_title(self):
+        out = ascii_table(["x"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a", "b"], [[1]])
+
+
+class TestFormatCurve:
+    def test_renders_percentiles(self):
+        curves = {
+            "chain-k": {0: 1.0, 50: 4.7, 100: 7.0},
+            "opt": {0: 1.0, 50: 1.0, 100: 1.0},
+        }
+        out = format_curve(curves, title="Fig 10a")
+        assert "Fig 10a" in out
+        assert "4.70" in out
+        assert "chain-k" in out and "opt" in out
+
+    def test_inf_rendered(self):
+        out = format_curve({"a": {0: float("inf")}})
+        assert "inf" in out

@@ -1,0 +1,89 @@
+"""Tests for the FLOP cost model (paper section 3.1 / Figure 4)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.cost import node_costs, normalized_tree_cost, tree_cost
+from repro.core.meta import TensorMeta
+from repro.core.trees import chain_tree, balanced_tree
+
+
+class TestNodeCosts:
+    def test_two_mode_chain_by_hand(self):
+        # T: 10x20, core 2x4. Chain tree: two chains of one TTM each.
+        # Chain for F~1: multiply mode 0: cost K0*|T| = 2*200 = 400,
+        # output card = 2*20 = 40. Chain for F~0: K1*|T| = 4*200 = 800.
+        m = TensorMeta(dims=(10, 20), core=(2, 4))
+        t = chain_tree(2)
+        assert tree_cost(t, m) == 400 + 800
+
+    def test_card_flow_top_down(self):
+        m = TensorMeta(dims=(8, 6, 4), core=(2, 3, 2))
+        t = chain_tree(3)
+        costs = node_costs(t, m)
+        for node in t.internal_nodes():
+            parent = t.parent(node)
+            assert costs[node.uid]["in_card"] == costs[parent.uid]["out_card"]
+            assert (
+                costs[node.uid]["flops"]
+                == m.core[node.mode] * costs[node.uid]["in_card"]
+            )
+
+    def test_root_and_leaf_have_zero_flops(self):
+        m = TensorMeta(dims=(8, 6), core=(2, 3))
+        t = chain_tree(2)
+        costs = node_costs(t, m)
+        assert costs[t.root.uid]["flops"] == 0
+        for leaf in t.leaves():
+            assert costs[leaf.uid]["flops"] == 0
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="modes"):
+            node_costs(chain_tree(3), TensorMeta(dims=(4, 4), core=(2, 2)))
+
+
+class TestTreeCost:
+    def test_normalized(self):
+        m = TensorMeta(dims=(10, 20), core=(2, 4))
+        t = chain_tree(2)
+        assert normalized_tree_cost(t, m) == pytest.approx(1200 / 200)
+
+    def test_chain_ordering_changes_cost(self):
+        # putting the highly-compressing cheap mode first must help
+        m = TensorMeta(dims=(100, 10), core=(2, 9))
+        cheap_first = chain_tree(2)  # order (0, 1): irrelevant for N=2
+        assert tree_cost(cheap_first, m) > 0
+
+    def test_balanced_cheaper_than_chain_generic(self):
+        # reuse should pay off on a generic 5-D instance
+        m = TensorMeta(dims=(20, 20, 20, 20, 20), core=(4, 4, 4, 4, 4))
+        assert tree_cost(balanced_tree(5), m) < tree_cost(chain_tree(5), m)
+
+    @given(st.integers(min_value=0, max_value=999))
+    def test_cost_is_positive_and_exact_int(self, seed):
+        import random
+
+        r = random.Random(seed)
+        dims = tuple(r.choice([4, 6, 8, 12]) for _ in range(4))
+        core = tuple(max(1, d // r.choice([2, 3, 4])) for d in dims)
+        m = TensorMeta(dims=dims, core=core)
+        c = tree_cost(chain_tree(4), m)
+        assert isinstance(c, int) and c > 0
+
+    def test_figure4_style_accounting(self):
+        # Verify the "cost = K_n x parent card, card shrinks by h_n" rule on
+        # a two-level path: root -> x0 -> x1 -> leaf2 (N=3 chain for F~2).
+        m = TensorMeta(dims=(10, 8, 6), core=(5, 2, 3))
+        t = chain_tree(3)  # first chain: x0 -> x1 -> F~2? natural order:
+        # chains are per target mode; find the chain ending in F~2
+        costs = node_costs(t, m)
+        # locate leaf 2 and walk up
+        leaf2 = next(l for l in t.leaves() if l.mode == 2)
+        x1 = t.parent(leaf2)
+        x0 = t.parent(x1)
+        assert (x0.mode, x1.mode) == (0, 1)
+        assert costs[x0.uid]["flops"] == 5 * 480  # K0 * |T|
+        assert costs[x0.uid]["out_card"] == 5 * 8 * 6
+        assert costs[x1.uid]["flops"] == 2 * 240
+        assert costs[x1.uid]["out_card"] == 5 * 2 * 6

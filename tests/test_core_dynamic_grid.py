@@ -1,0 +1,174 @@
+"""Tests for the optimal dynamic gridding DP (paper section 4.4)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dynamic_grid import (
+    GridScheme,
+    brute_force_dynamic_volume,
+    optimal_dynamic_scheme,
+    optimal_path_scheme,
+    static_scheme,
+)
+from repro.core.meta import TensorMeta
+from repro.core.opt_tree import optimal_tree
+from repro.core.ordering import optimal_chain_ordering
+from repro.core.static_grid import optimal_static_grid
+from repro.core.trees import balanced_tree, chain_tree
+from repro.core.volume import scheme_volume
+
+
+def random_meta(seed: int, n: int = 3) -> TensorMeta:
+    r = random.Random(seed)
+    dims = tuple(r.choice([6, 8, 12]) for _ in range(n))
+    core = tuple(max(2, d // r.choice([2, 3])) for d in dims)
+    return TensorMeta(dims=dims, core=core)
+
+
+class TestOptimality:
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=10)
+    def test_matches_brute_force_tiny(self, seed):
+        m = random_meta(seed, n=3)
+        t = optimal_tree(m)
+        scheme = optimal_dynamic_scheme(t, m, 4)
+        assert scheme.total_volume == brute_force_dynamic_volume(t, m, 4)
+
+    def test_matches_brute_force_chain_tree(self):
+        m = TensorMeta(dims=(8, 6, 4), core=(4, 3, 2))
+        t = chain_tree(3)
+        scheme = optimal_dynamic_scheme(t, m, 4)
+        assert scheme.total_volume == brute_force_dynamic_volume(t, m, 4)
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=25)
+    def test_never_worse_than_optimal_static(self, seed):
+        # static schemes are a subset of dynamic schemes
+        m = random_meta(seed, n=4)
+        t = optimal_tree(m)
+        _, static_vol = optimal_static_grid(t, m, 8)
+        dyn = optimal_dynamic_scheme(t, m, 8)
+        assert dyn.total_volume <= static_vol
+
+    def test_reported_volume_matches_recount(self):
+        m = random_meta(5, n=4)
+        t = balanced_tree(4)
+        s = optimal_dynamic_scheme(t, m, 8)
+        ttm, regrid = scheme_volume(t, m, s.assignment)
+        assert (ttm, regrid) == (s.ttm_volume, s.regrid_volume)
+
+    def test_paper_figure9_flavour(self):
+        # a mode with large K attracts all ranks; the initial grid should be
+        # concentrated to make early TTMs free, with regrids downstream.
+        m = TensorMeta(dims=(64, 64, 64, 64), core=(8, 8, 8, 64))
+        t = chain_tree(4)
+        s = optimal_dynamic_scheme(t, m, 64)
+        ttm, regrid = s.ttm_volume, s.regrid_volume
+        _, static_vol = optimal_static_grid(t, m, 64)
+        assert ttm + regrid < static_vol
+
+
+class TestRegridCostScale:
+    def test_zero_scale_ignores_regrid_price(self):
+        m = random_meta(1, n=3)
+        t = optimal_tree(m)
+        free = optimal_dynamic_scheme(t, m, 4, regrid_cost_scale=0.0)
+        # with free regrids, every TTM can run on its best grid: TTM volume
+        # must be minimal over all schemes
+        normal = optimal_dynamic_scheme(t, m, 4)
+        assert free.ttm_volume <= normal.ttm_volume
+
+    def test_huge_scale_means_static(self):
+        m = random_meta(2, n=3)
+        t = optimal_tree(m)
+        s = optimal_dynamic_scheme(t, m, 4, regrid_cost_scale=1e12)
+        assert s.regrid_volume == 0
+        _, static_vol = optimal_static_grid(t, m, 4)
+        assert s.ttm_volume == static_vol
+
+    def test_negative_scale_rejected(self):
+        m = random_meta(3)
+        with pytest.raises(ValueError):
+            optimal_dynamic_scheme(optimal_tree(m), m, 4, regrid_cost_scale=-1)
+
+
+class TestStaticScheme:
+    def test_wraps_grid(self):
+        m = random_meta(4, n=3)
+        t = chain_tree(3)
+        grid, vol = optimal_static_grid(t, m, 4)
+        s = static_scheme(t, m, grid)
+        assert s.ttm_volume == vol and s.regrid_volume == 0
+        assert s.regrid_nodes == ()
+        assert s.grid_of(t.root.uid) == grid
+
+
+class TestGridSchemeSerialization:
+    def test_roundtrip(self):
+        m = random_meta(6, n=3)
+        t = optimal_tree(m)
+        s = optimal_dynamic_scheme(t, m, 4)
+        s2 = GridScheme.from_dict(s.to_dict())
+        assert s2.assignment == s.assignment
+        assert s2.total_volume == s.total_volume
+        assert s2.regrid_nodes == s.regrid_nodes
+
+
+class TestPathScheme:
+    def test_path_dp_never_worse_than_static_chain(self):
+        for seed in range(20):
+            m = random_meta(seed, n=4)
+            order = optimal_chain_ordering(m)
+            t = optimal_tree(m)
+            s = optimal_dynamic_scheme(t, m, 8)
+            init = s.grid_of(t.root.uid)
+            grids, ttm, regrid = optimal_path_scheme(m, order, init, 8)
+            # static alternative: stay on init
+            premult = 0
+            static_cost = 0
+            for mode in order:
+                premult |= 1 << mode
+                static_cost += (init[mode] - 1) * m.card_after(premult)
+            assert ttm + regrid <= static_cost
+            assert len(grids) == m.ndim
+
+    def test_path_dp_brute_force_tiny(self):
+        from itertools import product
+
+        m = TensorMeta(dims=(6, 6, 6), core=(3, 2, 2))
+        order = [0, 1, 2]
+        from repro.core.grids import valid_grids
+
+        grids = valid_grids(4, m)
+        init = grids[0]
+        _, ttm, regrid = optimal_path_scheme(m, order, init, 4)
+        # brute force over all grid assignments along the path
+        best = None
+        cards = [m.cardinality]
+        premult = 0
+        for mode in order:
+            premult |= 1 << mode
+            cards.append(m.card_after(premult))
+        for combo in product(grids, repeat=3):
+            cost = 0
+            prev = init
+            for i, mode in enumerate(order):
+                if combo[i] != prev:
+                    cost += cards[i]
+                cost += (combo[i][mode] - 1) * cards[i + 1]
+                prev = combo[i]
+            best = cost if best is None else min(best, cost)
+        assert ttm + regrid == best
+
+    def test_invalid_initial_grid_rejected(self):
+        m = TensorMeta(dims=(6, 6), core=(3, 2))
+        with pytest.raises(ValueError, match="valid"):
+            optimal_path_scheme(m, [0, 1], (6, 1), 6)
+
+    def test_bad_order_rejected(self):
+        m = TensorMeta(dims=(6, 6), core=(3, 2))
+        with pytest.raises(ValueError, match="permutation"):
+            optimal_path_scheme(m, [0, 0], (3, 2), 6)

@@ -1,0 +1,46 @@
+"""Tests for the exhaustive tree enumerator."""
+
+from repro.core.cost import tree_cost
+from repro.core.enumerate_trees import brute_force_optimal_cost, enumerate_trees
+from repro.core.meta import TensorMeta
+from repro.core.trees import balanced_tree, chain_tree
+
+
+class TestEnumeration:
+    def test_n1(self):
+        trees = list(enumerate_trees(1))
+        assert len(trees) == 1
+        assert trees[0].n_ttm_ops == 0
+
+    def test_n2_single_tree(self):
+        # only one structure: two independent single-TTM chains
+        trees = list(enumerate_trees(2))
+        assert len(trees) == 1
+        assert trees[0].n_ttm_ops == 2
+
+    def test_all_valid_and_distinct(self):
+        seen = set()
+        for t in enumerate_trees(3):
+            t.validate()
+            key = str(sorted(str(t.to_dict())))
+            key = str(t.to_dict())
+            assert key not in seen
+            seen.add(key)
+        assert len(seen) >= 6  # several distinct 3-mode trees exist
+
+    def test_contains_chain_and_balanced_costs(self):
+        # enumeration must reach cost levels of known constructions
+        m = TensorMeta(dims=(8, 6, 4, 9), core=(2, 3, 2, 3))
+        costs = {tree_cost(t, m) for t in enumerate_trees(4)}
+        assert tree_cost(chain_tree(4), m) in costs
+        assert tree_cost(balanced_tree(4), m) in costs
+
+    def test_limit_respected(self):
+        assert len(list(enumerate_trees(4, limit=10))) == 10
+
+
+class TestBruteForce:
+    def test_minimum_over_enumeration(self):
+        m = TensorMeta(dims=(9, 6, 4), core=(3, 2, 2))
+        best = brute_force_optimal_cost(m)
+        assert best == min(tree_cost(t, m) for t in enumerate_trees(3))

@@ -1,0 +1,105 @@
+"""Tests for grid enumeration, validity and the SVD regrid target."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.grids import (
+    enumerate_grids,
+    is_valid_grid,
+    psi,
+    svd_regrid_target,
+    valid_grids,
+)
+from repro.core.meta import TensorMeta
+
+
+class TestPsi:
+    def test_matches_enumeration(self):
+        for p in (1, 2, 6, 32, 60):
+            for n in (1, 2, 3, 4):
+                assert psi(p, n) == len(list(enumerate_grids(p, n)))
+
+    def test_paper_table1_row(self):
+        assert [psi(32, n) for n in range(5, 11)] == [
+            126, 252, 462, 792, 1287, 2002,
+        ]
+
+
+class TestValidity:
+    def test_constraint_q_le_k(self):
+        m = TensorMeta(dims=(10, 10, 10), core=(2, 5, 10))
+        assert is_valid_grid((2, 2, 2), m)
+        assert not is_valid_grid((4, 2, 1), m)  # q0 > K0
+        assert is_valid_grid((1, 5, 2), m)
+
+    def test_length_mismatch(self):
+        m = TensorMeta(dims=(4, 4), core=(2, 2))
+        with pytest.raises(ValueError):
+            is_valid_grid((2, 2, 1), m)
+
+    def test_valid_grids_sorted_and_complete(self):
+        m = TensorMeta(dims=(10, 10, 10), core=(4, 4, 4))
+        grids = valid_grids(8, m)
+        assert grids == sorted(grids)
+        for g in grids:
+            assert math.prod(g) == 8 and is_valid_grid(g, m)
+        # brute-force count
+        expected = [g for g in enumerate_grids(8, 3) if is_valid_grid(g, m)]
+        assert len(grids) == len(expected)
+
+    def test_no_valid_grid_raises(self):
+        m = TensorMeta(dims=(10, 10), core=(2, 2))
+        with pytest.raises(ValueError, match="no valid grid"):
+            valid_grids(8, m)  # 8 > 2*2
+
+
+class TestSvdRegridTarget:
+    def test_identity_when_already_one(self):
+        assert svd_regrid_target((1, 4, 2), (10, 10, 10), 0) == (1, 4, 2)
+
+    def test_moves_factor_off_mode(self):
+        g = svd_regrid_target((4, 2, 1), (10, 10, 10), 0)
+        assert g is not None
+        assert g[0] == 1 and math.prod(g) == 8
+        assert all(q <= ell for q, ell in zip(g, (10, 10, 10)))
+
+    def test_respects_length_caps(self):
+        # mode 1 capped at 2, mode 2 at 2: the 4 ranks from mode 0 must fit
+        g = svd_regrid_target((4, 1, 1), (10, 2, 2), 0)
+        assert g == (1, 2, 2)
+
+    def test_none_when_impossible(self):
+        assert svd_regrid_target((4, 1), (10, 3), 0) is None
+
+    def test_prefers_max_agreement(self):
+        # (2, 2, 2): removing mode 0's 2 should keep (1, 2, 2) pattern and
+        # push the factor where it agrees most -> one of (1,4,2)/(1,2,4);
+        # both agree on 1 position; lexicographic -> (1, 2, 4)
+        g = svd_regrid_target((2, 2, 2), (10, 10, 10), 0)
+        assert g == (1, 2, 4)
+
+    @given(st.integers(min_value=0, max_value=500))
+    def test_always_valid_when_found(self, seed):
+        import random
+
+        r = random.Random(seed)
+        n = r.choice([3, 4])
+        lengths = tuple(r.choice([2, 4, 8, 16]) for _ in range(n))
+        # build a random grid dividing 16 with q <= length
+        p = 16
+        grid = None
+        for cand in enumerate_grids(p, n):
+            if all(q <= ell for q, ell in zip(cand, lengths)) and r.random() < 0.3:
+                grid = cand
+                break
+        if grid is None:
+            return
+        mode = r.randrange(n)
+        target = svd_regrid_target(grid, lengths, mode)
+        if target is not None:
+            assert target[mode] == 1
+            assert math.prod(target) == p
+            assert all(q <= ell for q, ell in zip(target, lengths))

@@ -1,0 +1,68 @@
+"""Tests for TensorMeta."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.meta import TensorMeta
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = TensorMeta(dims=(10, 20), core=(2, 5))
+        assert m.ndim == 2
+        assert m.cardinality == 200
+        assert m.core_cardinality == 10
+
+    def test_rejects_core_larger_than_dims(self):
+        with pytest.raises(ValueError):
+            TensorMeta(dims=(10, 20), core=(11, 5))
+
+    def test_rejects_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            TensorMeta(dims=(10, 20), core=(2,))
+
+    def test_core_equal_dims_allowed(self):
+        m = TensorMeta(dims=(4, 4), core=(4, 4))
+        assert m.h(0) == 1
+
+
+class TestFactors:
+    def test_h_is_exact_fraction(self):
+        m = TensorMeta(dims=(400,), core=(320,))
+        assert m.h(0) == Fraction(4, 5)
+
+    def test_compression_ratio(self):
+        m = TensorMeta(dims=(100, 100), core=(10, 10))
+        stored = 100 + 2 * 1000
+        assert m.compression_ratio == pytest.approx(10000 / stored)
+
+
+class TestCardAfter:
+    def test_masks(self):
+        m = TensorMeta(dims=(10, 20, 30), core=(2, 4, 6))
+        assert m.card_after(0b000) == 6000
+        assert m.card_after(0b001) == 2 * 20 * 30
+        assert m.card_after(0b010) == 10 * 4 * 30
+        assert m.card_after(0b111) == 2 * 4 * 6
+
+    def test_shape_after(self):
+        m = TensorMeta(dims=(10, 20, 30), core=(2, 4, 6))
+        assert m.shape_after(0b101) == (2, 20, 6)
+
+    def test_monotone_compression(self):
+        m = TensorMeta(dims=(8, 9, 10), core=(2, 3, 4))
+        full = (1 << 3) - 1
+        for mask in range(full + 1):
+            for n in range(3):
+                if not (mask >> n) & 1:
+                    assert m.card_after(mask | (1 << n)) <= m.card_after(mask)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        m = TensorMeta(dims=(5, 6, 7), core=(2, 3, 4))
+        assert TensorMeta.from_dict(m.to_dict()) == m
+
+    def test_str(self):
+        assert str(TensorMeta(dims=(5, 6), core=(2, 3))) == "5x6 -> 2x3"

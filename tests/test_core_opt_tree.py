@@ -1,0 +1,142 @@
+"""Tests for the optimal-tree DP (paper section 3.3)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost import tree_cost
+from repro.core.enumerate_trees import brute_force_optimal_cost
+from repro.core.meta import TensorMeta
+from repro.core.opt_tree import optimal_tree, optimal_tree_cost
+from repro.core.ordering import h_ordering, k_ordering
+from repro.core.trees import balanced_tree, chain_tree
+
+
+def random_meta(seed: int, n: int = 4, dim_pool=(4, 6, 9, 12, 20)) -> TensorMeta:
+    r = random.Random(seed)
+    dims = tuple(r.choice(dim_pool) for _ in range(n))
+    core = tuple(max(1, d // r.choice([1, 2, 3, 4])) for d in dims)
+    return TensorMeta(dims=dims, core=core)
+
+
+class TestOptimality:
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=25)
+    def test_matches_brute_force_n3(self, seed):
+        m = random_meta(seed, n=3)
+        assert optimal_tree_cost(m) == brute_force_optimal_cost(m)
+
+    @given(st.integers(min_value=0, max_value=60))
+    @settings(max_examples=8)
+    def test_matches_brute_force_n4(self, seed):
+        m = random_meta(seed, n=4)
+        assert optimal_tree_cost(m) == brute_force_optimal_cost(m)
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=30)
+    def test_never_worse_than_heuristics(self, seed):
+        m = random_meta(seed, n=5)
+        opt = optimal_tree_cost(m)
+        assert opt <= tree_cost(chain_tree(5, k_ordering(m)), m)
+        assert opt <= tree_cost(chain_tree(5, h_ordering(m)), m)
+        assert opt <= tree_cost(balanced_tree(5), m)
+
+    def test_reconstructed_tree_cost_matches_table(self):
+        m = random_meta(7, n=5)
+        t = optimal_tree(m)
+        assert tree_cost(t, m) == optimal_tree_cost(m)
+
+    def test_returned_tree_is_valid(self):
+        for seed in range(5):
+            m = random_meta(seed, n=5)
+            optimal_tree(m).validate()
+
+
+class TestKnownInstances:
+    def test_paper_max_gain_tensor(self):
+        # the tensor the paper reports maximum overall gain on
+        m = TensorMeta(
+            dims=(400, 100, 100, 50, 20), core=(80, 80, 10, 40, 10)
+        )
+        opt = optimal_tree_cost(m)
+        assert opt == 350_400_000_000  # pinned regression value
+        assert opt < tree_cost(balanced_tree(5), m)
+
+    def test_single_mode(self):
+        m = TensorMeta(dims=(10,), core=(2,))
+        assert optimal_tree_cost(m) == 0
+        assert optimal_tree(m).n_ttm_ops == 0
+
+    def test_two_modes_cost_is_sum_of_singles(self):
+        # with N=2 no sharing is possible: cost = K0|T| + K1|T|
+        m = TensorMeta(dims=(10, 20), core=(3, 4))
+        assert optimal_tree_cost(m) == (3 + 4) * 200
+
+    def test_uniform_modes_prefer_reuse(self):
+        # all modes identical: optimal tree must beat independent chains
+        m = TensorMeta(dims=(20,) * 5, core=(4,) * 5)
+        assert optimal_tree_cost(m) < tree_cost(chain_tree(5), m)
+
+
+class TestPolicies:
+    def test_no_reuse_equals_best_chain_forest(self):
+        # no_reuse = independent chains with optimal per-chain orderings;
+        # verify by explicit chain-cost minimization over each target mode
+        from itertools import permutations
+
+        m = random_meta(11, n=4)
+
+        def chain_cost(order):
+            card, total = m.cardinality, 0
+            for mode in order:
+                total += m.core[mode] * card
+                card = card * m.core[mode] // m.dims[mode]
+            return total
+
+        expected = 0
+        for target in range(4):
+            others = [x for x in range(4) if x != target]
+            expected += min(chain_cost(p) for p in permutations(others))
+        assert optimal_tree_cost(m, policy="no_reuse") == expected
+
+    def test_policy_ordering(self):
+        # optimal <= eager_reuse <= ... and optimal <= no_reuse
+        for seed in range(10):
+            m = random_meta(seed, n=5)
+            opt = optimal_tree_cost(m)
+            assert opt <= optimal_tree_cost(m, policy="eager_reuse")
+            assert opt <= optimal_tree_cost(m, policy="no_reuse")
+
+    def test_eager_reuse_strictly_suboptimal_witness(self):
+        # The paper's section 3.3 remark: always reusing whenever R != 0 is
+        # incorrect — the optimal tree may postpone a high-cost mode until
+        # the tensor has shrunk. Pinned witness (found by search): eager
+        # reuse loses strictly.
+        m = TensorMeta(dims=(8, 4, 8, 100, 4), core=(2, 2, 4, 50, 4))
+        opt = optimal_tree_cost(m)
+        eager = optimal_tree_cost(m, policy="eager_reuse")
+        assert opt == 3_443_200
+        assert eager == 3_456_000
+        assert opt < eager
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            optimal_tree_cost(random_meta(0), policy="greedy")
+
+
+class TestBinaryLemma:
+    """Lemma 3.1: restricting to <=2-way splits loses nothing (the brute
+    force explores exactly the reuse/split grammar, so equality with the DP
+    on N=3/4 above is the lemma's computational check); additionally the
+    returned optimal trees must have at most 2 children per internal node
+    when built by the DP's binary grammar."""
+
+    def test_dp_trees_have_sibling_groups_of_two(self):
+        for seed in range(5):
+            m = random_meta(seed, n=5)
+            t = optimal_tree(m)
+            for node in t.nodes:
+                if node.kind != "leaf":
+                    assert 1 <= len(node.children) <= 2

@@ -1,0 +1,66 @@
+"""Tests for the optimal static grid search (paper section 4.2)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grids import valid_grids
+from repro.core.meta import TensorMeta
+from repro.core.static_grid import mode_output_weights, optimal_static_grid
+from repro.core.trees import balanced_tree, chain_tree
+from repro.core.volume import static_volume
+
+
+def random_meta(seed: int, n: int = 4) -> TensorMeta:
+    r = random.Random(seed)
+    dims = tuple(r.choice([6, 8, 12, 16]) for _ in range(n))
+    core = tuple(max(2, d // r.choice([2, 3])) for d in dims)
+    return TensorMeta(dims=dims, core=core)
+
+
+class TestModeWeights:
+    def test_linear_form_equals_direct_volume(self):
+        m = random_meta(0)
+        t = balanced_tree(4)
+        w = mode_output_weights(t, m)
+        for g in valid_grids(8, m):
+            assert static_volume(t, m, g) == sum(
+                (q - 1) * s for q, s in zip(g, w)
+            )
+
+
+class TestOptimalStaticGrid:
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=20)
+    def test_minimum_over_exhaustive_scan(self, seed):
+        m = random_meta(seed)
+        t = chain_tree(4)
+        grid, vol = optimal_static_grid(t, m, 8)
+        best = min(static_volume(t, m, g) for g in valid_grids(8, m))
+        assert vol == best
+        assert static_volume(t, m, grid) == vol
+
+    def test_deterministic_tie_break(self):
+        m = TensorMeta(dims=(8, 8, 8), core=(4, 4, 4))
+        t = chain_tree(3)
+        g1, _ = optimal_static_grid(t, m, 4)
+        g2, _ = optimal_static_grid(t, m, 4)
+        assert g1 == g2
+
+    def test_single_proc_grid_is_free(self):
+        m = random_meta(3)
+        grid, vol = optimal_static_grid(chain_tree(4), m, 1)
+        assert grid == (1, 1, 1, 1) and vol == 0
+
+    def test_puts_ranks_on_low_weight_modes(self):
+        # a mode never multiplied late with big outputs should receive ranks
+        m = TensorMeta(dims=(100, 4, 4), core=(2, 4, 4))
+        t = chain_tree(3)
+        w = mode_output_weights(t, m)
+        grid, _ = optimal_static_grid(t, m, 2)
+        # the chosen mode for the factor 2 should have minimal marginal cost
+        chosen = grid.index(2)
+        assert w[chosen] == min(
+            w[i] for i in range(3) if m.core[i] >= 2
+        )

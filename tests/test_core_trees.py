@@ -1,0 +1,132 @@
+"""Tests for TTM-tree structure, validation and prior-work constructions."""
+
+import pytest
+
+from repro.core.meta import TensorMeta
+from repro.core.trees import LEAF, ROOT, TTM, Node, TTMTree, balanced_tree, chain_tree
+
+
+class TestNode:
+    def test_kind_checked(self):
+        with pytest.raises(ValueError):
+            Node("branch")
+
+    def test_leaf_needs_mode_and_no_children(self):
+        with pytest.raises(ValueError):
+            Node(LEAF)
+        with pytest.raises(ValueError):
+            Node(LEAF, mode=0, children=[Node(LEAF, mode=1)])
+
+
+class TestValidation:
+    def test_missing_leaf_rejected(self):
+        root = Node(ROOT, children=[Node(TTM, mode=1, children=[Node(LEAF, mode=0)])])
+        with pytest.raises(ValueError, match="one leaf per mode"):
+            TTMTree(root, 3)
+
+    def test_duplicate_mode_on_path_rejected(self):
+        # path to F~0 applies mode 1 twice and skips nothing else (N=2 needs 1)
+        inner = Node(TTM, mode=1, children=[Node(LEAF, mode=0)])
+        root = Node(
+            ROOT,
+            children=[
+                Node(TTM, mode=1, children=[inner]),
+                Node(TTM, mode=0, children=[Node(LEAF, mode=1)]),
+            ],
+        )
+        with pytest.raises(ValueError):
+            TTMTree(root, 2)
+
+    def test_root_kind_enforced(self):
+        with pytest.raises(ValueError, match="root"):
+            TTMTree(Node(TTM, mode=0, children=[Node(LEAF, mode=1)]), 2)
+
+    def test_single_mode_tree(self):
+        t = TTMTree(Node(ROOT, children=[Node(LEAF, mode=0)]), 1)
+        assert t.n_ttm_ops == 0
+
+
+class TestStructureQueries:
+    def test_preorder_uids(self):
+        t = chain_tree(3)
+        uids = [n.uid for n in t.nodes]
+        assert uids == list(range(len(uids)))
+        assert t.nodes[0].kind == ROOT
+
+    def test_parent_links(self):
+        t = chain_tree(3)
+        for node in t.nodes[1:]:
+            parent = t.parent(node)
+            assert node in parent.children
+        assert t.parent(t.root) is None
+
+    def test_premultiplied_mask(self):
+        t = chain_tree(3)  # natural order
+        for leaf in t.leaves():
+            expected = 0b111 ^ (1 << leaf.mode)
+            assert t.premultiplied_mask(leaf) == expected
+
+    def test_depth(self):
+        assert chain_tree(4).depth() == 4  # 3 TTMs + leaf edge
+        assert balanced_tree(4).depth() == 4
+
+
+class TestChainTree:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6])
+    def test_ttm_count_n_times_n_minus_1(self, n):
+        assert chain_tree(n).n_ttm_ops == n * (n - 1)
+
+    def test_ordering_respected(self):
+        t = chain_tree(3, ordering=[2, 0, 1])
+        # first child chain belongs to target mode 2: applies 0 then 1
+        first = t.root.children[0]
+        assert first.mode == 0
+        assert first.children[0].mode == 1
+        assert first.children[0].children[0].mode == 2  # the leaf
+
+    def test_bad_ordering(self):
+        with pytest.raises(ValueError, match="permutation"):
+            chain_tree(3, ordering=[0, 1, 1])
+
+    def test_validates(self):
+        for n in range(1, 7):
+            chain_tree(n).validate()
+
+
+class TestBalancedTree:
+    @pytest.mark.parametrize("n,expected", [(2, 2), (3, 5), (4, 8), (8, 24)])
+    def test_ttm_count_n_log_n_ish(self, n, expected):
+        # T(n) = n + T(floor(n/2)) + T(ceil(n/2)), T(1) = 0
+        assert balanced_tree(n).n_ttm_ops == expected
+
+    def test_fewer_ops_than_chain(self):
+        for n in range(3, 8):
+            assert balanced_tree(n).n_ttm_ops < chain_tree(n).n_ttm_ops
+
+    def test_validates(self):
+        for n in range(1, 9):
+            balanced_tree(n).validate()
+
+    def test_figure3c_shape_for_n4(self):
+        # root has two children: chain of modes {0,1} and chain of modes {2,3}
+        t = balanced_tree(4)
+        top_modes = sorted(c.mode for c in t.root.children)
+        assert top_modes == [0, 2]
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("maker", [chain_tree, balanced_tree])
+    def test_roundtrip(self, maker):
+        t = maker(5)
+        t2 = TTMTree.from_dict(t.to_dict())
+        assert t2.to_dict() == t.to_dict()
+        assert t2.n_ttm_ops == t.n_ttm_ops
+
+    def test_pretty_contains_labels(self):
+        meta = TensorMeta(dims=(24, 20, 16, 10), core=(6, 10, 4, 5))
+        text = chain_tree(4).pretty(meta)
+        assert "T" in text and "F~0" in text and "x1" in text
+
+
+def test_pretty_without_meta():
+    assert "F~2" in balanced_tree(3).pretty()

@@ -1,0 +1,86 @@
+"""Tests for the communication-volume semantics (paper sections 4.1/4.3)."""
+
+import pytest
+
+from repro.core.cost import node_costs
+from repro.core.meta import TensorMeta
+from repro.core.trees import chain_tree
+from repro.core.volume import node_volumes, scheme_volume, static_volume
+
+
+@pytest.fixture
+def m3():
+    return TensorMeta(dims=(8, 6, 4), core=(4, 3, 2))
+
+
+class TestStaticVolume:
+    def test_formula_by_hand(self, m3):
+        # grid (2, 1, 1): only TTMs along mode 0 incur volume (q0-1)|Out|
+        t = chain_tree(3)
+        costs = node_costs(t, m3)
+        expected = sum(
+            costs[n.uid]["out_card"]
+            for n in t.internal_nodes()
+            if n.mode == 0
+        )
+        assert static_volume(t, m3, (2, 1, 1)) == expected
+
+    def test_grid_of_ones_is_free(self, m3):
+        assert static_volume(chain_tree(3), m3, (1, 1, 1)) == 0
+
+    def test_invalid_grid_rejected(self, m3):
+        with pytest.raises(ValueError, match="not valid"):
+            static_volume(chain_tree(3), m3, (8, 1, 1))  # q0 > K0=4
+
+    def test_monotone_in_q(self, m3):
+        t = chain_tree(3)
+        assert static_volume(t, m3, (2, 1, 1)) <= static_volume(t, m3, (4, 1, 1))
+
+
+class TestSchemeVolume:
+    def test_static_scheme_has_no_regrid(self, m3):
+        t = chain_tree(3)
+        scheme = {n.uid: (2, 1, 1) for n in t.nodes if n.kind != "leaf"}
+        ttm, regrid = scheme_volume(t, m3, scheme)
+        assert regrid == 0
+        assert ttm == static_volume(t, m3, (2, 1, 1))
+
+    def test_regrid_charged_on_change(self, m3):
+        t = chain_tree(3)
+        scheme = {n.uid: (2, 1, 1) for n in t.nodes if n.kind != "leaf"}
+        # change one internal node's grid -> regrid |In| at that node
+        some = next(iter(t.internal_nodes()))
+        scheme[some.uid] = (1, 2, 1)
+        vols = node_volumes(t, m3, scheme)
+        costs = node_costs(t, m3)
+        assert vols[some.uid]["regrid"] == costs[some.uid]["in_card"]
+
+    def test_child_of_regridded_node_compares_to_new_grid(self, m3):
+        t = chain_tree(3)
+        # chain: root -> a -> b -> leaf; set a to (1,2,1) and b same ->
+        # b pays no regrid even though root grid differs
+        a = t.root.children[0]
+        b = a.children[0]
+        scheme = {t.root.uid: (2, 1, 1), a.uid: (1, 2, 1), b.uid: (1, 2, 1)}
+        # fill all other internal nodes with root grid
+        for n in t.nodes:
+            if n.kind != "leaf" and n.uid not in scheme:
+                scheme[n.uid] = (2, 1, 1)
+        vols = node_volumes(t, m3, scheme)
+        assert vols[a.uid]["regrid"] > 0
+        assert vols[b.uid]["regrid"] == 0
+
+    def test_missing_node_rejected(self, m3):
+        t = chain_tree(3)
+        with pytest.raises(ValueError, match="missing"):
+            scheme_volume(t, m3, {t.root.uid: (1, 1, 1)})
+
+    def test_missing_root_rejected(self, m3):
+        t = chain_tree(3)
+        scheme = {
+            n.uid: (1, 1, 1)
+            for n in t.nodes
+            if n.kind == "ttm"
+        }
+        with pytest.raises(ValueError, match="root"):
+            scheme_volume(t, m3, scheme)

@@ -1,0 +1,47 @@
+"""Tests for block partitioning."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dist.blocks import block_range, block_ranges, block_sizes
+
+
+class TestBlockSizes:
+    def test_even(self):
+        assert block_sizes(8, 4) == [2, 2, 2, 2]
+
+    def test_uneven_front_loaded(self):
+        assert block_sizes(10, 4) == [3, 3, 2, 2]
+        assert block_sizes(7, 3) == [3, 2, 2]
+
+    def test_parts_exceed_length_rejected(self):
+        with pytest.raises(ValueError, match="empty blocks"):
+            block_sizes(3, 4)
+
+    @given(
+        st.integers(min_value=1, max_value=500),
+        st.integers(min_value=1, max_value=64),
+    )
+    def test_invariants(self, length, parts):
+        if parts > length:
+            parts = length
+        sizes = block_sizes(length, parts)
+        assert sum(sizes) == length
+        assert max(sizes) - min(sizes) <= 1
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestBlockRanges:
+    def test_contiguous_cover(self):
+        ranges = block_ranges(10, 3)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == 10
+        for (a, b), (c, _) in zip(ranges, ranges[1:]):
+            assert b == c and a < b
+
+    def test_block_range_single(self):
+        assert block_range(10, 4, 0) == (0, 3)
+        assert block_range(10, 4, 3) == (8, 10)
+        with pytest.raises(ValueError):
+            block_range(10, 4, 4)

@@ -1,0 +1,138 @@
+"""Tests for plan execution (sequential and distributed tree walks)."""
+
+import numpy as np
+import pytest
+
+from repro.core.meta import TensorMeta
+from repro.core.planner import Planner
+from repro.dist.dtensor import DistTensor
+from repro.hooi.executor import (
+    compute_core_distributed,
+    compute_core_sequential,
+    execute_tree_distributed,
+    execute_tree_sequential,
+)
+from repro.hooi.hooi import hooi_reference_step
+from repro.hooi.sthosvd import sthosvd
+from repro.mpi.comm import SimCluster
+from repro.tensor.random import low_rank_tensor, random_tensor
+
+
+@pytest.fixture
+def problem():
+    dims, core = (12, 10, 8, 6), (4, 3, 3, 2)
+    t = low_rank_tensor(dims, core, noise=0.1, seed=0)
+    meta = TensorMeta(dims=dims, core=core)
+    init = sthosvd(t, core)
+    return t, meta, init
+
+
+class TestSequentialExecution:
+    @pytest.mark.parametrize(
+        "tree_kind", ["optimal", "chain-k", "chain-h", "balanced"]
+    )
+    def test_all_trees_match_naive_reference(self, problem, tree_kind):
+        # any valid TTM-tree must produce the same new factors as the naive
+        # N-independent-chains implementation (commutativity, section 2.1)
+        t, meta, init = problem
+        plan = Planner(4, tree=tree_kind, grid="static").plan(meta)
+        new = execute_tree_sequential(t, init.factors, plan.tree, plan.meta)
+        ref = hooi_reference_step(t, init.factors, meta.core)
+        for mode in range(meta.ndim):
+            np.testing.assert_allclose(
+                new[mode], ref.factors[mode], atol=1e-8
+            )
+
+    def test_every_factor_produced(self, problem):
+        t, meta, init = problem
+        plan = Planner(4).plan(meta)
+        new = execute_tree_sequential(t, init.factors, plan.tree, plan.meta)
+        assert sorted(new) == list(range(meta.ndim))
+
+    def test_factor_shape_validation(self, problem):
+        t, meta, init = problem
+        plan = Planner(4).plan(meta)
+        bad = list(init.factors)
+        bad[0] = bad[0][:, :-1]
+        with pytest.raises(ValueError, match="factor 0"):
+            execute_tree_sequential(t, bad, plan.tree, plan.meta)
+
+    def test_core_matches_reference(self, problem):
+        t, meta, init = problem
+        ref = hooi_reference_step(t, init.factors, meta.core)
+        core = compute_core_sequential(t, ref.factors, meta)
+        np.testing.assert_allclose(core, ref.core, atol=1e-8)
+
+
+class TestDistributedExecution:
+    @pytest.mark.parametrize("grid_kind", ["static", "dynamic"])
+    def test_matches_sequential(self, problem, grid_kind):
+        t, meta, init = problem
+        plan = Planner(8, tree="optimal", grid=grid_kind).plan(meta)
+        cluster = SimCluster(8)
+        dt = DistTensor.from_global(cluster, t, plan.initial_grid)
+        new = execute_tree_distributed(dt, init.factors, plan)
+        seq = execute_tree_sequential(t, init.factors, plan.tree, plan.meta)
+        for mode in range(meta.ndim):
+            np.testing.assert_allclose(new[mode], seq[mode], atol=1e-8)
+
+    def test_wrong_grid_rejected(self, problem):
+        t, meta, init = problem
+        plan = Planner(8, tree="optimal", grid="dynamic").plan(meta)
+        cluster = SimCluster(8)
+        # distribute on some other valid grid
+        other = tuple(
+            g for g in [(1, 1, 2, 4), (2, 2, 2, 1), (8, 1, 1, 1)]
+            if g != plan.initial_grid
+        )[0]
+        dt = DistTensor.from_global(cluster, t, other)
+        with pytest.raises(ValueError, match="grid"):
+            execute_tree_distributed(dt, init.factors, plan)
+
+    def test_wrong_shape_rejected(self, problem):
+        _, meta, init = problem
+        plan = Planner(8).plan(meta)
+        cluster = SimCluster(8)
+        dt = DistTensor.from_global(
+            cluster, random_tensor((12, 10, 8, 7), seed=1), (2, 2, 2, 1)
+        )
+        with pytest.raises(ValueError):
+            execute_tree_distributed(dt, init.factors, plan)
+
+    def test_core_chain_with_scheme(self, problem):
+        t, meta, init = problem
+        plan = Planner(8, tree="optimal", grid="dynamic").plan(meta)
+        cluster = SimCluster(8)
+        dt = DistTensor.from_global(cluster, t, plan.initial_grid)
+        ref = hooi_reference_step(t, init.factors, meta.core)
+        core = compute_core_distributed(
+            dt,
+            ref.factors,
+            meta,
+            core_order=plan.core_order,
+            core_scheme=plan.core_scheme,
+        )
+        np.testing.assert_allclose(core.to_global(), ref.core, atol=1e-8)
+
+    def test_regrid_volumes_match_plan(self, problem):
+        # executed regrid volume must never exceed the plan's model charge
+        t, meta, init = problem
+        plan = Planner(8, tree="optimal", grid="dynamic").plan(meta)
+        cluster = SimCluster(8)
+        dt = DistTensor.from_global(cluster, t, plan.initial_grid)
+        execute_tree_distributed(dt, init.factors, plan, tag="hooi")
+        engine_regrid = cluster.stats.volume(
+            op="alltoallv", tag_prefix="hooi:regrid"
+        )
+        assert engine_regrid <= plan.regrid_volume
+
+    def test_rs_volume_matches_plan_exactly(self, problem):
+        t, meta, init = problem
+        plan = Planner(8, tree="optimal", grid="dynamic").plan(meta)
+        cluster = SimCluster(8)
+        dt = DistTensor.from_global(cluster, t, plan.initial_grid)
+        execute_tree_distributed(dt, init.factors, plan, tag="hooi")
+        engine_rs = cluster.stats.volume(
+            op="reduce_scatter", tag_prefix="hooi:ttm"
+        )
+        assert engine_rs == plan.ttm_volume

@@ -1,0 +1,98 @@
+"""Tests for dynamic gridding applied to STHOSVD (paper section 1 remark)."""
+
+import numpy as np
+import pytest
+
+from repro.core.meta import TensorMeta
+from repro.dist.dtensor import DistTensor
+from repro.hooi.sthosvd import dist_sthosvd, sthosvd, sthosvd_grid_plan
+from repro.mpi.comm import SimCluster
+from repro.tensor.random import low_rank_tensor
+
+
+@pytest.fixture
+def problem():
+    dims, core = (12, 10, 8, 6), (4, 3, 3, 2)
+    return dims, core, low_rank_tensor(dims, core, noise=0.1, seed=0)
+
+
+class TestGridPlan:
+    def test_shapes_and_validity(self, problem):
+        dims, core, _ = problem
+        order, grids, ttm_vol, regrid_vol = sthosvd_grid_plan(dims, core, 8)
+        assert sorted(order) == list(range(4))
+        assert len(grids) == 4
+        for g in grids:
+            assert int(np.prod(g)) == 8
+            assert all(q <= k for q, k in zip(g, core))
+        assert ttm_vol >= 0 and regrid_vol >= 0
+
+    def test_beats_best_static_grid(self, problem):
+        # the path DP with a free initial layout can never lose to the best
+        # single static grid for the same chain
+        dims, core, _ = problem
+        meta = TensorMeta(dims=dims, core=core)
+        order, _, ttm_vol, regrid_vol = sthosvd_grid_plan(dims, core, 8)
+        from repro.core.grids import valid_grids
+
+        best_static = None
+        for g in valid_grids(8, meta):
+            premult = 0
+            vol = 0
+            for mode in order:
+                premult |= 1 << mode
+                vol += (g[mode] - 1) * meta.card_after(premult)
+            best_static = vol if best_static is None else min(best_static, vol)
+        assert ttm_vol + regrid_vol <= best_static
+
+    def test_communication_free_when_possible(self):
+        # plenty of headroom: K large on one mode -> DP can make every TTM
+        # free by keeping ranks on already-truncated or untouched modes
+        order, grids, ttm_vol, _ = sthosvd_grid_plan(
+            (64, 64, 64), (32, 32, 32), 4
+        )
+        assert ttm_vol == 0
+
+
+class TestDistSthosvdWithScheme:
+    def test_matches_static_results(self, problem):
+        dims, core, t = problem
+        order, grids, _, _ = sthosvd_grid_plan(dims, core, 8, mode_order="natural")
+        cluster = SimCluster(8)
+        dt = DistTensor.from_global(cluster, t, grids[0])
+        core_dist, factors = dist_sthosvd(
+            dt, core, mode_order="natural", grid_scheme=grids
+        )
+        seq = sthosvd(t, core, mode_order="natural")
+        for a, b in zip(factors, seq.factors):
+            np.testing.assert_allclose(a, b, atol=1e-8)
+        np.testing.assert_allclose(core_dist.to_global(), seq.core, atol=1e-8)
+
+    def test_scheme_reduces_ttm_volume(self, problem):
+        dims, core, t = problem
+        meta = TensorMeta(dims=dims, core=core)
+        del meta
+        order, grids, planned_ttm, _ = sthosvd_grid_plan(
+            dims, core, 8, mode_order="natural"
+        )
+
+        # dynamic run
+        c_dyn = SimCluster(8)
+        dt = DistTensor.from_global(c_dyn, t, grids[0])
+        dist_sthosvd(dt, core, mode_order="natural", grid_scheme=grids, tag="s")
+        dyn_ttm = c_dyn.stats.volume(op="reduce_scatter", tag_prefix="s:ttm")
+        assert dyn_ttm == planned_ttm
+
+        # static run on the same initial grid
+        c_st = SimCluster(8)
+        dt2 = DistTensor.from_global(c_st, t, grids[0])
+        dist_sthosvd(dt2, core, mode_order="natural", tag="s")
+        static_ttm = c_st.stats.volume(op="reduce_scatter", tag_prefix="s:ttm")
+        assert dyn_ttm <= static_ttm
+
+    def test_scheme_length_checked(self, problem):
+        dims, core, t = problem
+        cluster = SimCluster(4)
+        dt = DistTensor.from_global(cluster, t, (2, 2, 1, 1))
+        with pytest.raises(ValueError, match="one grid per mode"):
+            dist_sthosvd(dt, core, grid_scheme=[(2, 2, 1, 1)])

@@ -1,0 +1,49 @@
+"""Tests for dense-tensor helpers."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.dense import cardinality, fro_norm, num_fibers, relative_error
+
+
+class TestCardinality:
+    def test_values(self):
+        assert cardinality((3, 4, 5)) == 60
+        assert cardinality((8_000_000_000,)) == 8_000_000_000
+
+    def test_exact_for_huge_dims(self):
+        # must not round through floats
+        assert cardinality((2**40, 3)) == 3 * 2**40
+
+
+class TestNumFibers:
+    def test_values(self):
+        assert num_fibers((3, 4, 5), 0) == 20
+        assert num_fibers((3, 4, 5), 2) == 12
+
+
+class TestNorms:
+    def test_fro_norm(self):
+        t = np.ones((2, 3))
+        assert fro_norm(t) == pytest.approx(np.sqrt(6))
+
+    def test_relative_error_zero_for_equal(self):
+        t = np.random.default_rng(0).standard_normal((3, 3))
+        assert relative_error(t, t) == 0.0
+
+    def test_relative_error_scaling_invariance(self):
+        rng = np.random.default_rng(1)
+        t = rng.standard_normal((4, 4))
+        z = rng.standard_normal((4, 4))
+        e1 = relative_error(t, z)
+        e2 = relative_error(10 * t, 10 * z)
+        assert e1 == pytest.approx(e2)
+
+    def test_zero_tensor_cases(self):
+        z = np.zeros((2, 2))
+        assert relative_error(z, z) == 0.0
+        assert relative_error(z, np.ones((2, 2))) == float("inf")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            relative_error(np.zeros((2, 2)), np.zeros((2, 3)))

@@ -1,0 +1,97 @@
+"""Tests for Gram-based SVD helpers."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.linalg import (
+    deterministic_sign,
+    gram,
+    leading_eigvecs,
+    leading_left_singular_vectors,
+)
+
+
+class TestGram:
+    def test_value_and_symmetry(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((5, 20))
+        g = gram(x)
+        np.testing.assert_allclose(g, x @ x.T, rtol=1e-12)
+        np.testing.assert_array_equal(g, g.T)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            gram(np.zeros(3))
+
+
+class TestDeterministicSign:
+    def test_flips_negative_dominant(self):
+        v = np.array([[0.1, -0.9], [-0.9, 0.1]])
+        out = deterministic_sign(v)
+        np.testing.assert_allclose(out[:, 0], [-0.1, 0.9])
+        np.testing.assert_allclose(out[:, 1], [0.9, -0.1])
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(1)
+        v = rng.standard_normal((6, 3))
+        once = deterministic_sign(v)
+        np.testing.assert_array_equal(once, deterministic_sign(once))
+
+    def test_does_not_mutate_input(self):
+        v = np.array([[-1.0], [0.5]])
+        _ = deterministic_sign(v)
+        assert v[0, 0] == -1.0
+
+
+class TestLeadingEigvecs:
+    def test_recovers_known_eigenvectors(self):
+        # diag matrix: leading eigvecs are unit vectors of largest entries
+        d = np.diag([1.0, 5.0, 3.0, 2.0])
+        v = leading_eigvecs(d, 2)
+        np.testing.assert_allclose(np.abs(v[:, 0]), [0, 1, 0, 0], atol=1e-12)
+        np.testing.assert_allclose(np.abs(v[:, 1]), [0, 0, 1, 0], atol=1e-12)
+
+    def test_orthonormal(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((8, 30))
+        v = leading_eigvecs(gram(x), 4)
+        np.testing.assert_allclose(v.T @ v, np.eye(4), atol=1e-10)
+
+    def test_k_bounds(self):
+        with pytest.raises(ValueError):
+            leading_eigvecs(np.eye(3), 0)
+        with pytest.raises(ValueError):
+            leading_eigvecs(np.eye(3), 4)
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            leading_eigvecs(np.zeros((3, 4)), 1)
+
+
+class TestLeadingLeftSingularVectors:
+    def test_gram_and_svd_methods_agree_on_subspace(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((7, 40))
+        k = 3
+        u1 = leading_left_singular_vectors(x, k, method="gram")
+        u2 = leading_left_singular_vectors(x, k, method="svd")
+        # same subspace: projectors match (vectors may differ by sign only,
+        # but deterministic_sign makes them equal up to tiny round-off)
+        np.testing.assert_allclose(u1 @ u1.T, u2 @ u2.T, atol=1e-8)
+        np.testing.assert_allclose(u1, u2, atol=1e-8)
+
+    def test_maximizes_captured_energy(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((6, 50))
+        u = leading_left_singular_vectors(x, 2)
+        captured = np.linalg.norm(u.T @ x) ** 2
+        # compare against 50 random orthonormal 2-frames
+        for seed in range(50):
+            q, _ = np.linalg.qr(
+                np.random.default_rng(seed).standard_normal((6, 2))
+            )
+            assert captured >= np.linalg.norm(q.T @ x) ** 2 - 1e-8
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="method"):
+            leading_left_singular_vectors(np.eye(3), 1, method="magic")

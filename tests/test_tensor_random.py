@@ -1,0 +1,80 @@
+"""Tests for synthetic tensor generators."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.dense import relative_error
+from repro.tensor.random import (
+    low_rank_tensor,
+    random_orthonormal,
+    random_tensor,
+    random_tucker,
+    separable_field_tensor,
+)
+from repro.tensor.unfold import unfold
+
+
+class TestRandomTensor:
+    def test_shape_and_range(self):
+        t = random_tensor((3, 4, 5), seed=0)
+        assert t.shape == (3, 4, 5)
+        assert np.all(t >= -1) and np.all(t <= 1)
+
+    def test_seeded_determinism(self):
+        np.testing.assert_array_equal(
+            random_tensor((3, 4), seed=7), random_tensor((3, 4), seed=7)
+        )
+
+
+class TestRandomOrthonormal:
+    def test_orthonormal_columns(self):
+        q = random_orthonormal(10, 4, seed=0)
+        np.testing.assert_allclose(q.T @ q, np.eye(4), atol=1e-12)
+
+    def test_rejects_wide(self):
+        with pytest.raises(ValueError):
+            random_orthonormal(3, 5)
+
+
+class TestRandomTucker:
+    def test_shapes(self):
+        core, factors = random_tucker((8, 7, 6), (3, 2, 4), seed=1)
+        assert core.shape == (3, 2, 4)
+        assert [f.shape for f in factors] == [(8, 3), (7, 2), (6, 4)]
+
+
+class TestLowRankTensor:
+    def test_exact_multilinear_rank_when_noiseless(self):
+        t = low_rank_tensor((10, 9, 8), (3, 2, 4), noise=0.0, seed=2)
+        for mode, r in [(0, 3), (1, 2), (2, 4)]:
+            rank = np.linalg.matrix_rank(unfold(t, mode), tol=1e-8)
+            assert rank == r
+
+    def test_noise_level_controls_error(self):
+        dims, core = (10, 9, 8), (3, 2, 4)
+        clean = low_rank_tensor(dims, core, noise=0.0, seed=3)
+        noisy = low_rank_tensor(dims, core, noise=0.1, seed=3)
+        # same seed: the signal part matches, the residual is ~10%
+        assert relative_error(clean, noisy) == pytest.approx(0.1, rel=0.05)
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ValueError):
+            low_rank_tensor((4, 4), (2, 2), noise=-0.1)
+
+
+class TestSeparableField:
+    def test_numerically_compressible(self):
+        t = separable_field_tensor((20, 18, 16), n_bumps=4, noise=0.0, seed=4)
+        # smooth separable structure: tiny tail singular values per unfolding
+        for mode in range(3):
+            s = np.linalg.svd(unfold(t, mode), compute_uv=False)
+            assert s[6] / s[0] < 1e-3  # rank <= n_bumps (+slack)
+
+    def test_deterministic(self):
+        a = separable_field_tensor((6, 5, 4), seed=9)
+        b = separable_field_tensor((6, 5, 4), seed=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_zero_bumps(self):
+        with pytest.raises(ValueError):
+            separable_field_tensor((4, 4), n_bumps=0)

@@ -1,0 +1,103 @@
+"""Tests for sequential TTM and TTM-chains."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tensor.ttm import ttm, ttm_chain
+from repro.tensor.unfold import unfold
+
+
+class TestTTM:
+    def test_matches_unfold_definition(self):
+        rng = np.random.default_rng(0)
+        t = rng.standard_normal((4, 5, 6))
+        a = rng.standard_normal((3, 5))
+        z = ttm(t, a, 1)
+        assert z.shape == (4, 3, 6)
+        np.testing.assert_allclose(unfold(z, 1), a @ unfold(t, 1), rtol=1e-12)
+
+    def test_identity_matrix_is_noop(self):
+        rng = np.random.default_rng(1)
+        t = rng.standard_normal((3, 4, 2))
+        np.testing.assert_allclose(ttm(t, np.eye(4), 1), t)
+
+    def test_matrix_shape_checked(self):
+        with pytest.raises(ValueError, match="columns"):
+            ttm(np.zeros((3, 4)), np.zeros((2, 5)), 1)
+        with pytest.raises(ValueError, match="2-D"):
+            ttm(np.zeros((3, 4)), np.zeros(4), 1)
+
+    def test_output_contiguous(self):
+        z = ttm(np.zeros((3, 4, 5)), np.zeros((2, 4)), 1)
+        assert z.flags["C_CONTIGUOUS"]
+
+    def test_matches_einsum_3d(self):
+        rng = np.random.default_rng(2)
+        t = rng.standard_normal((3, 4, 5))
+        a = rng.standard_normal((2, 4))
+        np.testing.assert_allclose(
+            ttm(t, a, 1), np.einsum("ijk,rj->irk", t, a), rtol=1e-12
+        )
+
+    @given(
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=99),
+    )
+    def test_mode_length_replaced(self, mode, k, seed):
+        dims = (4, 3, 5, 2)
+        t = np.random.default_rng(seed).standard_normal(dims)
+        a = np.random.default_rng(seed + 1).standard_normal((k, dims[mode]))
+        z = ttm(t, a, mode)
+        expected = list(dims)
+        expected[mode] = k
+        assert z.shape == tuple(expected)
+
+
+class TestTTMChain:
+    def test_commutativity(self):
+        # the property HOOI's tree rearrangements rely on (section 2.1)
+        rng = np.random.default_rng(3)
+        t = rng.standard_normal((4, 5, 6))
+        a = rng.standard_normal((2, 4))
+        b = rng.standard_normal((3, 6))
+        z1 = ttm(ttm(t, a, 0), b, 2)
+        z2 = ttm(ttm(t, b, 2), a, 0)
+        np.testing.assert_allclose(z1, z2, rtol=1e-12)
+
+    @given(st.permutations([0, 1, 2, 3]), st.integers(min_value=0, max_value=49))
+    def test_chain_order_invariance(self, order, seed):
+        rng = np.random.default_rng(seed)
+        t = rng.standard_normal((3, 4, 2, 5))
+        mats = {m: rng.standard_normal((2, t.shape[m])) for m in range(4)}
+        natural = ttm_chain(t, [mats[m] for m in range(4)], list(range(4)))
+        shuffled = ttm_chain(t, [mats[m] for m in order], list(order))
+        np.testing.assert_allclose(natural, shuffled, rtol=1e-10)
+
+    def test_skip_mode(self):
+        rng = np.random.default_rng(5)
+        t = rng.standard_normal((3, 4, 5))
+        mats = [rng.standard_normal((2, s)) for s in t.shape]
+        z = ttm_chain(t, mats, skip=1)
+        assert z.shape == (2, 4, 2)
+
+    def test_transpose_flag(self):
+        rng = np.random.default_rng(6)
+        t = rng.standard_normal((3, 4))
+        f = rng.standard_normal((3, 2))  # L x K factor
+        z = ttm_chain(t, [f], [0], transpose=True)
+        np.testing.assert_allclose(z, f.T @ t, rtol=1e-12)
+
+    def test_duplicate_modes_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            ttm_chain(np.zeros((2, 2)), [np.eye(2), np.eye(2)], [0, 0])
+
+    def test_none_matrix_without_skip_rejected(self):
+        with pytest.raises(ValueError, match="None"):
+            ttm_chain(np.zeros((2, 2)), [None, np.eye(2)], [0, 1])
+
+    def test_matrix_count_mismatch(self):
+        with pytest.raises(ValueError, match="one matrix per mode"):
+            ttm_chain(np.zeros((2, 2)), [np.eye(2)], [0, 1])

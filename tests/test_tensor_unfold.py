@@ -1,0 +1,55 @@
+"""Tests for unfolding/folding."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tensor.unfold import fold, unfold
+
+shapes = st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=5)
+
+
+class TestUnfold:
+    def test_shape(self):
+        t = np.zeros((3, 4, 5))
+        assert unfold(t, 0).shape == (3, 20)
+        assert unfold(t, 1).shape == (4, 15)
+        assert unfold(t, 2).shape == (5, 12)
+
+    def test_columns_are_fibers(self):
+        # every column of the mode-n unfolding appears among the fibers
+        rng = np.random.default_rng(0)
+        t = rng.standard_normal((3, 4, 5))
+        u = unfold(t, 1)
+        fibers = {tuple(t[i, :, k]) for i in range(3) for k in range(5)}
+        for j in range(u.shape[1]):
+            assert tuple(u[:, j]) in fibers
+
+    def test_mode0_is_plain_reshape(self):
+        t = np.arange(24.0).reshape(2, 3, 4)
+        np.testing.assert_array_equal(unfold(t, 0), t.reshape(2, 12))
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            unfold(np.zeros((2, 2)), 2)
+
+
+class TestFold:
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            fold(np.zeros((3, 21)), 0, (3, 4, 5))
+
+    @given(shapes, st.integers(min_value=0, max_value=4), st.integers(0, 99))
+    def test_roundtrip(self, dims, mode, seed):
+        mode = mode % len(dims)
+        t = np.random.default_rng(seed).standard_normal(tuple(dims))
+        np.testing.assert_array_equal(fold(unfold(t, mode), mode, t.shape), t)
+
+    @given(shapes, st.integers(min_value=0, max_value=4), st.integers(0, 99))
+    def test_reverse_roundtrip(self, dims, mode, seed):
+        mode = mode % len(dims)
+        dims = tuple(dims)
+        n_cols = int(np.prod(dims)) // dims[mode]
+        m = np.random.default_rng(seed).standard_normal((dims[mode], n_cols))
+        np.testing.assert_array_equal(unfold(fold(m, mode, dims), mode), m)

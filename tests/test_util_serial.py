@@ -1,0 +1,34 @@
+"""Tests for repro.util.serial JSON helpers."""
+
+import pytest
+
+from repro.util import serial
+
+
+class TestDumpsLoads:
+    def test_roundtrip(self):
+        obj = {"b": [1, 2], "a": {"x": 3}}
+        assert serial.loads(serial.dumps(obj)) == obj
+
+    def test_deterministic_key_order(self):
+        assert serial.dumps({"b": 1, "a": 2}) == serial.dumps({"a": 2, "b": 1})
+
+    def test_loads_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            serial.loads("[1, 2, 3]")
+
+
+class TestAsIntTuple:
+    def test_ints(self):
+        assert serial.as_int_tuple([1, 2, 3]) == (1, 2, 3)
+
+    def test_integral_floats(self):
+        assert serial.as_int_tuple([1.0, 2.0]) == (1, 2)
+
+    def test_rejects_fractional(self):
+        with pytest.raises(ValueError):
+            serial.as_int_tuple([1.5])
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValueError):
+            serial.as_int_tuple([True])
