@@ -1,0 +1,75 @@
+"""In-tree PEP 517 backend tailored to the offline environment.
+
+The environment lacks the ``wheel`` package, which breaks both standard
+editable-install routes with setuptools < 70.1:
+
+* PEP 660 (``build_editable``) needs to build an editable *wheel*;
+* even metadata preparation via setuptools' ``dist_info`` command calls
+  ``bdist_wheel`` internally (``error: invalid command 'bdist_wheel'``),
+  and ``pip --no-use-pep517`` refuses to run without wheel installed.
+
+This backend therefore
+
+* **omits** ``build_editable`` — pip then falls back to the classic
+  ``setup.py develop`` editable path, which needs only ``egg_info``;
+* implements ``prepare_metadata_for_build_wheel`` directly from the
+  ``[project]`` table (stdlib ``tomllib``), so the fallback's metadata
+  step never touches ``bdist_wheel``;
+* delegates real wheel/sdist builds to ``setuptools.build_meta`` for
+  environments where ``wheel`` is available.
+"""
+
+from __future__ import annotations
+
+import os
+import tomllib
+
+from setuptools.build_meta import (  # noqa: F401
+    build_sdist,
+    build_wheel,
+    get_requires_for_build_sdist,
+    get_requires_for_build_wheel,
+)
+
+
+def _project_table() -> dict:
+    with open(os.path.join(os.path.dirname(__file__), "pyproject.toml"), "rb") as fh:
+        return tomllib.load(fh)["project"]
+
+
+def _version() -> str:
+    scope: dict = {}
+    path = os.path.join(os.path.dirname(__file__), "src", "repro", "_version.py")
+    with open(path, encoding="utf-8") as fh:
+        exec(compile(fh.read(), path, "exec"), scope)
+    return scope["__version__"]
+
+
+def prepare_metadata_for_build_wheel(
+    metadata_directory: str, config_settings: dict | None = None
+) -> str:
+    project = _project_table()
+    name = project["name"]
+    version = _version()
+    lines = [
+        "Metadata-Version: 2.1",
+        f"Name: {name}",
+        f"Version: {version}",
+    ]
+    if "description" in project:
+        lines.append(f"Summary: {project['description']}")
+    if "requires-python" in project:
+        lines.append(f"Requires-Python: {project['requires-python']}")
+    for dep in project.get("dependencies", []):
+        lines.append(f"Requires-Dist: {dep}")
+    for extra, deps in project.get("optional-dependencies", {}).items():
+        lines.append(f"Provides-Extra: {extra}")
+        for dep in deps:
+            lines.append(f'Requires-Dist: {dep}; extra == "{extra}"')
+
+    dist_info = f"{name.replace('-', '_')}-{version}.dist-info"
+    path = os.path.join(metadata_directory, dist_info)
+    os.makedirs(path, exist_ok=True)
+    with open(os.path.join(path, "METADATA"), "w", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")
+    return dist_info

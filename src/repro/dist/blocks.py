@@ -1,0 +1,57 @@
+"""Near-even 1-D block partitioning.
+
+Imposing a grid extent ``q`` on a mode of length ``L`` splits the index
+range ``[0, L)`` into ``q`` contiguous blocks whose sizes differ by at most
+one, larger blocks first (the paper's block distribution, section 3). The
+front-loaded convention makes the mapping a closed form, so both the engine
+and the redistribution kernel can locate any element's owner without
+communication.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_positive_int
+
+
+def block_sizes(length: int, parts: int) -> list[int]:
+    """Sizes of ``parts`` near-even contiguous blocks of ``range(length)``.
+
+    Sizes are non-increasing (``ceil`` blocks first) and differ by at most
+    one. ``parts > length`` is rejected — the engine never tolerates a rank
+    owning an empty block (the paper's grid-validity constraint
+    ``q_n <= K_n``).
+    """
+    length = check_positive_int(length, "length")
+    parts = check_positive_int(parts, "parts")
+    if parts > length:
+        raise ValueError(
+            f"cannot split length {length} into {parts} parts without "
+            f"empty blocks"
+        )
+    base, extra = divmod(length, parts)
+    return [base + 1] * extra + [base] * (parts - extra)
+
+
+def block_ranges(length: int, parts: int) -> list[tuple[int, int]]:
+    """Half-open ``(start, end)`` index ranges of the near-even blocks."""
+    ranges: list[tuple[int, int]] = []
+    start = 0
+    for size in block_sizes(length, parts):
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def block_range(length: int, parts: int, index: int) -> tuple[int, int]:
+    """The ``index``-th block's ``(start, end)`` range."""
+    if not 0 <= index < parts:
+        raise ValueError(f"block index {index} out of range [0, {parts})")
+    base, extra = divmod(check_positive_int(length, "length"), parts)
+    if parts > length:
+        # delegate for the canonical error message
+        block_sizes(length, parts)
+    if index < extra:
+        start = index * (base + 1)
+        return (start, start + base + 1)
+    start = extra * (base + 1) + (index - extra) * base
+    return (start, start + base)

@@ -1,0 +1,121 @@
+"""Distributed Gram matrices and the Gram+EVD factor extraction.
+
+The paper's SVD step (section 5) forms the Gram matrix of the mode-``n``
+unfolding, ``G = Z_(n) Z_(n)^T``, then solves a *sequential* symmetric EVD —
+``G`` is only ``L_n x L_n`` and ``L_n <= 2000``. Forming ``G`` needs
+full-length mode-``n`` fibers on each rank:
+
+* if the grid already has ``q_n = 1``, fibers are whole; each rank adds its
+  ``L x L`` partial ``U U^T`` from its local column slab and a world
+  allreduce completes ``G``;
+* if ``q_n > 1`` but some grid of the same processor count with ``q_n = 1``
+  fits the tensor, the engine regrids onto the deterministic target chosen by
+  :func:`repro.core.grids.svd_regrid_target` — the same closed form the cost
+  model charges — for at most ``|Z|`` alltoallv volume;
+* otherwise it allgathers fiber segments within each mode-fiber group
+  (volume ``(q_n - 1) |Z|``) and lets one representative per group
+  contribute the slab's partial.
+
+The factor is then the leading-``k`` eigenvector matrix of ``G``, computed
+redundantly on every rank from the allreduced ``G`` (so no broadcast is
+needed) with the deterministic sign convention shared with the sequential
+kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.grids import svd_regrid_target
+from repro.dist.dtensor import DistTensor
+from repro.dist.regrid import regrid
+from repro.tensor.linalg import leading_eigvecs
+from repro.tensor.unfold import unfold
+from repro.util.validation import check_mode
+
+
+def dist_gram(
+    dtensor: DistTensor,
+    mode: int,
+    *,
+    tag: str = "gram",
+) -> np.ndarray:
+    """Gram matrix of the mode-``mode`` unfolding, replicated on every rank.
+
+    Communication lands in the ledger under ``{tag}:regrid`` /
+    ``{tag}:allgather`` (layout fixing) and ``{tag}:allreduce`` (the world
+    reduction of the ``L x L`` partials); the local syrk is one ``syrk``
+    compute record.
+    """
+    mode = check_mode(mode, dtensor.ndim)
+    grid = dtensor.grid
+    cluster = dtensor.cluster
+    length = dtensor.global_shape[mode]
+
+    slabs: dict[int, np.ndarray]
+    if grid.shape[mode] == 1:
+        slabs = dict(dtensor.blocks)
+    else:
+        target = svd_regrid_target(grid.shape, dtensor.global_shape, mode)
+        if target is not None:
+            work = regrid(dtensor, target, tag=f"{tag}:regrid")
+            slabs = dict(work.blocks)
+        else:
+            # Allgather fallback: assemble full-length fibers within each
+            # mode-fiber group. Every rank of a group ends up with the same
+            # slab, so only the group's first rank contributes the partial.
+            slabs = {}
+            for group in grid.mode_groups(mode):
+                gathered = cluster.allgather(
+                    group,
+                    {r: dtensor.block(r) for r in group},
+                    axis=mode,
+                    tag=f"{tag}:allgather",
+                )
+                slabs[group[0]] = gathered[group[0]]
+
+    # Local L x L partials (syrk); ranks without a slab contribute zeros.
+    partials: dict[int, np.ndarray] = {}
+    max_rank_flops = 0
+    total_flops = 0
+    for rank in range(cluster.n_procs):
+        slab = slabs.get(rank)
+        if slab is None:
+            partials[rank] = np.zeros((length, length))
+            continue
+        u = unfold(slab, mode)
+        partials[rank] = u @ u.T
+        flops = length * (length + 1) // 2 * u.shape[1]
+        total_flops += flops
+        max_rank_flops = max(max_rank_flops, flops)
+    cluster.stats.add_compute(
+        op="syrk",
+        tag=f"{tag}:gram",
+        flops=float(total_flops),
+        seconds=cluster.machine.gemm_seconds(max_rank_flops),
+    )
+
+    total = cluster.allreduce(grid.ranks, partials, tag=f"{tag}:allreduce")
+    g = total[0]
+    return (g + g.T) * 0.5
+
+
+def dist_leading_factor(
+    dtensor: DistTensor,
+    mode: int,
+    k: int,
+    *,
+    tag: str = "svd",
+) -> np.ndarray:
+    """Leading-``k`` factor of the mode-``mode`` unfolding (replicated).
+
+    The EVD runs redundantly on every rank from the replicated Gram; the
+    ledger records it once (its critical-path time — the redundant copies
+    overlap perfectly).
+    """
+    g = dist_gram(dtensor, mode, tag=tag)
+    length = g.shape[0]
+    dtensor.cluster.record_compute(
+        "evd", f"{tag}:evd", flops=4.0 * length**3 / 3.0
+    )
+    return leading_eigvecs(g, k)

@@ -13,6 +13,7 @@ from repro.core.cost import tree_cost
 from repro.core.dynamic_grid import optimal_dynamic_scheme, static_scheme
 from repro.core.meta import TensorMeta
 from repro.core.opt_tree import optimal_tree, optimal_tree_cost
+from repro.core.grids import valid_grids
 from repro.core.ordering import h_ordering, k_ordering
 from repro.core.static_grid import optimal_static_grid
 from repro.core.trees import balanced_tree, chain_tree
@@ -68,7 +69,12 @@ class TestGridProperties:
     @given(metas(n_min=3, n_max=4), st.sampled_from([2, 4, 8]))
     @settings(max_examples=25)
     def test_dynamic_subsumes_static(self, m, p):
-        if p > int(np.prod(m.core)):
+        # the property only applies when a valid grid exists: p <= prod K_n
+        # is necessary but not sufficient (e.g. core (3, 3, 1) admits no
+        # factorization of 8 with q_n <= K_n)
+        try:
+            valid_grids(p, m)
+        except ValueError:
             return
         t = optimal_tree(m)
         _, vol_static = optimal_static_grid(t, m, p)
