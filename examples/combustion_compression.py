@@ -19,12 +19,10 @@ import numpy as np
 
 from repro import (
     Planner,
-    SimCluster,
     TensorMeta,
-    hooi_distributed,
+    TuckerSession,
     predict,
     separable_field_tensor,
-    sthosvd,
 )
 from repro.bench.algorithms import ALGORITHMS, make_planner, paper_label
 from repro.bench.suite import REAL_TENSORS
@@ -41,19 +39,18 @@ def run_scaled_pipeline() -> None:
     field = separable_field_tensor(SCALED_DIMS, n_bumps=8, noise=5e-3, seed=11)
     meta = TensorMeta(dims=SCALED_DIMS, core=SCALED_CORE)
 
-    init = sthosvd(field, SCALED_CORE, mode_order="optimal")
-    print(f"STHOSVD error:     {init.error_vs(field):.5f}")
-
     plan = Planner(n_procs=16, tree="optimal", grid="dynamic").plan(meta)
-    cluster = SimCluster(16)
-    result = hooi_distributed(cluster, field, init, plan=plan, max_iters=5)
+    session = TuckerSession(backend="simcluster", n_procs=16)
+    result = session.run(field, SCALED_CORE, plan=plan, max_iters=5)
+    stats = session.backend.cluster.stats
+    print(f"STHOSVD error:     {result.sthosvd_error:.5f}")
     print(f"HOOI errors:       {[f'{e:.5f}' for e in result.errors]}")
-    print(f"compression:       {result.decomposition.compression_ratio:.0f}x "
+    print(f"compression:       {result.compression_ratio:.0f}x "
           f"({field.size:,} -> "
           f"{result.decomposition.core.size + sum(f.size for f in result.decomposition.factors):,} values)")
-    print(f"comm volume:       {cluster.stats.volume():,.0f} elements "
-          f"(TTM rs {cluster.stats.volume(op='reduce_scatter'):,.0f}, "
-          f"regrid {cluster.stats.volume(op='alltoallv'):,.0f})")
+    print(f"comm volume:       {stats.volume():,.0f} elements "
+          f"(TTM rs {stats.volume(op='reduce_scatter'):,.0f}, "
+          f"regrid {stats.volume(op='alltoallv'):,.0f})")
 
 
 def compare_algorithms_on_full_sp() -> None:

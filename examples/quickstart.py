@@ -1,9 +1,10 @@
-"""Quickstart: plan, distribute and run HOOI on a virtual cluster.
+"""Quickstart: plan, compile and run HOOI on a virtual cluster.
 
-Builds a noisy low-multilinear-rank 4-D tensor, computes an STHOSVD initial
-decomposition, plans the HOOI invocation with the paper's optimal TTM-tree +
-dynamic gridding, runs it on a simulated 8-rank cluster, and prints the
-error trajectory and communication statistics.
+Builds a noisy low-multilinear-rank 4-D tensor, plans the HOOI invocation
+with the paper's optimal TTM-tree + dynamic gridding, and runs the full
+STHOSVD + HOOI pipeline through a :class:`~repro.session.TuckerSession`
+on the simulated 8-rank backend, printing the error trajectory and
+communication statistics.
 
 Run:  python examples/quickstart.py
 """
@@ -12,12 +13,10 @@ import numpy as np
 
 from repro import (
     Planner,
-    SimCluster,
     TensorMeta,
-    hooi_distributed,
+    TuckerSession,
     low_rank_tensor,
     predict,
-    sthosvd,
 )
 
 
@@ -39,18 +38,16 @@ def main() -> None:
     print(f"planned regrid volume:    {plan.regrid_volume:,} elements")
     print(f"initial grid for T:       {plan.initial_grid}")
 
-    # 2) Initial decomposition via STHOSVD.
-    init = sthosvd(tensor, core)
-    print(f"\nSTHOSVD error:            {init.error_vs(tensor):.6f}")
-
-    # 3) Iterate HOOI on the virtual cluster.
-    cluster = SimCluster(8)
-    result = hooi_distributed(cluster, tensor, init, plan=plan, max_iters=6)
+    # 2) + 3) STHOSVD init and iterated HOOI on the virtual cluster, via
+    #    the session API (the plan is compiled once and cached).
+    session = TuckerSession(backend="simcluster", n_procs=8)
+    result = session.run(tensor, core, plan=plan, max_iters=6)
+    print(f"\nSTHOSVD error:            {result.sthosvd_error:.6f}")
     print(f"HOOI errors per sweep:    {[f'{e:.6f}' for e in result.errors]}")
-    print(f"compression ratio:        {result.decomposition.compression_ratio:.1f}x")
+    print(f"compression ratio:        {result.compression_ratio:.1f}x")
 
     # 4) What actually moved on the (virtual) wire.
-    stats = cluster.stats
+    stats = session.backend.cluster.stats
     print(f"\nmeasured comm volume:     {stats.volume():,.0f} elements")
     print(f"  TTM reduce-scatter:     {stats.volume(op='reduce_scatter'):,.0f}")
     print(f"  regrids (all-to-all):   {stats.volume(op='alltoallv'):,.0f}")

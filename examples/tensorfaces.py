@@ -19,10 +19,8 @@ import numpy as np
 
 from repro import (
     Planner,
-    SimCluster,
     TensorMeta,
-    hooi_distributed,
-    sthosvd,
+    TuckerSession,
 )
 
 PIX_Y, PIX_X = 24, 20
@@ -70,13 +68,12 @@ def main() -> None:
     meta = TensorMeta(dims=dims, core=core)
     print(f"image ensemble {dims} -> multilinear rank {core}")
 
-    init = sthosvd(ensemble, core)
     plan = Planner(n_procs=8, tree="optimal", grid="dynamic").plan(meta)
-    cluster = SimCluster(8)
-    result = hooi_distributed(cluster, ensemble, init, plan=plan, max_iters=6)
+    session = TuckerSession(backend="simcluster", n_procs=8)
+    result = session.run(ensemble, core, plan=plan, max_iters=6)
     dec = result.decomposition
 
-    print(f"STHOSVD error:   {init.error_vs(ensemble):.4f}")
+    print(f"STHOSVD error:   {result.sthosvd_error:.4f}")
     print(f"HOOI errors:     {[f'{e:.4f}' for e in result.errors]}")
     print(f"compression:     {dec.compression_ratio:.1f}x")
 

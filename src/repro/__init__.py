@@ -16,18 +16,20 @@ The package implements the paper's full system:
 * the **benchmark harness** regenerating every table and figure of the
   paper's evaluation (see benchmarks/ and EXPERIMENTS.md).
 
-Quickstart::
+Quickstart (the session API: plan once, compile, run many tensors)::
 
     import numpy as np
-    from repro import TensorMeta, Planner, SimCluster, sthosvd, hooi_distributed
+    from repro import TuckerSession
 
     T = np.random.default_rng(0).standard_normal((40, 30, 20, 10))
-    meta = TensorMeta(dims=T.shape, core=(8, 6, 5, 4))
-    plan = Planner(n_procs=8, tree="optimal", grid="dynamic").plan(meta)
-    init = sthosvd(T, meta.core)
-    cluster = SimCluster(8)
-    result = hooi_distributed(cluster, T, init, plan=plan)
-    print(result.errors, cluster.stats.volume())
+    session = TuckerSession(backend="simcluster", n_procs=8)
+    result = session.run(T, (8, 6, 5, 4))      # compiles + caches the plan
+    print(result.error, result.backend, session.backend.stats())
+
+Backends: ``"sequential"`` (numpy), ``"simcluster"`` (the virtual cluster
+with exact volume accounting), ``"threaded"`` (shared-memory block
+parallelism). The legacy one-shot entry points (``tucker``,
+``hooi_sequential``, ``hooi_distributed``) remain as deprecation shims.
 """
 
 from repro._version import __version__
@@ -49,6 +51,14 @@ from repro.core import (
 )
 from repro.mpi import MachineModel, SimCluster
 from repro.dist import DistTensor, dist_ttm, regrid
+from repro.backends import (
+    ExecutionBackend,
+    SequentialBackend,
+    SimClusterBackend,
+    ThreadedBackend,
+    get_backend,
+)
+from repro.session import CompiledPlan, TuckerSession, compile_plan
 from repro.hooi import (
     TuckerDecomposition,
     sthosvd,
@@ -94,6 +104,14 @@ __all__ = [
     "DistTensor",
     "dist_ttm",
     "regrid",
+    "ExecutionBackend",
+    "SequentialBackend",
+    "SimClusterBackend",
+    "ThreadedBackend",
+    "get_backend",
+    "CompiledPlan",
+    "TuckerSession",
+    "compile_plan",
     "TuckerDecomposition",
     "sthosvd",
     "dist_sthosvd",

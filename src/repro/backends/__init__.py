@@ -1,0 +1,80 @@
+"""Execution backends: where compiled plans run.
+
+The planner produces metadata-only :class:`~repro.core.planner.Plan`
+objects; :mod:`repro.session` compiles them into backend-neutral schedules;
+the backends here execute those schedules:
+
+* :class:`SequentialBackend` — single-process numpy (the reference path);
+* :class:`SimClusterBackend` — the ``repro.dist`` engine on a virtual
+  cluster with exact communication-volume accounting;
+* :class:`ThreadedBackend` — shared-memory block parallelism over a thread
+  pool (BLAS releases the GIL), the first real-parallel path.
+
+``get_backend`` resolves a backend from a name or passes instances through.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import ExecutionBackend
+from repro.backends.schedule import (
+    Step,
+    check_factors,
+    compile_core_steps,
+    compile_tree_steps,
+    run_core_steps,
+    run_tree_steps,
+)
+from repro.backends.sequential import SequentialBackend
+from repro.backends.simcluster import SimClusterBackend
+from repro.backends.threaded import ThreadedBackend
+
+#: resolvable backend names, in documentation order.
+BACKEND_NAMES = ("sequential", "simcluster", "threaded")
+
+
+def get_backend(
+    spec: str | ExecutionBackend,
+    *,
+    cluster=None,
+    n_procs: int | None = None,
+    machine=None,
+) -> ExecutionBackend:
+    """Resolve ``spec`` into an :class:`ExecutionBackend`.
+
+    Accepts an instance (returned as-is), or one of the names in
+    :data:`BACKEND_NAMES`. ``cluster``/``n_procs``/``machine`` configure a
+    freshly built :class:`SimClusterBackend`; ``n_procs`` caps the worker
+    count of a fresh :class:`ThreadedBackend`.
+    """
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if spec == "sequential":
+        return SequentialBackend()
+    if spec == "simcluster":
+        if cluster is None and n_procs is None:
+            raise ValueError(
+                "backend 'simcluster' needs a cluster= or n_procs="
+            )
+        return SimClusterBackend(cluster, n_procs=n_procs, machine=machine)
+    if spec == "threaded":
+        return ThreadedBackend(n_workers=n_procs)
+    raise ValueError(
+        f"unknown backend {spec!r}; expected one of {BACKEND_NAMES} "
+        f"or an ExecutionBackend instance"
+    )
+
+
+__all__ = [
+    "ExecutionBackend",
+    "SequentialBackend",
+    "SimClusterBackend",
+    "ThreadedBackend",
+    "BACKEND_NAMES",
+    "get_backend",
+    "Step",
+    "check_factors",
+    "compile_tree_steps",
+    "compile_core_steps",
+    "run_tree_steps",
+    "run_core_steps",
+]

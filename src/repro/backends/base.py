@@ -1,0 +1,115 @@
+"""The :class:`ExecutionBackend` protocol.
+
+A backend is the thing a :class:`~repro.session.CompiledPlan` runs on. It
+exposes exactly the capabilities the paper's execution layer needs — TTM,
+Gram/leading-factor extraction, regridding, and the two reductions
+(Frobenius norm, gather) — over an opaque *handle* type of its choosing
+(a plain ndarray for the shared-memory backends, a
+:class:`~repro.dist.dtensor.DistTensor` for the virtual cluster). Every
+backend also carries a :class:`~repro.mpi.stats.StatsLedger` so callers can
+read volumes/FLOPs/seconds uniformly via :meth:`ExecutionBackend.stats`.
+
+The schedule executor (:mod:`repro.backends.schedule`) is written purely
+against this interface; adding a backend means implementing these seven
+primitives, nothing more.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+import numpy as np
+
+from repro.mpi.stats import StatsLedger
+
+
+class ExecutionBackend(abc.ABC):
+    """Abstract execution backend: primitives + a stats ledger.
+
+    Handles are opaque to callers; only the backend that produced a handle
+    may consume it. ``tag`` arguments label ledger records with the usual
+    ``component:detail`` convention.
+    """
+
+    #: short identifier ("sequential", "simcluster", "threaded", ...)
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.ledger = StatsLedger()
+
+    # -- planning ------------------------------------------------------- #
+
+    @property
+    def default_procs(self) -> int:
+        """Processor count plans default to when the caller names none."""
+        return 1
+
+    # -- data placement -------------------------------------------------- #
+
+    @abc.abstractmethod
+    def distribute(self, tensor: np.ndarray, grid: tuple[int, ...]) -> Any:
+        """Place a global ndarray per ``grid`` and return a handle."""
+
+    @abc.abstractmethod
+    def gather(self, handle: Any) -> np.ndarray:
+        """Assemble a handle back into a global ndarray."""
+
+    @abc.abstractmethod
+    def shape(self, handle: Any) -> tuple[int, ...]:
+        """Global shape of the tensor behind ``handle``."""
+
+    # -- kernels ---------------------------------------------------------- #
+
+    @abc.abstractmethod
+    def ttm(
+        self, handle: Any, matrix: np.ndarray, mode: int, *, tag: str = "ttm"
+    ) -> Any:
+        """``Z = X x_mode matrix`` (``matrix`` is ``K x L_mode``)."""
+
+    @abc.abstractmethod
+    def leading_factor(
+        self,
+        handle: Any,
+        mode: int,
+        k: int,
+        *,
+        tag: str = "svd",
+        method: str = "gram",
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Leading-``k`` left factor of the mode-``mode`` unfolding.
+
+        Always returns a replicated (plain ndarray) factor with the
+        deterministic sign convention. ``out``, when given and compatible,
+        is scratch for the Gram accumulation (a preallocated workspace from
+        a compiled plan); backends may ignore it.
+        """
+
+    @abc.abstractmethod
+    def regrid(
+        self, handle: Any, grid: tuple[int, ...], *, tag: str = "regrid"
+    ) -> Any:
+        """Move the tensor onto ``grid`` (a no-op for shared memory)."""
+
+    @abc.abstractmethod
+    def fro_norm_sq(self, handle: Any, *, tag: str = "norm") -> float:
+        """Squared Frobenius norm (a full reduction)."""
+
+    # -- ledger ----------------------------------------------------------- #
+
+    def stats(self) -> dict[str, float]:
+        """Uniform ledger summary: volumes, FLOPs and modeled/measured time."""
+        return {
+            "comm_volume": self.ledger.volume(),
+            "flops": self.ledger.flops(),
+            "comm_seconds": self.ledger.comm_seconds(),
+            "compute_seconds": self.ledger.compute_seconds(),
+            "events": float(len(self.ledger)),
+        }
+
+    def reset_stats(self) -> None:
+        self.ledger.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

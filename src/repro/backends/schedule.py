@@ -1,0 +1,244 @@
+"""Backend-neutral execution schedules.
+
+Planning (TTM-tree + grid DP) and execution are decoupled in the paper; the
+schedule is the artifact that crosses the boundary. A tree or chain is
+*compiled once* into a flat tuple of :class:`Step` ops — regrid / ttm / svd
+/ free over named slots — and the two tiny interpreters here replay that
+program against any :class:`~repro.backends.base.ExecutionBackend`. The
+depth-first slot discipline keeps at most ``depth`` intermediates alive,
+the in-order bound of section 3.1; ledger tags are reconstructed as
+``{prefix}:{step.tag}`` so executed volumes aggregate exactly as before
+(``hooi:ttm:n3``, ``hooi:regrid:n7``, ``hooi:svd:m2``, ``core:ttm1``...).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.backends.base import ExecutionBackend
+from repro.core.meta import TensorMeta
+from repro.core.trees import Node, TTMTree
+from repro.util.dtypes import as_float
+
+#: slot name of the schedule's input tensor.
+ROOT_SLOT = "root"
+
+
+@dataclass(frozen=True)
+class Step:
+    """One op of a compiled schedule.
+
+    ``op`` is one of ``"regrid"`` (src -> dst on ``grid``), ``"ttm"``
+    (src -> dst along ``mode`` by the mode's factor transpose), ``"svd"``
+    (read src, emit the mode-``mode`` rank-``k`` factor) or ``"free"``
+    (drop src). ``tag`` is the ledger tag suffix.
+    """
+
+    op: str
+    src: str
+    dst: str = ""
+    mode: int = -1
+    k: int = 0
+    grid: tuple[int, ...] = ()
+    tag: str = ""
+
+
+def check_factors(
+    factors: Sequence[np.ndarray],
+    meta: TensorMeta,
+    dtype=None,
+) -> list[np.ndarray]:
+    """Validate factor shapes against ``meta``; cast to the working dtype."""
+    factors = [as_float(f, dtype) for f in factors]
+    if len(factors) != meta.ndim:
+        raise ValueError(f"need {meta.ndim} factors, got {len(factors)}")
+    for n, f in enumerate(factors):
+        if f.shape != (meta.dims[n], meta.core[n]):
+            raise ValueError(
+                f"factor {n} has shape {f.shape}, expected "
+                f"{(meta.dims[n], meta.core[n])}"
+            )
+    return factors
+
+
+# --------------------------------------------------------------------- #
+# compilation
+# --------------------------------------------------------------------- #
+
+
+def compile_tree_steps(
+    tree: TTMTree, meta: TensorMeta, scheme=None
+) -> tuple[Step, ...]:
+    """Compile one HOOI invocation's TTM component + SVDs.
+
+    With a grid ``scheme`` each TTM child is preceded by a regrid onto its
+    assigned grid (each child regrids its own copy of the parent's output,
+    matching the model's per-child ``|In(u)|`` charge); without one the
+    schedule is grid-free and runs on any backend's native layout.
+    """
+    steps: list[Step] = []
+
+    def visit(node: Node, slot: str) -> None:
+        for child in node.children:
+            if child.kind == "ttm":
+                src = slot
+                if scheme is not None:
+                    src = f"n{child.uid}:in"
+                    steps.append(
+                        Step(
+                            op="regrid",
+                            src=slot,
+                            dst=src,
+                            grid=tuple(scheme.grid_of(child.uid)),
+                            tag=f"regrid:n{child.uid}",
+                        )
+                    )
+                out = f"n{child.uid}"
+                steps.append(
+                    Step(
+                        op="ttm",
+                        src=src,
+                        dst=out,
+                        mode=child.mode,
+                        tag=f"ttm:n{child.uid}",
+                    )
+                )
+                if src != slot:
+                    steps.append(Step(op="free", src=src))
+                visit(child, out)
+                steps.append(Step(op="free", src=out))
+            else:
+                steps.append(
+                    Step(
+                        op="svd",
+                        src=slot,
+                        mode=child.mode,
+                        k=meta.core[child.mode],
+                        tag=f"svd:m{child.mode}",
+                    )
+                )
+
+    visit(tree.root, ROOT_SLOT)
+    return tuple(steps)
+
+
+def compile_core_steps(
+    order: Sequence[int],
+    core_scheme: Sequence[Sequence[int]] | None = None,
+) -> tuple[Step, ...]:
+    """Compile the new-core chain ``G~ = T x F~^T ...`` in ``order``.
+
+    With ``core_scheme`` (one grid per chain position) the tensor is
+    regridded ahead of the steps that ask for it — the dynamic algorithm's
+    path-DP gridding. Tags follow the legacy layout (``regrid{i}``,
+    ``ttm{mode}``) so existing ledger aggregations keep working.
+    """
+    steps: list[Step] = []
+    slot = ROOT_SLOT
+    for i, mode in enumerate(order):
+        if core_scheme is not None:
+            dst = f"core:g{i}"
+            steps.append(
+                Step(
+                    op="regrid",
+                    src=slot,
+                    dst=dst,
+                    grid=tuple(core_scheme[i]),
+                    tag=f"regrid{i}",
+                )
+            )
+            if slot != ROOT_SLOT:
+                steps.append(Step(op="free", src=slot))
+            slot = dst
+        out = f"core:{i}"
+        steps.append(
+            Step(op="ttm", src=slot, dst=out, mode=mode, tag=f"ttm{mode}")
+        )
+        if slot != ROOT_SLOT:
+            steps.append(Step(op="free", src=slot))
+        slot = out
+    return tuple(steps)
+
+
+# --------------------------------------------------------------------- #
+# interpretation
+# --------------------------------------------------------------------- #
+
+
+def run_tree_steps(
+    backend: ExecutionBackend,
+    handle,
+    factors: Sequence[np.ndarray],
+    steps: Sequence[Step],
+    *,
+    tag: str = "hooi",
+    method: str = "gram",
+    workspace: dict[int, np.ndarray] | None = None,
+) -> dict[int, np.ndarray]:
+    """Replay a tree schedule; returns ``{mode: new factor}``.
+
+    ``factors`` are the *current* factor matrices (TTM steps multiply by
+    their transposes, as Figure 2 specifies). ``workspace`` optionally maps
+    modes to preallocated Gram buffers.
+    """
+    slots = {ROOT_SLOT: handle}
+    new_factors: dict[int, np.ndarray] = {}
+    for step in steps:
+        full_tag = f"{tag}:{step.tag}" if step.tag else tag
+        if step.op == "regrid":
+            slots[step.dst] = backend.regrid(
+                slots[step.src], step.grid, tag=full_tag
+            )
+        elif step.op == "ttm":
+            slots[step.dst] = backend.ttm(
+                slots[step.src], factors[step.mode].T, step.mode, tag=full_tag
+            )
+        elif step.op == "svd":
+            out = workspace.get(step.mode) if workspace else None
+            new_factors[step.mode] = backend.leading_factor(
+                slots[step.src],
+                step.mode,
+                step.k,
+                tag=full_tag,
+                method=method,
+                out=out,
+            )
+        elif step.op == "free":
+            slots.pop(step.src, None)
+        else:  # pragma: no cover - compile emits only the four ops
+            raise AssertionError(f"unknown step op {step.op!r}")
+    return new_factors
+
+
+def run_core_steps(
+    backend: ExecutionBackend,
+    handle,
+    factors: Sequence[np.ndarray],
+    steps: Sequence[Step],
+    *,
+    tag: str = "core",
+):
+    """Replay a core-chain schedule; returns the final (core) handle.
+
+    ``factors`` are the *new* factor matrices indexed by mode.
+    """
+    slots = {ROOT_SLOT: handle}
+    current = handle
+    for step in steps:
+        full_tag = f"{tag}:{step.tag}" if step.tag else tag
+        if step.op == "regrid":
+            current = backend.regrid(slots[step.src], step.grid, tag=full_tag)
+            slots[step.dst] = current
+        elif step.op == "ttm":
+            current = backend.ttm(
+                slots[step.src], factors[step.mode].T, step.mode, tag=full_tag
+            )
+            slots[step.dst] = current
+        elif step.op == "free":
+            slots.pop(step.src, None)
+        else:  # pragma: no cover - core schedules hold regrid/ttm/free only
+            raise AssertionError(f"unexpected step op {step.op!r} in core chain")
+    return current

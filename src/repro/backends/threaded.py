@@ -1,0 +1,218 @@
+"""Shared-memory threaded backend — the first real-parallel path.
+
+Handles are plain ndarrays living in shared memory; each kernel partitions
+its work over the same near-even block ranges the distributed engine uses
+(:func:`repro.dist.blocks.block_ranges`) and fans the blocks out to a
+thread pool. NumPy releases the GIL inside BLAS, so the per-block dgemms
+genuinely overlap. Determinism is preserved by construction:
+
+* TTM blocks write disjoint slices of a preallocated output (no reduction
+  across threads at all);
+* Gram partials and norm partials are summed in ascending block order, the
+  same fixed-order discipline the virtual cluster uses.
+
+Regridding is the identity (one address space) and no communication volume
+is ever recorded — the honest ledger of a shared-memory machine.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
+
+import numpy as np
+
+from repro.backends.base import ExecutionBackend
+from repro.dist.blocks import block_ranges
+from repro.tensor.linalg import leading_eigvecs
+from repro.tensor.ttm import ttm
+from repro.tensor.unfold import unfold
+from repro.util.validation import check_positive_int
+
+
+def _default_workers() -> int:
+    return max(1, min(8, (os.cpu_count() or 2) - 1))
+
+
+class ThreadedBackend(ExecutionBackend):
+    """Block-parallel execution over a thread pool.
+
+    Parameters
+    ----------
+    n_workers:
+        Pool size; defaults to ``min(8, cpu_count - 1)``. Also the
+        processor count plans default to, so planning granularity matches
+        execution granularity.
+    """
+
+    name = "threaded"
+
+    def __init__(self, n_workers: int | None = None) -> None:
+        super().__init__()
+        self.n_workers = (
+            _default_workers()
+            if n_workers is None
+            else check_positive_int(n_workers, "n_workers")
+        )
+        self._pool: ThreadPoolExecutor | None = None
+
+    @property
+    def default_procs(self) -> int:
+        return self.n_workers
+
+    # -- pool lifecycle --------------------------------------------------- #
+
+    def _executor(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.n_workers, thread_name_prefix="repro-block"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the pool down; the backend stays usable (pool reopens)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ThreadedBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+
+    # -- block geometry --------------------------------------------------- #
+
+    def _split_mode(self, shape: tuple[int, ...], avoid: int | None) -> int | None:
+        """Mode to partition along: the longest mode other than ``avoid``."""
+        candidates = [
+            (length, m)
+            for m, length in enumerate(shape)
+            if m != avoid and length > 1
+        ]
+        if not candidates:
+            return None
+        return max(candidates)[1]
+
+    def _block_slices(self, length: int) -> list[slice]:
+        n_blocks = min(self.n_workers, length)
+        return [slice(a, b) for a, b in block_ranges(length, n_blocks)]
+
+    # -- data placement -------------------------------------------------- #
+
+    def distribute(self, tensor: np.ndarray, grid) -> np.ndarray:
+        return np.ascontiguousarray(tensor)
+
+    def gather(self, handle: np.ndarray) -> np.ndarray:
+        return handle
+
+    def shape(self, handle: np.ndarray) -> tuple[int, ...]:
+        return tuple(handle.shape)
+
+    # -- kernels ---------------------------------------------------------- #
+
+    def ttm(
+        self, handle: np.ndarray, matrix: np.ndarray, mode: int, *, tag="ttm"
+    ) -> np.ndarray:
+        start = perf_counter()
+        split = self._split_mode(handle.shape, avoid=mode)
+        if split is None:
+            out = ttm(handle, matrix, mode)
+        else:
+            out_shape = (
+                handle.shape[:mode]
+                + (matrix.shape[0],)
+                + handle.shape[mode + 1 :]
+            )
+            out = np.empty(
+                out_shape, dtype=np.result_type(handle.dtype, matrix.dtype)
+            )
+
+            def work(sl: slice) -> None:
+                index: list[slice] = [slice(None)] * handle.ndim
+                index[split] = sl
+                out[tuple(index)] = ttm(handle[tuple(index)], matrix, mode)
+
+            list(self._executor().map(work, self._block_slices(handle.shape[split])))
+        self.ledger.add_compute(
+            op="gemm",
+            tag=tag,
+            flops=float(matrix.shape[0] * handle.size),
+            seconds=perf_counter() - start,
+        )
+        return out
+
+    def leading_factor(
+        self,
+        handle: np.ndarray,
+        mode: int,
+        k: int,
+        *,
+        tag: str = "svd",
+        method: str = "gram",
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        if method != "gram":
+            raise ValueError(
+                f"ThreadedBackend only supports the Gram+EVD route, "
+                f"got method={method!r}"
+            )
+        start = perf_counter()
+        length = handle.shape[mode]
+        split = self._split_mode(handle.shape, avoid=mode)
+        if split is None:
+            u = unfold(handle, mode)
+            g = u @ u.T
+        else:
+            slices = self._block_slices(handle.shape[split])
+
+            def partial(sl: slice) -> np.ndarray:
+                index: list[slice] = [slice(None)] * handle.ndim
+                index[split] = sl
+                u = unfold(handle[tuple(index)], mode)
+                return u @ u.T
+
+            partials = list(self._executor().map(partial, slices))
+            # Fixed ascending-block reduction order (determinism).
+            if out is not None and out.shape == (length, length) and (
+                out.dtype == partials[0].dtype
+            ):
+                g = out
+                g[...] = partials[0]
+            else:
+                g = partials[0].copy()
+            for p in partials[1:]:
+                g += p
+        g = (g + g.T) * 0.5
+        flops = (
+            length * (length + 1) // 2 * (handle.size // length)
+            + 4 * length**3 // 3
+        )
+        factor = leading_eigvecs(g, k)
+        self.ledger.add_compute(
+            op="syrk",
+            tag=tag,
+            flops=float(flops),
+            seconds=perf_counter() - start,
+        )
+        return factor
+
+    def regrid(self, handle: np.ndarray, grid, *, tag="regrid") -> np.ndarray:
+        return handle
+
+    def fro_norm_sq(self, handle: np.ndarray, *, tag="norm") -> float:
+        flat = handle.reshape(-1)
+        slices = self._block_slices(flat.shape[0])
+        if len(slices) <= 1:
+            return float(np.dot(flat, flat))
+
+        def partial(sl: slice) -> float:
+            piece = flat[sl]
+            return float(np.dot(piece, piece))
+
+        return float(sum(self._executor().map(partial, slices)))

@@ -1,15 +1,18 @@
-"""Command-line interface: plan, inspect and model from the shell.
+"""Command-line interface: plan, decompose, inspect and model from the shell.
 
 Subcommands
 -----------
-``plan``   plan one metadata instance and print (or save) the plan
-``psi``    print the Table-1 grid counts for given P and N range
-``model``  model one HOOI invocation for every algorithm configuration
-``suite``  print benchmark-suite statistics
+``plan``       plan one metadata instance and print (or save) the plan
+``decompose``  actually decompose a tensor via the session API
+``psi``        print the Table-1 grid counts for given P and N range
+``model``      model one HOOI invocation for every algorithm configuration
+``suite``      print benchmark-suite statistics
 
 Examples::
 
     python -m repro plan --dims 400,100,100,50,20 --core 80,80,10,40,10 -p 32
+    python -m repro decompose --random 24,20,16 --core 6,5,4 --backend threaded
+    python -m repro decompose --input t.npy --core 8,6,5 --json
     python -m repro psi -p 32 --n-min 5 --n-max 10
     python -m repro model --tensor SP -p 32
     python -m repro suite --ndim 5
@@ -18,9 +21,11 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 
+from repro.backends import BACKEND_NAMES
 from repro.bench.algorithms import ALGORITHMS, make_planner, paper_label
 from repro.bench.report import ascii_table
 from repro.bench.suite import REAL_TENSORS, benchmark_metas, real_tensor_meta
@@ -30,6 +35,7 @@ from repro.core.meta import TensorMeta
 from repro.core.planner import Planner
 from repro.hooi.model import predict
 from repro.mpi.machine import MachineModel
+from repro.session import TuckerSession
 
 
 def _parse_ints(text: str) -> tuple[int, ...]:
@@ -70,6 +76,65 @@ def cmd_plan(args) -> int:
     return 0
 
 
+def cmd_decompose(args) -> int:
+    import numpy as np
+
+    from repro.tensor.random import random_tensor
+
+    if args.random is not None:
+        tensor = random_tensor(args.random, seed=args.seed)
+    elif args.input:
+        tensor = np.load(args.input)
+    else:
+        raise SystemExit("provide --input FILE.npy or --random DIMS")
+    if not args.core:
+        raise SystemExit("provide --core K1,K2,...")
+
+    session = TuckerSession(backend=args.backend, n_procs=args.procs)
+    result = session.run(
+        tensor,
+        args.core,
+        planner=args.planner,
+        n_procs=args.procs,
+        dtype=args.dtype,
+        max_iters=args.max_iters,
+        tol=args.tol,
+        skip_hooi=args.skip_hooi,
+    )
+    stats = session.backend.stats()
+    plan = result.plan
+    payload = {
+        "dims": list(tensor.shape),
+        "core": list(result.decomposition.core_dims),
+        "backend": result.backend,
+        "dtype": result.decomposition.core.dtype.name,
+        "planner": str(args.planner),
+        "tree_kind": plan.tree_kind,
+        "grid_kind": plan.grid_kind,
+        "n_procs": plan.n_procs,
+        "sthosvd_error": result.sthosvd_error,
+        "error": result.error,
+        "n_iters": result.n_iters,
+        "compression_ratio": result.compression_ratio,
+        "from_cache": result.from_cache,
+        "ledger": stats,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"tensor:             {'x'.join(map(str, tensor.shape))} "
+          f"-> {'x'.join(map(str, result.decomposition.core_dims))}")
+    print(f"backend:            {result.backend} ({payload['dtype']})")
+    print(f"plan:               tree={plan.tree_kind}, grid={plan.grid_kind}, "
+          f"P={plan.n_procs} (cache {'hit' if result.from_cache else 'miss'})")
+    print(f"sthosvd error:      {result.sthosvd_error:.6e}")
+    print(f"final error:        {result.error:.6e} ({result.n_iters} HOOI iters)")
+    print(f"compression ratio:  {result.compression_ratio:.2f}x")
+    print(f"ledger volume:      {stats['comm_volume']:,.0f} elements")
+    print(f"ledger flops:       {stats['flops']:,.0f} multiply-adds")
+    return 0
+
+
 def cmd_psi(args) -> int:
     ns = list(range(args.n_min, args.n_max + 1))
     rows = [[f"P={args.procs}"] + [psi(args.procs, n) for n in ns]]
@@ -77,12 +142,19 @@ def cmd_psi(args) -> int:
     return 0
 
 
+#: planning goes through the session layer so repeated CLI invocations in
+#: one process (and the model loop below) share the compiled-plan cache.
+_planning_session = TuckerSession(backend="sequential", cache_size=64)
+
+
 def cmd_model(args) -> int:
     meta = _meta_from_args(args)
     machine = MachineModel.bgq_like()
     rows = []
     for name in ALGORITHMS:
-        plan = make_planner(name, args.procs).plan(meta)
+        plan = _planning_session.compile(
+            meta, planner=make_planner(name, args.procs)
+        ).plan
         rep = predict(plan, machine)
         rows.append(
             [
@@ -137,6 +209,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--show-tree", action="store_true")
     p_plan.add_argument("--out", help="write the plan JSON here")
     p_plan.set_defaults(func=cmd_plan)
+
+    p_dec = sub.add_parser(
+        "decompose", help="decompose a tensor via the session API"
+    )
+    p_dec.add_argument("--input", help="load the tensor from this .npy file")
+    p_dec.add_argument(
+        "--random", type=_parse_ints, metavar="DIMS",
+        help="generate a random tensor with these dims (L1,L2,...)",
+    )
+    p_dec.add_argument("--core", type=_parse_ints, help="K1,K2,...")
+    p_dec.add_argument(
+        "--backend", default="sequential", choices=BACKEND_NAMES
+    )
+    p_dec.add_argument(
+        "--planner", default="portfolio",
+        help="'portfolio' or a tree kind (optimal, chain-k, ...)",
+    )
+    p_dec.add_argument("-p", "--procs", type=int, default=8)
+    p_dec.add_argument(
+        "--dtype", default=None, choices=["float32", "float64"],
+        help="working precision (default: keep float32/float64 inputs)",
+    )
+    p_dec.add_argument("--max-iters", type=int, default=10)
+    p_dec.add_argument("--tol", type=float, default=1e-8)
+    p_dec.add_argument("--skip-hooi", action="store_true")
+    p_dec.add_argument("--seed", type=int, default=0)
+    p_dec.add_argument("--json", action="store_true")
+    p_dec.set_defaults(func=cmd_decompose)
 
     p_psi = sub.add_parser("psi", help="grid counts (Table 1)")
     p_psi.add_argument("-p", "--procs", type=int, default=32)

@@ -18,6 +18,7 @@ import numpy as np
 from repro.dist.blocks import block_ranges
 from repro.dist.grid_comm import ProcessorGrid
 from repro.mpi.comm import SimCluster
+from repro.util.dtypes import as_float
 
 
 class DistTensor:
@@ -85,9 +86,10 @@ class DistTensor:
         """Scatter a global ndarray onto ``grid_shape`` (no volume charged).
 
         The paper does not charge the initial distribution of ``T``; neither
-        does the engine.
+        does the engine. Floating dtypes are preserved (float32 stays
+        float32); everything else promotes to float64.
         """
-        tensor = np.asarray(tensor, dtype=np.float64)
+        tensor = as_float(tensor)
         grid = ProcessorGrid(cluster, tuple(grid_shape))
         if tensor.ndim != grid.ndim:
             raise ValueError(
@@ -109,7 +111,7 @@ class DistTensor:
 
     def to_global(self) -> np.ndarray:
         """Assemble and return the global ndarray (test/driver-side only)."""
-        out = np.empty(self.global_shape, dtype=np.float64)
+        out = np.empty(self.global_shape, dtype=self.dtype)
         for rank in range(self.grid.n_procs):
             out[self.block_slices(rank)] = self._blocks[rank]
         return out
@@ -125,6 +127,11 @@ class DistTensor:
     @property
     def ndim(self) -> int:
         return len(self.global_shape)
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Element dtype of the per-rank blocks."""
+        return self._blocks[0].dtype
 
     @property
     def cardinality(self) -> int:

@@ -81,7 +81,7 @@ def dist_gram(
     for rank in range(cluster.n_procs):
         slab = slabs.get(rank)
         if slab is None:
-            partials[rank] = np.zeros((length, length))
+            partials[rank] = np.zeros((length, length), dtype=dtensor.dtype)
             continue
         u = unfold(slab, mode)
         partials[rank] = u @ u.T

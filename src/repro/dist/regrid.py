@@ -99,7 +99,7 @@ def regrid(
             dst_ranges[m][c] for m, c in enumerate(dst_coords)
         )
         brick = np.empty(
-            tuple(b - a for a, b in brick_ranges), dtype=np.float64
+            tuple(b - a for a, b in brick_ranges), dtype=dtensor.dtype
         )
         for src, piece in recv[dst].items():
             inter = pieces_meta[(src, dst)]

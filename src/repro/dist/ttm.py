@@ -16,6 +16,7 @@ import numpy as np
 from repro.dist.blocks import block_sizes
 from repro.dist.dtensor import DistTensor
 from repro.tensor.ttm import ttm
+from repro.util.dtypes import as_float
 from repro.util.validation import check_mode
 
 
@@ -34,7 +35,7 @@ def dist_ttm(
     ``reduce_scatter`` comm event per mode-fiber group.
     """
     mode = check_mode(mode, dtensor.ndim)
-    matrix = np.asarray(matrix, dtype=np.float64)
+    matrix = as_float(matrix)
     grid = dtensor.grid
     length = dtensor.global_shape[mode]
     if matrix.ndim != 2 or matrix.shape[1] != length:

@@ -1,43 +1,25 @@
-"""One-call front door: ``tucker()``.
+"""Legacy one-call front door: ``tucker()``.
 
-Wraps the full pipeline a downstream user wants by default: STHOSVD
-initialization, portfolio (or named) planning, HOOI refinement to
-tolerance, on either the sequential path or a virtual cluster.
+.. deprecated::
+    ``tucker()`` is a thin shim over :class:`repro.session.TuckerSession`,
+    which is the supported API: it compiles the plan once (with an LRU
+    plan cache), runs on any :mod:`repro.backends` backend, and honors the
+    input dtype. The shim remains for compatibility and emits a
+    :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Sequence
-from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.meta import TensorMeta
-from repro.core.planner import Plan, Planner
-from repro.hooi.decomposition import TuckerDecomposition
-from repro.hooi.hooi import HooiResult, hooi_distributed, hooi_sequential
-from repro.hooi.portfolio import select_plan
-from repro.hooi.sthosvd import sthosvd
+from repro.core.planner import Planner
 from repro.mpi.comm import SimCluster
-from repro.util.validation import check_core_dims
+from repro.session import TuckerResult, TuckerSession
 
-
-@dataclass
-class TuckerResult:
-    """Everything ``tucker()`` produces."""
-
-    decomposition: TuckerDecomposition
-    plan: Plan
-    errors: list[float]
-    sthosvd_error: float
-
-    @property
-    def error(self) -> float:
-        return self.errors[-1] if self.errors else self.sthosvd_error
-
-    @property
-    def compression_ratio(self) -> float:
-        return self.decomposition.compression_ratio
+__all__ = ["TuckerResult", "tucker"]
 
 
 def tucker(
@@ -50,8 +32,15 @@ def tucker(
     max_iters: int = 10,
     tol: float = 1e-8,
     skip_hooi: bool = False,
+    dtype=None,
 ) -> TuckerResult:
     """Compute a Tucker decomposition of ``tensor`` with core ``core_dims``.
+
+    .. deprecated::
+        Use :class:`repro.session.TuckerSession` — ``tucker(t, k)`` is
+        ``TuckerSession().run(t, k)`` (sequential) or
+        ``TuckerSession(backend="simcluster", cluster=c).run(t, k)``
+        (distributed).
 
     Parameters
     ----------
@@ -66,40 +55,29 @@ def tucker(
     skip_hooi:
         Stop after STHOSVD (the paper notes STHOSVD alone suffices for some
         domains); the result then carries the STHOSVD decomposition.
+    dtype:
+        Working precision; by default float32 inputs stay float32 and
+        everything else runs in float64.
     """
-    tensor = np.asarray(tensor, dtype=np.float64)
-    core_dims = check_core_dims(core_dims, tensor.shape)
-    meta = TensorMeta(dims=tensor.shape, core=core_dims)
-    procs = cluster.n_procs if cluster is not None else (n_procs or 1)
-
-    if isinstance(planner, Planner):
-        plan = planner.plan(meta)
-    elif planner == "portfolio":
-        plan = select_plan(meta, procs).plan
-    else:
-        plan = Planner(procs, tree=planner, grid="dynamic").plan(meta)
-
-    init = sthosvd(tensor, core_dims, mode_order="optimal")
-    init_error = init.error_vs(tensor)
-    if skip_hooi:
-        return TuckerResult(
-            decomposition=init,
-            plan=plan,
-            errors=[],
-            sthosvd_error=init_error,
-        )
-
+    warnings.warn(
+        "tucker() is deprecated; use repro.session.TuckerSession "
+        "(session.run(tensor, core_dims, ...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if cluster is not None:
-        result: HooiResult = hooi_distributed(
-            cluster, tensor, init, plan=plan, max_iters=max_iters, tol=tol
-        )
+        session = TuckerSession(backend="simcluster", cluster=cluster)
+        procs = cluster.n_procs
     else:
-        result = hooi_sequential(
-            tensor, init, plan=plan, max_iters=max_iters, tol=tol
-        )
-    return TuckerResult(
-        decomposition=result.decomposition,
-        plan=plan,
-        errors=result.errors,
-        sthosvd_error=init_error,
+        session = TuckerSession(backend="sequential")
+        procs = n_procs or 1
+    return session.run(
+        tensor,
+        core_dims,
+        planner=planner,
+        n_procs=procs,
+        dtype=dtype,
+        max_iters=max_iters,
+        tol=tol,
+        skip_hooi=skip_hooi,
     )

@@ -10,6 +10,7 @@ import numpy as np
 from repro.core.meta import TensorMeta
 from repro.tensor.dense import fro_norm, relative_error
 from repro.tensor.ttm import ttm_chain
+from repro.util.dtypes import as_float
 
 
 @dataclass
@@ -24,8 +25,10 @@ class TuckerDecomposition:
     factors: list[np.ndarray] = field(default_factory=list)
 
     def __post_init__(self) -> None:
-        self.core = np.asarray(self.core, dtype=np.float64)
-        self.factors = [np.asarray(f, dtype=np.float64) for f in self.factors]
+        # Floating inputs keep their precision; everything else promotes
+        # to the float64 default.
+        self.core = as_float(self.core)
+        self.factors = [as_float(f) for f in self.factors]
         if len(self.factors) != self.core.ndim:
             raise ValueError(
                 f"need {self.core.ndim} factors, got {len(self.factors)}"

@@ -1,17 +1,15 @@
-"""Plan execution: walking a TTM-tree sequentially or on the engine.
+"""Plan execution entry points (now routed through ``repro.backends``).
 
 The executor realizes the paper's top-down process (section 3.1): each
 internal node multiplies its parent's output along its mode by ``F_mode^T``
 and the result is shared by all children; each leaf performs the SVD step.
-Traversal is depth-first with children processed in order, so at most
-``depth`` intermediate tensors are alive at once — the in-order bound the
-paper cites.
-
-Distributed execution additionally honors the plan's grid scheme: before a
-node's TTM, if the scheme assigns the node a different grid from its
-parent's, the parent's output is regridded (each child regrids its own copy;
-the parent's representation is never mutated, matching the model's
-per-child ``|In(u)|`` charge).
+Since the backend redesign, the tree walk itself lives in
+:mod:`repro.backends.schedule` — trees are compiled once into flat Step
+programs and replayed against an :class:`~repro.backends.ExecutionBackend`.
+The functions here keep the historical signatures: they compile on the fly
+and execute on a :class:`~repro.backends.SequentialBackend` (numpy) or a
+:class:`~repro.backends.SimClusterBackend` wrapping the tensor's own
+cluster, with the exact ledger tags the benchmark harness aggregates.
 """
 
 from __future__ import annotations
@@ -20,32 +18,28 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.backends import (
+    SequentialBackend,
+    SimClusterBackend,
+    compile_core_steps,
+    compile_tree_steps,
+    run_core_steps,
+    run_tree_steps,
+)
+from repro.backends.schedule import check_factors
 from repro.core.meta import TensorMeta
 from repro.core.ordering import optimal_chain_ordering
 from repro.core.planner import Plan
-from repro.core.trees import Node, TTMTree
+from repro.core.trees import TTMTree
 from repro.dist.dtensor import DistTensor
-from repro.dist.gram import dist_leading_factor
-from repro.dist.regrid import regrid
-from repro.dist.ttm import dist_ttm
-from repro.tensor.linalg import leading_left_singular_vectors
-from repro.tensor.ttm import ttm, ttm_chain
-from repro.tensor.unfold import unfold
+from repro.util.dtypes import as_float
 
 
 def _check_factors(
     factors: Sequence[np.ndarray], meta: TensorMeta
 ) -> list[np.ndarray]:
-    factors = [np.asarray(f, dtype=np.float64) for f in factors]
-    if len(factors) != meta.ndim:
-        raise ValueError(f"need {meta.ndim} factors, got {len(factors)}")
-    for n, f in enumerate(factors):
-        if f.shape != (meta.dims[n], meta.core[n]):
-            raise ValueError(
-                f"factor {n} has shape {f.shape}, expected "
-                f"{(meta.dims[n], meta.core[n])}"
-            )
-    return factors
+    """Back-compat alias for :func:`repro.backends.schedule.check_factors`."""
+    return check_factors(factors, meta)
 
 
 def execute_tree_sequential(
@@ -61,19 +55,12 @@ def execute_tree_sequential(
     Returns ``{mode: new factor}``. ``factors`` are the *current* factor
     matrices (the chains multiply by their transposes).
     """
-    factors = _check_factors(factors, meta)
-    new_factors: dict[int, np.ndarray] = {}
-
-    def visit(node: Node, x: np.ndarray) -> None:
-        for child in node.children:
-            if child.kind == "ttm":
-                visit(child, ttm(x, factors[child.mode].T, child.mode))
-            else:
-                new_factors[child.mode] = leading_left_singular_vectors(
-                    unfold(x, child.mode), meta.core[child.mode], method=svd_method
-                )
-
-    visit(tree.root, np.asarray(tensor, dtype=np.float64))
+    tensor = as_float(tensor)
+    factors = check_factors(factors, meta, dtype=tensor.dtype)
+    steps = compile_tree_steps(tree, meta)
+    new_factors = run_tree_steps(
+        SequentialBackend(), tensor, factors, steps, method=svd_method
+    )
     if sorted(new_factors) != list(range(meta.ndim)):
         raise AssertionError("tree execution did not produce every factor")
     return new_factors
@@ -86,11 +73,9 @@ def compute_core_sequential(
 ) -> np.ndarray:
     """New core ``G~ = T x_1 F~_1^T ... x_N F~_N^T`` (optimal chain order)."""
     order = optimal_chain_ordering(meta)
-    return ttm_chain(
-        np.asarray(tensor, dtype=np.float64),
-        [new_factors[m] for m in order],
-        order,
-        transpose=True,
+    steps = compile_core_steps(order)
+    return run_core_steps(
+        SequentialBackend(), as_float(tensor), list(new_factors), steps
     )
 
 
@@ -109,7 +94,7 @@ def execute_tree_distributed(
     ``{tag}:ttm...``, ``{tag}:regrid...`` and ``{tag}:svd...``.
     """
     meta = plan.meta
-    factors = _check_factors(factors, meta)
+    factors = check_factors(factors, meta)
     if dtensor.global_shape != meta.dims:
         raise ValueError(
             f"tensor shape {dtensor.global_shape} != plan dims {meta.dims}"
@@ -119,29 +104,9 @@ def execute_tree_distributed(
             f"tensor grid {dtensor.grid.shape} != plan initial grid "
             f"{plan.initial_grid}; distribute (or regrid) first"
         )
-    tree = plan.tree
-    scheme = plan.scheme
-    new_factors: dict[int, np.ndarray] = {}
-
-    def visit(node: Node, x: DistTensor) -> None:
-        for child in node.children:
-            if child.kind == "ttm":
-                want = scheme.grid_of(child.uid)
-                x_child = regrid(x, want, tag=f"{tag}:regrid:n{child.uid}")
-                y = dist_ttm(
-                    x_child,
-                    factors[child.mode].T,
-                    child.mode,
-                    tag=f"{tag}:ttm:n{child.uid}",
-                )
-                visit(child, y)
-            else:
-                new_factors[child.mode] = dist_leading_factor(
-                    x, child.mode, meta.core[child.mode],
-                    tag=f"{tag}:svd:m{child.mode}",
-                )
-
-    visit(tree.root, dtensor)
+    steps = compile_tree_steps(plan.tree, meta, scheme=plan.scheme)
+    backend = SimClusterBackend(dtensor.cluster)
+    new_factors = run_tree_steps(backend, dtensor, factors, steps, tag=tag)
     if sorted(new_factors) != list(range(meta.ndim)):
         raise AssertionError("tree execution did not produce every factor")
     return new_factors
@@ -164,13 +129,8 @@ def compute_core_distributed(
     tensor's current grid.
     """
     order = list(core_order) if core_order else optimal_chain_ordering(meta)
-    current = dtensor
-    for i, mode in enumerate(order):
-        if core_scheme is not None:
-            current = regrid(
-                current, tuple(core_scheme[i]), tag=f"{tag}:regrid{i}"
-            )
-        current = dist_ttm(
-            current, new_factors[mode].T, mode, tag=f"{tag}:ttm{mode}"
-        )
-    return current
+    steps = compile_core_steps(order, core_scheme)
+    backend = SimClusterBackend(dtensor.cluster)
+    return run_core_steps(
+        backend, dtensor, list(new_factors), steps, tag=tag
+    )

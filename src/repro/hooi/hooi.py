@@ -8,23 +8,27 @@ A single invocation maps ``{G; F_1..F_N} -> {G~; F~_1..F~_N}``:
    as Figure 2 specifies (tree reuse requires it);
 2. the new core ``G~ = T x_1 F~_1^T ... x_N F~_N^T``.
 
-``hooi_sequential`` / ``hooi_distributed`` iterate invocations and track the
-normalized error per sweep via the orthonormal-projection norm identity.
-``hooi_reference_step`` is the tree-free naive implementation (N independent
-chains) used as the test oracle; it also offers the classic Gauss-Seidel
-update (immediately reusing freshly computed factors), which trees cannot
-express — comparing the two is one of the repo's extension experiments.
+``hooi_step_sequential`` / ``hooi_step_distributed`` remain the
+single-invocation engine entry points. The iterate-to-convergence drivers
+``hooi_sequential`` / ``hooi_distributed`` are **deprecated shims** over
+:class:`repro.session.TuckerSession` (which runs the same compiled
+schedules on any backend); they keep their historical signatures and
+results. ``hooi_reference_step`` is the tree-free naive implementation
+(N independent chains) used as the test oracle; it also offers the classic
+Gauss-Seidel update (immediately reusing freshly computed factors), which
+trees cannot express — comparing the two is one of the repo's extension
+experiments.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.meta import TensorMeta
-from repro.core.planner import Plan, Planner
+from repro.core.planner import Plan
 from repro.dist.dtensor import DistTensor
 from repro.hooi.decomposition import TuckerDecomposition
 from repro.hooi.executor import (
@@ -34,10 +38,10 @@ from repro.hooi.executor import (
     execute_tree_sequential,
 )
 from repro.mpi.comm import SimCluster
-from repro.tensor.dense import fro_norm
 from repro.tensor.linalg import leading_left_singular_vectors
 from repro.tensor.ttm import ttm_chain
 from repro.tensor.unfold import unfold
+from repro.util.dtypes import as_float
 
 
 @dataclass
@@ -53,12 +57,8 @@ class HooiResult:
         return self.errors[-1] if self.errors else float("nan")
 
 
-def _default_plan(meta: TensorMeta, n_procs: int) -> Plan:
-    return Planner(n_procs, tree="optimal", grid="dynamic").plan(meta)
-
-
 # --------------------------------------------------------------------- #
-# sequential
+# single invocations (engine-level, not deprecated)
 # --------------------------------------------------------------------- #
 
 
@@ -74,41 +74,6 @@ def hooi_step_sequential(
     ordered = [new_factors[m] for m in range(plan.meta.ndim)]
     core = compute_core_sequential(tensor, ordered, plan.meta)
     return TuckerDecomposition(core=core, factors=ordered)
-
-
-def hooi_sequential(
-    tensor: np.ndarray,
-    init: TuckerDecomposition,
-    *,
-    plan: Plan | None = None,
-    n_procs: int = 1,
-    max_iters: int = 10,
-    tol: float = 1e-8,
-) -> HooiResult:
-    """Iterate HOOI until the error improvement drops below ``tol``.
-
-    ``tol`` compares successive normalized errors; ``max_iters`` bounds the
-    sweep count. The returned ``errors`` list has one entry per completed
-    invocation (via the norm identity — free even for big tensors).
-    """
-    tensor = np.asarray(tensor, dtype=np.float64)
-    meta = init.meta
-    if plan is None:
-        plan = _default_plan(meta, n_procs)
-    t_norm = fro_norm(tensor)
-    dec = init
-    errors: list[float] = []
-    for it in range(max_iters):
-        dec = hooi_step_sequential(tensor, dec.factors, plan)
-        errors.append(dec.implicit_error(t_norm))
-        if it > 0 and errors[-2] - errors[-1] < tol:
-            break
-    return HooiResult(decomposition=dec, errors=errors, iterations=len(errors))
-
-
-# --------------------------------------------------------------------- #
-# distributed
-# --------------------------------------------------------------------- #
 
 
 def hooi_step_distributed(
@@ -138,6 +103,58 @@ def hooi_step_distributed(
     return dec, core_dist
 
 
+# --------------------------------------------------------------------- #
+# iterated drivers (deprecated shims over the session layer)
+# --------------------------------------------------------------------- #
+
+
+def _as_hooi_result(res) -> HooiResult:
+    return HooiResult(
+        decomposition=res.decomposition,
+        errors=list(res.errors),
+        iterations=res.n_iters,
+    )
+
+
+def hooi_sequential(
+    tensor: np.ndarray,
+    init: TuckerDecomposition,
+    *,
+    plan: Plan | None = None,
+    n_procs: int = 1,
+    max_iters: int = 10,
+    tol: float = 1e-8,
+) -> HooiResult:
+    """Iterate HOOI until the error improvement drops below ``tol``.
+
+    .. deprecated::
+        Use ``TuckerSession(backend="sequential").hooi(...)`` instead.
+
+    ``tol`` compares successive normalized errors; ``max_iters`` bounds the
+    sweep count. The returned ``errors`` list has one entry per completed
+    invocation (via the norm identity — free even for big tensors).
+    """
+    warnings.warn(
+        "hooi_sequential() is deprecated; use "
+        "repro.session.TuckerSession(backend='sequential').hooi(...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.session import TuckerSession
+
+    session = TuckerSession(backend="sequential")
+    return _as_hooi_result(
+        session.hooi(
+            tensor,
+            init,
+            plan=plan,
+            n_procs=n_procs,
+            max_iters=max_iters,
+            tol=tol,
+        )
+    )
+
+
 def hooi_distributed(
     cluster: SimCluster,
     tensor: np.ndarray,
@@ -149,30 +166,34 @@ def hooi_distributed(
 ) -> HooiResult:
     """Iterated HOOI on the virtual cluster.
 
+    .. deprecated::
+        Use ``TuckerSession(backend="simcluster", cluster=...).hooi(...)``.
+
     ``tensor`` is distributed onto the plan's initial grid up front (the
     paper does not charge initial distribution). Per-iteration errors come
     from the norm identity using distributed norms, so no rank ever holds
     the full tensor during iteration.
     """
-    meta = init.meta
-    if plan is None:
-        plan = _default_plan(meta, cluster.n_procs)
-    dtensor = DistTensor.from_global(cluster, tensor, plan.initial_grid)
-    t_norm_sq = dtensor.fro_norm_sq(tag="norm:input")
-    dec = init
-    errors: list[float] = []
-    for it in range(max_iters):
-        dec, core_dist = hooi_step_distributed(
-            dtensor, dec.factors, plan, tag=f"hooi:it{it}"
+    warnings.warn(
+        "hooi_distributed() is deprecated; use "
+        "repro.session.TuckerSession(backend='simcluster', cluster=...)"
+        ".hooi(...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.session import TuckerSession
+
+    session = TuckerSession(backend="simcluster", cluster=cluster)
+    return _as_hooi_result(
+        session.hooi(
+            tensor,
+            init,
+            plan=plan,
+            n_procs=cluster.n_procs,
+            max_iters=max_iters,
+            tol=tol,
         )
-        g_norm_sq = core_dist.fro_norm_sq(tag="norm:core")
-        err_sq = max(t_norm_sq - g_norm_sq, 0.0)
-        errors.append(
-            0.0 if t_norm_sq == 0 else float(np.sqrt(err_sq / t_norm_sq))
-        )
-        if it > 0 and errors[-2] - errors[-1] < tol:
-            break
-    return HooiResult(decomposition=dec, errors=errors, iterations=len(errors))
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -197,10 +218,10 @@ def hooi_reference_step(
     """
     if update not in ("jacobi", "gauss-seidel"):
         raise ValueError(f"update must be jacobi|gauss-seidel, got {update!r}")
-    tensor = np.asarray(tensor, dtype=np.float64)
+    tensor = as_float(tensor)
     n = tensor.ndim
     core_dims = tuple(int(k) for k in core_dims)
-    current = [np.asarray(f, dtype=np.float64) for f in factors]
+    current = [as_float(f, tensor.dtype) for f in factors]
     new: list[np.ndarray] = list(current)
     for mode in range(n):
         use = new if update == "gauss-seidel" else current

@@ -27,6 +27,7 @@ from repro.hooi.decomposition import TuckerDecomposition
 from repro.tensor.linalg import leading_eigvecs, gram
 from repro.tensor.ttm import ttm
 from repro.tensor.unfold import unfold
+from repro.util.dtypes import as_float
 from repro.util.validation import check_core_dims
 
 
@@ -48,13 +49,16 @@ def sthosvd(
     core_dims: Sequence[int],
     *,
     mode_order: str | Sequence[int] | None = None,
+    dtype=None,
 ) -> TuckerDecomposition:
     """Sequential STHOSVD of a dense tensor.
 
     Returns a :class:`TuckerDecomposition` with orthonormal factors. The
-    factors use the Gram + EVD route of the paper's engine.
+    factors use the Gram + EVD route of the paper's engine. ``dtype``
+    overrides the working precision; by default float32 inputs stay
+    float32 and everything else runs in float64.
     """
-    tensor = np.asarray(tensor, dtype=np.float64)
+    tensor = as_float(tensor, dtype)
     core_dims = check_core_dims(core_dims, tensor.shape)
     order = _resolve_order(mode_order, tensor.shape, core_dims)
     factors: list[np.ndarray | None] = [None] * tensor.ndim

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.mpi.machine import MachineModel
 from repro.mpi.stats import StatsLedger
+from repro.util.dtypes import accumulator_dtype
 from repro.util.validation import check_positive_int
 
 
@@ -119,8 +120,10 @@ class SimCluster:
                 f"counts sum to {sum(counts)} but axis {axis} has length {shape[axis]}"
             )
 
-        # Deterministic ascending-rank reduction order.
-        total = partials[group[0]].astype(np.float64, copy=True)
+        # Deterministic ascending-rank reduction order; floats keep their
+        # precision, everything else accumulates in float64.
+        first = partials[group[0]]
+        total = first.astype(accumulator_dtype(first.dtype), copy=True)
         for r in group[1:]:
             total += partials[r]
 
@@ -219,7 +222,8 @@ class SimCluster:
         shapes = {data[r].shape for r in group}
         if len(shapes) != 1:
             raise ValueError(f"shapes differ: {shapes}")
-        total = data[group[0]].astype(np.float64, copy=True)
+        first = data[group[0]]
+        total = first.astype(accumulator_dtype(first.dtype), copy=True)
         for r in group[1:]:
             total += data[r]
         out = {r: total if i == 0 else total.copy() for i, r in enumerate(group)}

@@ -1,0 +1,597 @@
+"""The session API: plan once, compile, run many tensors.
+
+The paper's central design point is that planning (TTM-tree + grid DP)
+consumes only metadata and is decoupled from execution; this module makes
+that the shape of the public API:
+
+* :func:`compile_plan` turns a :class:`~repro.core.planner.Plan` into a
+  :class:`CompiledPlan` — a validated, backend-neutral schedule (tree +
+  core-chain :class:`~repro.backends.schedule.Step` programs), a working
+  dtype, and preallocated Gram workspaces;
+* :class:`TuckerSession` owns an :class:`~repro.backends.ExecutionBackend`
+  and an LRU plan cache keyed on ``(dims, core, procs, planner, dtype)``;
+  ``session.run`` / ``session.sthosvd`` / ``session.hooi`` execute compiled
+  plans on the backend.
+
+Quickstart::
+
+    from repro.session import TuckerSession
+
+    session = TuckerSession(backend="threaded")
+    res = session.run(tensor, (8, 6, 5))        # compiles + caches the plan
+    res2 = session.run(other_tensor, (8, 6, 5)) # plan-cache hit
+    print(res.error, res2.from_cache, session.backend.stats())
+
+The legacy entry points (``tucker``, ``hooi_sequential``,
+``hooi_distributed``) remain as thin deprecation shims over this layer.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.backends import (
+    ExecutionBackend,
+    SimClusterBackend,
+    check_factors,
+    compile_core_steps,
+    compile_tree_steps,
+    get_backend,
+    run_core_steps,
+    run_tree_steps,
+)
+from repro.backends.schedule import Step
+from repro.core.meta import TensorMeta
+from repro.core.ordering import optimal_chain_ordering
+from repro.core.planner import Plan, Planner
+from repro.util import serial
+from repro.util.dtypes import resolve_dtype
+from repro.util.validation import check_core_dims, check_positive_int
+
+__all__ = [
+    "CompiledPlan",
+    "TuckerSession",
+    "TuckerResult",
+    "compile_plan",
+]
+
+
+# --------------------------------------------------------------------- #
+# results
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class TuckerResult:
+    """Everything a decomposition run produces.
+
+    ``errors`` has one entry per completed HOOI invocation;
+    ``sthosvd_error`` is the initialization error. ``backend`` names the
+    executing backend and ``from_cache`` reports whether the compiled plan
+    came from the session's plan cache.
+    """
+
+    decomposition: "TuckerDecomposition"  # noqa: F821 - hooi import is lazy
+    plan: Plan
+    errors: list[float]
+    sthosvd_error: float
+    n_iters: int = 0
+    backend: str = ""
+    from_cache: bool = False
+
+    @property
+    def error(self) -> float:
+        return self.errors[-1] if self.errors else self.sthosvd_error
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.decomposition.compression_ratio
+
+
+# --------------------------------------------------------------------- #
+# compiled plans
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """A plan lowered to a backend-neutral schedule, ready to execute.
+
+    Immutable except for the lazily-built Gram workspace (preallocated
+    ``L_n x L_n`` buffers the shared-memory backends accumulate into;
+    reused across every run of this compiled plan).
+    """
+
+    plan: Plan
+    dtype: np.dtype
+    planner_key: str
+    tree_steps: tuple[Step, ...]
+    core_steps: tuple[Step, ...]
+    sthosvd_order: tuple[int, ...]
+    _workspace: dict = field(
+        default_factory=dict, compare=False, repr=False, hash=False
+    )
+
+    # -- delegated metadata ---------------------------------------------- #
+
+    @property
+    def meta(self) -> TensorMeta:
+        return self.plan.meta
+
+    @property
+    def n_procs(self) -> int:
+        return self.plan.n_procs
+
+    @property
+    def initial_grid(self) -> tuple[int, ...]:
+        return self.plan.initial_grid
+
+    @property
+    def cache_key(self) -> tuple:
+        return plan_cache_key(
+            self.meta, self.n_procs, self.planner_key, self.dtype
+        )
+
+    # -- workspaces ------------------------------------------------------- #
+
+    def gram_workspace(self) -> dict[int, np.ndarray]:
+        """Preallocated per-mode Gram buffers (built on first use)."""
+        if not self._workspace:
+            for mode, length in enumerate(self.meta.dims):
+                self._workspace[mode] = np.empty(
+                    (length, length), dtype=self.dtype
+                )
+        return self._workspace
+
+    # -- serialization ---------------------------------------------------- #
+
+    def to_json(self) -> str:
+        """Serialize; the embedded :class:`Plan` round-trips losslessly.
+
+        Schedules are recompiled deterministically on load, so only the
+        plan, dtype and planner key are stored.
+        """
+        return serial.dumps(
+            {
+                "version": 1,
+                "dtype": self.dtype.name,
+                "planner_key": self.planner_key,
+                "plan": serial.loads(self.plan.to_json()),
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CompiledPlan":
+        d = serial.loads(text)
+        plan = Plan.from_json(serial.dumps(d["plan"]))
+        return compile_plan(
+            plan, dtype=d["dtype"], planner_key=d["planner_key"]
+        )
+
+
+def plan_cache_key(
+    meta: TensorMeta, n_procs: int, planner_key: str, dtype
+) -> tuple:
+    """The session cache key: ``(dims, core, procs, planner, dtype)``."""
+    return (meta.dims, meta.core, int(n_procs), planner_key, np.dtype(dtype).name)
+
+
+def compile_plan(
+    plan: Plan, *, dtype=np.float64, planner_key: str = "custom"
+) -> CompiledPlan:
+    """Lower a planner :class:`Plan` into a :class:`CompiledPlan`."""
+    dtype = resolve_dtype(np.float64, dtype)
+    meta = plan.meta
+    core_order = tuple(plan.core_order) or tuple(optimal_chain_ordering(meta))
+    core_scheme = plan.core_scheme or None
+    return CompiledPlan(
+        plan=plan,
+        dtype=dtype,
+        planner_key=planner_key,
+        tree_steps=compile_tree_steps(plan.tree, meta, scheme=plan.scheme),
+        core_steps=compile_core_steps(core_order, core_scheme),
+        sthosvd_order=tuple(optimal_chain_ordering(meta)),
+    )
+
+
+# --------------------------------------------------------------------- #
+# the session
+# --------------------------------------------------------------------- #
+
+
+class TuckerSession:
+    """A long-lived decomposition context: one backend, one plan cache.
+
+    Parameters
+    ----------
+    backend:
+        A backend name (``"sequential"``, ``"simcluster"``, ``"threaded"``)
+        or a ready :class:`ExecutionBackend` instance.
+    cluster / n_procs / machine:
+        Configuration for a freshly built ``"simcluster"`` backend (and
+        ``n_procs`` caps a fresh ``"threaded"`` pool).
+    cache_size:
+        Maximum number of compiled plans kept (LRU eviction).
+    """
+
+    def __init__(
+        self,
+        backend: str | ExecutionBackend = "sequential",
+        *,
+        cluster=None,
+        n_procs: int | None = None,
+        machine=None,
+        cache_size: int = 32,
+    ) -> None:
+        self.backend = get_backend(
+            backend, cluster=cluster, n_procs=n_procs, machine=machine
+        )
+        self._cache: OrderedDict[tuple, CompiledPlan] = OrderedDict()
+        self._cache_size = check_positive_int(cache_size, "cache_size")
+        self._hits = 0
+        self._misses = 0
+
+    # -- plan cache ------------------------------------------------------- #
+
+    def cache_info(self) -> dict[str, int]:
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "size": len(self._cache),
+            "maxsize": self._cache_size,
+        }
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+        self._hits = 0
+        self._misses = 0
+
+    def _resolve_procs(
+        self, planner: str | Planner, n_procs: int | None
+    ) -> int:
+        if isinstance(planner, Planner):
+            procs = planner.n_procs
+        elif n_procs is not None:
+            procs = check_positive_int(n_procs, "n_procs")
+        else:
+            procs = self.backend.default_procs
+        if (
+            isinstance(self.backend, SimClusterBackend)
+            and procs != self.backend.cluster.n_procs
+        ):
+            raise ValueError(
+                f"plan is for {procs} procs but the cluster has "
+                f"{self.backend.cluster.n_procs} ranks"
+            )
+        return procs
+
+    def _compile(
+        self,
+        meta: TensorMeta,
+        n_procs: int | None,
+        planner: str | Planner,
+        dtype,
+    ) -> tuple[CompiledPlan, bool]:
+        """Compile (or fetch from cache); returns ``(plan, from_cache)``."""
+        from repro.hooi.portfolio import select_plan
+
+        procs = self._resolve_procs(planner, n_procs)
+        if isinstance(planner, Planner):
+            planner_key = f"{planner.tree_kind}:{planner.grid_kind}"
+        else:
+            planner_key = str(planner)
+        dtype = resolve_dtype(np.float64, dtype) if dtype is not None else np.dtype(np.float64)
+        key = plan_cache_key(meta, procs, planner_key, dtype)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self._hits += 1
+            return cached, True
+        self._misses += 1
+        if isinstance(planner, Planner):
+            plan = planner.plan(meta)
+        elif planner == "portfolio":
+            plan = select_plan(meta, procs).plan
+        else:
+            plan = Planner(procs, tree=planner, grid="dynamic").plan(meta)
+        compiled = compile_plan(plan, dtype=dtype, planner_key=planner_key)
+        self._cache[key] = compiled
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+        return compiled, False
+
+    def compile(
+        self,
+        meta: TensorMeta,
+        n_procs: int | None = None,
+        *,
+        planner: str | Planner = "portfolio",
+        dtype=None,
+    ) -> CompiledPlan:
+        """Plan + lower ``meta`` (cached).
+
+        ``planner`` is ``"portfolio"`` (model every configuration, keep the
+        fastest), a tree kind (planned with dynamic grids), or a ready
+        :class:`Planner`. ``n_procs`` defaults to the backend's natural
+        parallelism.
+        """
+        compiled, _ = self._compile(meta, n_procs, planner, dtype)
+        return compiled
+
+    # -- input handling --------------------------------------------------- #
+
+    def _prepare(
+        self,
+        tensor: np.ndarray,
+        core_dims: Sequence[int] | None,
+        plan: CompiledPlan | Plan | None,
+        planner: str | Planner,
+        n_procs: int | None,
+        dtype,
+    ) -> tuple[np.ndarray, CompiledPlan, bool]:
+        """Resolve dtype, validate shapes, compile-or-fetch the plan."""
+        arr = np.asarray(tensor)
+        if isinstance(plan, Plan):
+            work_dtype = resolve_dtype(arr, dtype)
+            if plan.meta.dims != arr.shape:
+                raise ValueError(
+                    f"tensor shape {arr.shape} != plan dims {plan.meta.dims}"
+                )
+            # Explicit plans are cached by object identity (Plan holds
+            # unhashable parts); the cached CompiledPlan retains the plan,
+            # so the id cannot be recycled while the entry lives.
+            key = ("explicit", id(plan), work_dtype.name)
+            cached = self._cache.get(key)
+            if cached is not None and cached.plan is plan:
+                self._cache.move_to_end(key)
+                self._hits += 1
+                return arr.astype(work_dtype, copy=False), cached, True
+            self._misses += 1
+            compiled = compile_plan(
+                plan,
+                dtype=work_dtype,
+                planner_key=f"{plan.tree_kind}:{plan.grid_kind}",
+            )
+            self._cache[key] = compiled
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+            return arr.astype(work_dtype, copy=False), compiled, False
+        if isinstance(plan, CompiledPlan):
+            work_dtype = resolve_dtype(arr, dtype) if dtype is not None else plan.dtype
+            if plan.meta.dims != arr.shape:
+                raise ValueError(
+                    f"tensor shape {arr.shape} != plan dims {plan.meta.dims}"
+                )
+            if work_dtype != plan.dtype:
+                plan = compile_plan(
+                    plan.plan, dtype=work_dtype, planner_key=plan.planner_key
+                )
+            return arr.astype(work_dtype, copy=False), plan, False
+        if core_dims is None:
+            raise ValueError("core_dims is required when no plan is given")
+        work_dtype = resolve_dtype(arr, dtype)
+        arr = arr.astype(work_dtype, copy=False)
+        core = check_core_dims(core_dims, arr.shape)
+        meta = TensorMeta(dims=arr.shape, core=core)
+        compiled, from_cache = self._compile(meta, n_procs, planner, work_dtype)
+        return arr, compiled, from_cache
+
+    # -- algorithms ------------------------------------------------------- #
+
+    def _hooi_loop(
+        self,
+        arr: np.ndarray,
+        factors: Sequence[np.ndarray],
+        compiled: CompiledPlan,
+        max_iters: int,
+        tol: float,
+    ) -> tuple["TuckerDecomposition", list[float]]:  # noqa: F821
+        from repro.hooi.decomposition import TuckerDecomposition
+
+        backend = self.backend
+        meta = compiled.meta
+        factors = check_factors(factors, meta, dtype=compiled.dtype)
+        handle = backend.distribute(arr, compiled.initial_grid)
+        t_norm_sq = backend.fro_norm_sq(handle, tag="norm:input")
+        workspace = compiled.gram_workspace()
+        errors: list[float] = []
+        core_handle = None
+        for it in range(max_iters):
+            tag = f"hooi:it{it}"
+            new = run_tree_steps(
+                backend,
+                handle,
+                factors,
+                compiled.tree_steps,
+                tag=tag,
+                workspace=workspace,
+            )
+            if sorted(new) != list(range(meta.ndim)):
+                raise AssertionError(
+                    "tree execution did not produce every factor"
+                )
+            factors = [new[m] for m in range(meta.ndim)]
+            core_handle = run_core_steps(
+                backend, handle, factors, compiled.core_steps, tag=f"{tag}:core"
+            )
+            g_norm_sq = backend.fro_norm_sq(core_handle, tag="norm:core")
+            err_sq = max(t_norm_sq - g_norm_sq, 0.0)
+            errors.append(
+                0.0 if t_norm_sq == 0 else float(math.sqrt(err_sq / t_norm_sq))
+            )
+            if it > 0 and errors[-2] - errors[-1] < tol:
+                break
+        # Copy: shared-memory cores may alias reusable workspace/output
+        # buffers that the next run would overwrite.
+        core = np.array(backend.gather(core_handle), copy=True)
+        dec = TuckerDecomposition(core=core, factors=list(factors))
+        return dec, errors
+
+    def hooi(
+        self,
+        tensor: np.ndarray,
+        init,
+        *,
+        plan: CompiledPlan | Plan | None = None,
+        planner: str | Planner = "optimal",
+        n_procs: int | None = None,
+        dtype=None,
+        max_iters: int = 10,
+        tol: float = 1e-8,
+    ) -> TuckerResult:
+        """Iterate HOOI from an initial decomposition (or factor list).
+
+        ``init`` is a :class:`TuckerDecomposition` or a sequence of factor
+        matrices. Per-iteration errors come from the norm identity using
+        backend reductions, so no rank ever holds the full tensor on the
+        distributed backend.
+        """
+        factors = init if isinstance(init, (list, tuple)) else init.factors
+        core_dims = tuple(f.shape[1] for f in factors)
+        arr, compiled, from_cache = self._prepare(
+            tensor, core_dims, plan, planner, n_procs, dtype
+        )
+        if max_iters <= 0:
+            # Legacy drivers returned the init untouched for max_iters=0.
+            if isinstance(init, (list, tuple)):
+                raise ValueError(
+                    "max_iters must be >= 1 when init is a bare factor list"
+                )
+            return TuckerResult(
+                decomposition=init,
+                plan=compiled.plan,
+                errors=[],
+                sthosvd_error=float("nan"),
+                n_iters=0,
+                backend=self.backend.name,
+                from_cache=from_cache,
+            )
+        dec, errors = self._hooi_loop(arr, factors, compiled, max_iters, tol)
+        return TuckerResult(
+            decomposition=dec,
+            plan=compiled.plan,
+            errors=errors,
+            sthosvd_error=float("nan"),
+            n_iters=len(errors),
+            backend=self.backend.name,
+            from_cache=from_cache,
+        )
+
+    def _sthosvd_pass(
+        self, arr: np.ndarray, compiled: CompiledPlan
+    ) -> tuple["TuckerDecomposition", float]:  # noqa: F821
+        """One STHOSVD pass on the backend; ``(decomposition, error)``."""
+        from repro.hooi.decomposition import TuckerDecomposition
+
+        backend = self.backend
+        meta = compiled.meta
+        handle = backend.distribute(arr, compiled.initial_grid)
+        t_norm_sq = backend.fro_norm_sq(handle, tag="norm:input")
+        workspace = compiled.gram_workspace()
+        factors: list[np.ndarray | None] = [None] * meta.ndim
+        for mode in compiled.sthosvd_order:
+            f = backend.leading_factor(
+                handle,
+                mode,
+                meta.core[mode],
+                tag=f"sthosvd:svd{mode}",
+                out=workspace.get(mode),
+            )
+            factors[mode] = f
+            handle = backend.ttm(handle, f.T, mode, tag=f"sthosvd:ttm{mode}")
+        g_norm_sq = backend.fro_norm_sq(handle, tag="norm:core")
+        err_sq = max(t_norm_sq - g_norm_sq, 0.0)
+        error = 0.0 if t_norm_sq == 0 else float(math.sqrt(err_sq / t_norm_sq))
+        core = np.array(backend.gather(handle), copy=True)
+        return TuckerDecomposition(core=core, factors=list(factors)), error
+
+    def sthosvd(
+        self,
+        tensor: np.ndarray,
+        core_dims: Sequence[int] | None = None,
+        *,
+        plan: CompiledPlan | Plan | None = None,
+        planner: str | Planner = "portfolio",
+        n_procs: int | None = None,
+        dtype=None,
+    ) -> TuckerResult:
+        """One STHOSVD pass on the backend (static grid, optimal order)."""
+        arr, compiled, from_cache = self._prepare(
+            tensor, core_dims, plan, planner, n_procs, dtype
+        )
+        dec, error = self._sthosvd_pass(arr, compiled)
+        return TuckerResult(
+            decomposition=dec,
+            plan=compiled.plan,
+            errors=[],
+            sthosvd_error=error,
+            n_iters=0,
+            backend=self.backend.name,
+            from_cache=from_cache,
+        )
+
+    def run(
+        self,
+        tensor: np.ndarray,
+        core_dims: Sequence[int] | None = None,
+        *,
+        plan: CompiledPlan | Plan | None = None,
+        planner: str | Planner = "portfolio",
+        n_procs: int | None = None,
+        dtype=None,
+        max_iters: int = 10,
+        tol: float = 1e-8,
+        skip_hooi: bool = False,
+    ) -> TuckerResult:
+        """The full pipeline: STHOSVD init + HOOI refinement to tolerance.
+
+        Repeated calls with same-shaped tensors hit the plan cache
+        (``result.from_cache``). ``dtype`` overrides the working precision;
+        by default float32 inputs stay float32, everything else runs in
+        float64.
+        """
+        arr, compiled, from_cache = self._prepare(
+            tensor, core_dims, plan, planner, n_procs, dtype
+        )
+        if isinstance(self.backend, SimClusterBackend):
+            # Sequential init on the cluster backend: the paper does not
+            # charge the initial decomposition, and the HOOI initial grid
+            # need not be STHOSVD-feasible (a TTM requires K_n >= q_n).
+            from repro.hooi.sthosvd import sthosvd as sthosvd_sequential
+
+            init = sthosvd_sequential(
+                arr,
+                compiled.meta.core,
+                mode_order=list(compiled.sthosvd_order),
+                dtype=compiled.dtype,
+            )
+            init_error = init.error_vs(arr)
+        else:
+            init, init_error = self._sthosvd_pass(arr, compiled)
+        if skip_hooi or max_iters <= 0:
+            return TuckerResult(
+                decomposition=init,
+                plan=compiled.plan,
+                errors=[],
+                sthosvd_error=init_error,
+                n_iters=0,
+                backend=self.backend.name,
+                from_cache=from_cache,
+            )
+        dec, errors = self._hooi_loop(
+            arr, init.factors, compiled, max_iters, tol
+        )
+        return TuckerResult(
+            decomposition=dec,
+            plan=compiled.plan,
+            errors=errors,
+            sthosvd_error=init_error,
+            n_iters=len(errors),
+            backend=self.backend.name,
+            from_cache=from_cache,
+        )

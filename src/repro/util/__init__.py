@@ -20,8 +20,12 @@ from repro.util.validation import (
     check_core_dims,
     check_mode,
 )
+from repro.util.dtypes import resolve_dtype, as_float, accumulator_dtype
 
 __all__ = [
+    "resolve_dtype",
+    "as_float",
+    "accumulator_dtype",
     "prime_factorization",
     "divisors",
     "ordered_factorizations",

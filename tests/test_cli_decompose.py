@@ -1,0 +1,113 @@
+"""Tests for the ``repro decompose`` subcommand."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.backends import BACKEND_NAMES
+from repro.cli import main
+
+
+class TestDecomposeRandom:
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_every_backend(self, backend, capsys):
+        rc = main(
+            [
+                "decompose",
+                "--random", "24,20,16",
+                "--core", "6,5,4",
+                "--backend", backend,
+                "-p", "8",
+                "--max-iters", "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"backend:            {backend}" in out
+        assert "24x20x16 -> 6x5x4" in out
+        assert "final error" in out
+        assert "compression ratio" in out
+        assert "ledger volume" in out
+
+    def test_json_output(self, capsys):
+        rc = main(
+            [
+                "decompose",
+                "--random", "12,10,8",
+                "--core", "4,3,2",
+                "--backend", "simcluster",
+                "-p", "4",
+                "--max-iters", "2",
+                "--json",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["dims"] == [12, 10, 8]
+        assert payload["core"] == [4, 3, 2]
+        assert payload["backend"] == "simcluster"
+        assert payload["n_iters"] == 2
+        assert payload["ledger"]["comm_volume"] > 0
+        assert 0.0 <= payload["error"] <= 1.0
+
+    def test_dtype_flag(self, capsys):
+        rc = main(
+            [
+                "decompose",
+                "--random", "12,10,8",
+                "--core", "4,3,2",
+                "--dtype", "float32",
+                "--max-iters", "1",
+                "--json",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["dtype"] == "float32"
+
+    def test_skip_hooi(self, capsys):
+        rc = main(
+            [
+                "decompose",
+                "--random", "12,10,8",
+                "--core", "4,3,2",
+                "--skip-hooi",
+                "--json",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_iters"] == 0
+        assert payload["error"] == payload["sthosvd_error"]
+
+
+class TestDecomposeFile:
+    def test_npy_input(self, tmp_path, capsys):
+        rng = np.random.default_rng(0)
+        t = rng.standard_normal((10, 9, 8)).astype(np.float32)
+        path = tmp_path / "t.npy"
+        np.save(path, t)
+        rc = main(
+            [
+                "decompose",
+                "--input", str(path),
+                "--core", "3,3,2",
+                "--max-iters", "1",
+                "--json",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["dims"] == [10, 9, 8]
+        assert payload["dtype"] == "float32"  # input dtype honored
+
+
+class TestDecomposeErrors:
+    def test_requires_tensor_source(self):
+        with pytest.raises(SystemExit, match="--input|--random"):
+            main(["decompose", "--core", "2,2,2"])
+
+    def test_requires_core(self):
+        with pytest.raises(SystemExit, match="--core"):
+            main(["decompose", "--random", "8,8,8"])
