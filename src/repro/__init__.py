@@ -28,8 +28,11 @@ Quickstart (the session API: plan once, compile, run many tensors)::
 
 Backends: ``"sequential"`` (numpy), ``"simcluster"`` (the virtual cluster
 with exact volume accounting), ``"threaded"`` (shared-memory block
-parallelism). The legacy one-shot entry points (``tucker``,
-``hooi_sequential``, ``hooi_distributed``) remain as deprecation shims.
+parallelism), ``"procpool"`` (multi-core process pool over shared-memory
+segments) — or ``"auto"``, which scores the input's metadata against a
+calibratable cost model and picks per tensor. The legacy one-shot entry
+points (``tucker``, ``hooi_sequential``, ``hooi_distributed``) remain as
+deprecation shims.
 """
 
 from repro._version import __version__
@@ -52,11 +55,15 @@ from repro.core import (
 from repro.mpi import MachineModel, SimCluster
 from repro.dist import DistTensor, dist_ttm, regrid
 from repro.backends import (
+    BackendUnavailableError,
     ExecutionBackend,
+    ProcessPoolBackend,
+    Selection,
     SequentialBackend,
     SimClusterBackend,
     ThreadedBackend,
     get_backend,
+    select_backend,
 )
 from repro.session import CompiledPlan, TuckerSession, compile_plan
 from repro.hooi import (
@@ -105,9 +112,13 @@ __all__ = [
     "dist_ttm",
     "regrid",
     "ExecutionBackend",
+    "BackendUnavailableError",
     "SequentialBackend",
     "SimClusterBackend",
     "ThreadedBackend",
+    "ProcessPoolBackend",
+    "Selection",
+    "select_backend",
     "get_backend",
     "CompiledPlan",
     "TuckerSession",

@@ -111,5 +111,15 @@ class ExecutionBackend(abc.ABC):
     def reset_stats(self) -> None:
         self.ledger.clear()
 
+    # -- lifecycle -------------------------------------------------------- #
+
+    def close(self) -> None:
+        """Release any workers/resources the backend holds.
+
+        A no-op by default; the pool backends override it. Closing must
+        leave the backend usable (pools reopen on next use), so callers
+        can close eagerly without tracking state.
+        """
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"

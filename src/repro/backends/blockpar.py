@@ -1,0 +1,117 @@
+"""Block parallelism shared by the shared-memory pool backends.
+
+The threaded and process-pool backends partition every kernel the same
+way: pick the longest mode other than the one the kernel operates on,
+split it into near-even contiguous ranges (:func:`repro.dist.blocks
+.block_ranges`, the same partitioning the distributed engine uses), and
+fan the blocks out to workers. The partial-reduction discipline (ascending
+block order into an optional preallocated workspace) and the ledger FLOP
+formulas live here too. Keeping all of it in one place guarantees the two
+backends perform *identical* floating-point operations in *identical*
+reduction order — which is what lets the conformance harness hold every
+backend to the sequential reference at 1e-10 and the golden tests pin
+their FLOP tallies bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import operator
+import os
+
+import numpy as np
+
+from repro.backends.errors import BackendUnavailableError
+from repro.dist.blocks import block_ranges
+
+
+def split_mode(shape: tuple[int, ...], avoid: int | None) -> int | None:
+    """Mode to partition along: the longest mode other than ``avoid``.
+
+    Returns ``None`` when no mode longer than 1 exists outside ``avoid``
+    (the kernel then runs unsplit).
+    """
+    candidates = [
+        (length, m)
+        for m, length in enumerate(shape)
+        if m != avoid and length > 1
+    ]
+    if not candidates:
+        return None
+    return max(candidates)[1]
+
+
+def block_slices(length: int, n_workers: int) -> list[slice]:
+    """Near-even contiguous slices covering ``range(length)``."""
+    n_blocks = min(n_workers, length)
+    return [slice(a, b) for a, b in block_ranges(length, n_blocks)]
+
+
+def reduce_partials(partials, length: int, out=None) -> np.ndarray:
+    """Sum ``L x L`` Gram partials in ascending block order (determinism).
+
+    ``out``, when shape/dtype-compatible, is the preallocated workspace a
+    compiled plan carries; otherwise a fresh accumulator is used.
+    """
+    if out is not None and out.shape == (length, length) and (
+        out.dtype == partials[0].dtype
+    ):
+        g = out
+        g[...] = partials[0]
+    else:
+        g = partials[0].copy()
+    for p in partials[1:]:
+        g += p
+    return g
+
+
+def gram_evd_flops(length: int, size: int) -> int:
+    """Modeled multiply-adds of one Gram accumulation + EVD.
+
+    Shared by every shared-memory backend so their ledger tallies agree
+    exactly (the golden tests pin this).
+    """
+    return (
+        length * (length + 1) // 2 * (size // length)
+        + 4 * length**3 // 3
+    )
+
+
+def default_workers() -> int:
+    """Natural pool size: all but one core, capped at 8."""
+    return max(1, min(8, (os.cpu_count() or 2) - 1))
+
+
+def check_worker_count(n_workers, backend_name: str) -> int:
+    """Validate a pool size (``None`` = the natural default).
+
+    Accepts any integral type (plain or numpy ints — worker counts often
+    come out of grid arithmetic); anything else, or a non-positive count,
+    is a typed unavailability.
+    """
+    if n_workers is None:
+        return default_workers()
+    try:
+        n_workers = int(operator.index(n_workers))
+    except TypeError:
+        raise BackendUnavailableError(
+            "needs an integral worker count",
+            backend=backend_name,
+            config={"n_workers": n_workers},
+        ) from None
+    if n_workers < 1:
+        raise BackendUnavailableError(
+            "needs a positive worker count",
+            backend=backend_name,
+            config={"n_workers": n_workers},
+        )
+    return n_workers
+
+
+__all__ = [
+    "block_slices",
+    "check_worker_count",
+    "default_workers",
+    "gram_evd_flops",
+    "reduce_partials",
+    "split_mode",
+]

@@ -1,0 +1,394 @@
+"""Process-pool backend: true multi-core block parallelism.
+
+The first backend that leaves the GIL behind entirely. Handles are
+:class:`ShmTensor` instances — tensors living in named
+``multiprocessing.shared_memory`` segments — and every kernel partitions
+its work over the exact block geometry the threaded backend uses
+(:mod:`repro.backends.blockpar`), fanning block tasks out to a pool of
+worker *processes*. Workers attach to the segments by name, so no tensor
+ever crosses a pipe: a task message carries a segment name, a shape, a
+dtype and a slice — plus the (small) factor matrix for TTM steps.
+
+Determinism is preserved exactly as in the threaded backend:
+
+* TTM blocks write disjoint slices of a preallocated output segment (no
+  cross-process reduction at all);
+* Gram partials and norm partials come back to the parent and are summed
+  in ascending block order, the fixed-order discipline shared with the
+  virtual cluster.
+
+Because the block geometry and reduction order are *identical* to the
+threaded backend's, both produce bit-identical results — and agree with
+the sequential reference to the conformance harness's 1e-10.
+
+The parent owns the only :class:`~repro.mpi.stats.StatsLedger`; workers
+return bare partial results and the parent folds them into single
+per-kernel records (wall-clock seconds, the same ops/tags/FLOP formulas
+the other shared-memory backends use). Regridding is the identity and no
+communication volume is recorded — one address space, honestly accounted.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from time import perf_counter
+
+import numpy as np
+
+from repro.backends.base import ExecutionBackend
+from repro.backends.blockpar import (
+    block_slices,
+    check_worker_count,
+    gram_evd_flops,
+    reduce_partials,
+    split_mode,
+)
+from repro.backends.errors import BackendUnavailableError
+from repro.tensor.linalg import leading_eigvecs
+from repro.tensor.ttm import ttm
+from repro.tensor.unfold import unfold
+
+try:  # gated: some platforms build Python without shared memory
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover - absent only on exotic builds
+    shared_memory = None
+
+
+def _pool_context():
+    """Fork on Linux (cheap workers, stable even if the default shifts);
+    everywhere else the platform default — forking is unsafe where CPython
+    itself switched away from it (macOS system frameworks)."""
+    if sys.platform == "linux":
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+# --------------------------------------------------------------------- #
+# shared-memory handles
+# --------------------------------------------------------------------- #
+
+
+class ShmTensor:
+    """A tensor in a named shared-memory segment (the procpool handle).
+
+    The creating process owns the segment and unlinks it when the handle
+    is garbage collected (or when :meth:`close` is called). Workers attach
+    by :attr:`name` for the duration of one block task.
+    """
+
+    def __init__(self, shape: tuple[int, ...], dtype) -> None:
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(self.shape)) * self.dtype.itemsize)
+        self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        self._array: np.ndarray | None = np.ndarray(
+            self.shape, dtype=self.dtype, buffer=self._shm.buf
+        )
+        self._finalizer = weakref.finalize(self, _destroy_segment, self._shm)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def array(self) -> np.ndarray:
+        """The parent's live view of the segment."""
+        if self._array is None:
+            raise ValueError("ShmTensor is closed")
+        return self._array
+
+    def close(self) -> None:
+        """Release the parent's view and unlink the segment."""
+        self._array = None
+        self._finalizer()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShmTensor(name={self.name!r}, shape={self.shape})"
+
+
+def _destroy_segment(shm) -> None:
+    """Finalizer: drop the mapping and the name (best effort)."""
+    try:
+        shm.close()
+    except BufferError:  # a view outlived the handle; name still goes away
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already unlinked
+        pass
+
+
+# --------------------------------------------------------------------- #
+# worker-side task functions (module level: picklable under spawn)
+# --------------------------------------------------------------------- #
+
+
+def _attach(name: str):
+    """Attach to a segment by name for the duration of one block task.
+
+    Python < 3.13 registers *attached* segments with the resource tracker
+    as if the worker owned them; pool workers inherit the parent's tracker,
+    so the duplicate register is an idempotent set-add that the parent's
+    ``unlink`` cleanly retires — no compensation needed.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+def _release(shm) -> None:
+    try:
+        shm.close()
+    except BufferError:  # pragma: no cover - view not yet collected
+        pass
+
+
+def _view(shm, shape, dtype) -> np.ndarray:
+    return np.ndarray(tuple(shape), dtype=np.dtype(dtype), buffer=shm.buf)
+
+
+def _block_index(ndim: int, split: int, lo: int, hi: int) -> tuple:
+    index: list[slice] = [slice(None)] * ndim
+    index[split] = slice(lo, hi)
+    return tuple(index)
+
+
+def _ttm_block(
+    in_name, in_shape, in_dtype, out_name, out_shape, out_dtype,
+    matrix, mode, split, lo, hi,
+) -> None:
+    """One TTM block: read a slice of ``in``, write a disjoint slice of ``out``."""
+    src = _attach(in_name)
+    dst = _attach(out_name)
+    try:
+        x = _view(src, in_shape, in_dtype)
+        out = _view(dst, out_shape, out_dtype)
+        index = _block_index(len(in_shape), split, lo, hi)
+        out[index] = ttm(x[index], matrix, mode)
+        del x, out
+    finally:
+        _release(src)
+        _release(dst)
+
+
+def _gram_block(name, shape, dtype, mode, split, lo, hi):
+    """One Gram partial: ``U U^T`` of the slice's mode unfolding."""
+    shm = _attach(name)
+    try:
+        x = _view(shm, shape, dtype)
+        index = _block_index(len(shape), split, lo, hi)
+        u = unfold(x[index], mode)
+        g = u @ u.T
+        del x
+    finally:
+        _release(shm)
+    return g
+
+
+def _norm_block(name, shape, dtype, lo, hi):
+    """Partial squared norm of the flat range ``[lo, hi)``."""
+    shm = _attach(name)
+    try:
+        flat = _view(shm, shape, dtype).reshape(-1)
+        piece = flat[lo:hi]
+        value = float(np.dot(piece, piece))
+        del flat, piece
+    finally:
+        _release(shm)
+    return value
+
+
+# --------------------------------------------------------------------- #
+# the backend
+# --------------------------------------------------------------------- #
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Block-parallel execution over a pool of worker processes.
+
+    Parameters
+    ----------
+    n_workers:
+        Pool size; defaults to ``min(8, cpu_count - 1)``. Also the
+        processor count plans default to, so planning granularity matches
+        execution granularity.
+    """
+
+    name = "procpool"
+
+    def __init__(self, n_workers: int | None = None) -> None:
+        super().__init__()
+        self._pool: ProcessPoolExecutor | None = None  # before any raise
+        if shared_memory is None:  # pragma: no cover - exotic builds only
+            raise BackendUnavailableError(
+                "multiprocessing.shared_memory is unavailable on this "
+                "platform",
+                backend=self.name,
+            )
+        n_workers = check_worker_count(n_workers, self.name)
+        try:  # probe: /dev/shm may be missing or unwritable in sandboxes
+            probe = shared_memory.SharedMemory(create=True, size=16)
+            probe.close()
+            probe.unlink()
+        except OSError as exc:
+            raise BackendUnavailableError(
+                f"cannot allocate shared memory ({exc})",
+                backend=self.name,
+                config={"n_workers": n_workers},
+            ) from exc
+        self.n_workers = n_workers
+
+    @property
+    def default_procs(self) -> int:
+        return self.n_workers
+
+    # -- pool lifecycle --------------------------------------------------- #
+
+    def _executor(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.n_workers, mp_context=_pool_context()
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the pool down; the backend stays usable (pool reopens)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ProcessPoolBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+
+    # -- helpers ----------------------------------------------------------- #
+
+    def _store(self, array: np.ndarray) -> ShmTensor:
+        handle = ShmTensor(array.shape, array.dtype)
+        handle.array[...] = array
+        return handle
+
+    def _parallel(self) -> bool:
+        return self.n_workers > 1
+
+    # -- data placement -------------------------------------------------- #
+
+    def distribute(self, tensor: np.ndarray, grid) -> ShmTensor:
+        return self._store(np.ascontiguousarray(tensor))
+
+    def gather(self, handle: ShmTensor) -> np.ndarray:
+        # The live view, not a copy — the session copies cores it keeps,
+        # and the view itself pins the mapping even after the handle is
+        # freed (unlink removes only the name).
+        return handle.array
+
+    def shape(self, handle: ShmTensor) -> tuple[int, ...]:
+        return handle.shape
+
+    # -- kernels ---------------------------------------------------------- #
+
+    def ttm(
+        self, handle: ShmTensor, matrix: np.ndarray, mode: int, *, tag="ttm"
+    ) -> ShmTensor:
+        start = perf_counter()
+        split = split_mode(handle.shape, avoid=mode)
+        if split is None or not self._parallel():
+            out = self._store(ttm(handle.array, matrix, mode))
+        else:
+            out_shape = (
+                handle.shape[:mode]
+                + (matrix.shape[0],)
+                + handle.shape[mode + 1 :]
+            )
+            out_dtype = np.result_type(handle.dtype, matrix.dtype)
+            out = ShmTensor(out_shape, out_dtype)
+            futures = [
+                self._executor().submit(
+                    _ttm_block,
+                    handle.name, handle.shape, handle.dtype.str,
+                    out.name, out_shape, out_dtype.str,
+                    matrix, mode, split, sl.start, sl.stop,
+                )
+                for sl in block_slices(handle.shape[split], self.n_workers)
+            ]
+            for f in futures:
+                f.result()
+        size = int(np.prod(handle.shape))
+        self.ledger.add_compute(
+            op="gemm",
+            tag=tag,
+            flops=float(matrix.shape[0] * size),
+            seconds=perf_counter() - start,
+        )
+        return out
+
+    def leading_factor(
+        self,
+        handle: ShmTensor,
+        mode: int,
+        k: int,
+        *,
+        tag: str = "svd",
+        method: str = "gram",
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        if method != "gram":
+            raise ValueError(
+                f"ProcessPoolBackend only supports the Gram+EVD route, "
+                f"got method={method!r}"
+            )
+        start = perf_counter()
+        length = handle.shape[mode]
+        split = split_mode(handle.shape, avoid=mode)
+        if split is None or not self._parallel():
+            u = unfold(handle.array, mode)
+            g = u @ u.T
+        else:
+            futures = [
+                self._executor().submit(
+                    _gram_block,
+                    handle.name, handle.shape, handle.dtype.str,
+                    mode, split, sl.start, sl.stop,
+                )
+                for sl in block_slices(handle.shape[split], self.n_workers)
+            ]
+            partials = [f.result() for f in futures]
+            # Fixed ascending-block reduction order (determinism).
+            g = reduce_partials(partials, length, out)
+        g = (g + g.T) * 0.5
+        flops = gram_evd_flops(length, int(np.prod(handle.shape)))
+        factor = leading_eigvecs(g, k)
+        self.ledger.add_compute(
+            op="syrk",
+            tag=tag,
+            flops=float(flops),
+            seconds=perf_counter() - start,
+        )
+        return factor
+
+    def regrid(self, handle: ShmTensor, grid, *, tag="regrid") -> ShmTensor:
+        return handle
+
+    def fro_norm_sq(self, handle: ShmTensor, *, tag="norm") -> float:
+        size = int(np.prod(handle.shape))
+        slices = block_slices(size, self.n_workers)
+        if len(slices) <= 1 or not self._parallel():
+            flat = handle.array.reshape(-1)
+            return float(np.dot(flat, flat))
+        futures = [
+            self._executor().submit(
+                _norm_block,
+                handle.name, handle.shape, handle.dtype.str,
+                sl.start, sl.stop,
+            )
+            for sl in slices
+        ]
+        # Ascending block order, same as the threaded backend.
+        return float(sum(f.result() for f in futures))

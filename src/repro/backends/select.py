@@ -1,0 +1,406 @@
+"""Input-adaptive backend selection (a-Tucker style).
+
+Hand-picking an execution backend per tensor is exactly the kind of
+decision the planner was built to make for trees and grids; this module
+closes the loop for backends. Given an input's *metadata* — dims, core,
+requested processor count, dtype — and the machine's available cores, it
+scores every auto-eligible backend under a small calibratable cost model
+and picks the cheapest:
+
+``time(backend) = startup + tasks * per_task + copy + flops / throughput``
+
+where ``throughput = rate * dtype_speedup * efficiency * cores_used``.
+The model's per-backend parameters ship with conservative defaults and can
+be *calibrated* on the actual machine (``repro calibrate``): measured
+throughputs are persisted to a JSON profile (``~/.cache/repro/``, or
+``$REPRO_CALIBRATION``) that :func:`load_profile` merges over the
+defaults.
+
+``simcluster`` is deliberately not auto-eligible: it is a measurement
+instrument (exact communication-volume accounting on a virtual cluster),
+not a fast path, so it must always be an explicit choice.
+
+Selection is a pure function of its inputs — same metadata, same profile,
+same answer — which is what the property-test suite pins down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from time import perf_counter
+
+import numpy as np
+
+from repro.util.dtypes import resolve_dtype
+
+#: backends the auto-selector may choose, in tie-break priority order.
+AUTO_CANDIDATES = ("sequential", "threaded", "procpool")
+
+#: profile schema version (bump on incompatible changes).
+PROFILE_VERSION = 1
+
+#: conservative built-in cost-model parameters. ``rate`` is sustained
+#: float64 multiply-adds per second per core; ``startup`` is the one-off
+#: cost of bringing the backend up (process pools fork + import);
+#: ``per_task`` is the dispatch overhead per block task; ``efficiency``
+#: discounts parallel scaling; ``copy_elems_per_s`` charges moving the
+#: tensor into backend-owned storage (shared-memory segments), 0 = free.
+_DEFAULT_BACKENDS = {
+    "sequential": {
+        "rate": 2.0e9,
+        "startup": 0.0,
+        "per_task": 0.0,
+        "efficiency": 1.0,
+        "copy_elems_per_s": 0.0,
+        "max_cores": 1.0,
+    },
+    "threaded": {
+        "rate": 2.0e9,
+        "startup": 2.0e-3,
+        "per_task": 1.0e-4,
+        "efficiency": 0.85,
+        "copy_elems_per_s": 0.0,
+        "max_cores": 0.0,  # 0 = no backend-imposed cap
+    },
+    "procpool": {
+        "rate": 2.0e9,
+        "startup": 1.5e-1,
+        "per_task": 2.0e-3,
+        "efficiency": 0.90,
+        "copy_elems_per_s": 1.0e9,
+        "max_cores": 0.0,
+    },
+}
+
+
+def default_profile() -> dict:
+    """A fresh copy of the built-in profile."""
+    return {
+        "version": PROFILE_VERSION,
+        "calibrated": False,
+        "measured": [],
+        "backends": {k: dict(v) for k, v in _DEFAULT_BACKENDS.items()},
+    }
+
+
+def default_profile_path() -> str:
+    """Where profiles persist: ``$REPRO_CALIBRATION`` or ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CALIBRATION")
+    if env:
+        return env
+    return os.path.join(
+        os.path.expanduser("~"), ".cache", "repro", "calibration.json"
+    )
+
+
+def merge_profile(partial: dict) -> dict:
+    """Merge a (possibly partial) profile dict over the defaults.
+
+    Unknown backends and unknown parameter keys are dropped; every known
+    backend keeps default values for any parameter the partial omits, so
+    hand-written overrides like ``{"backends": {"procpool": {"rate":
+    5e9}}}`` are valid. The ``measured`` list (which backends calibration
+    actually probed) is carried through, filtered to known backends.
+    """
+    profile = default_profile()
+    if not isinstance(partial, dict):
+        return profile
+    for name, params in (partial.get("backends") or {}).items():
+        if name in profile["backends"] and isinstance(params, dict):
+            for key, value in params.items():
+                if key in profile["backends"][name]:
+                    profile["backends"][name][key] = float(value)
+    profile["measured"] = [
+        name
+        for name in (partial.get("measured") or [])
+        if name in profile["backends"]
+    ]
+    profile["calibrated"] = bool(partial.get("calibrated", False))
+    return profile
+
+
+def load_profile(path: str | None = None) -> dict:
+    """Load a persisted profile merged over the defaults.
+
+    With ``path=None`` (the implicit machine profile), a missing or
+    unreadable file yields the defaults — auto-selection must never fail
+    just because calibration was skipped. A path the caller *named* is a
+    promise, though: if it cannot be read or is not a version-compatible
+    profile, a :class:`ValueError` is raised instead of silently running
+    on defaults.
+    """
+    explicit = path is not None
+    path = path or default_profile_path()
+    try:
+        with open(path, encoding="utf-8") as fh:
+            stored = json.load(fh)
+    except (OSError, ValueError) as exc:
+        if explicit:
+            raise ValueError(
+                f"cannot read calibration profile {path!r}: {exc}"
+            ) from exc
+        return default_profile()
+    if not isinstance(stored, dict) or stored.get("version") != PROFILE_VERSION:
+        if explicit:
+            raise ValueError(
+                f"{path!r} is not a version-{PROFILE_VERSION} calibration "
+                f"profile"
+            )
+        return default_profile()
+    return merge_profile(stored)
+
+
+def save_profile(profile: dict, path: str | None = None) -> str:
+    """Persist ``profile`` as JSON; returns the path written."""
+    path = path or default_profile_path()
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(profile, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+# --------------------------------------------------------------------- #
+# the cost model
+# --------------------------------------------------------------------- #
+
+
+def _check_dims(name: str, dims) -> tuple[int, ...]:
+    dims = tuple(int(d) for d in dims)
+    if not dims or any(d < 1 for d in dims):
+        raise ValueError(f"{name} must be positive integers, got {dims}")
+    return dims
+
+
+def sweep_flops(dims: tuple[int, ...], core: tuple[int, ...]) -> float:
+    """Modeled multiply-adds of one HOOI sweep (TTMs + Gram syrks).
+
+    Dominated by each mode's first TTM from the full tensor plus the Gram
+    accumulation per mode — a deliberate over-approximation that is
+    monotone in the tensor size, which is all selection needs.
+    """
+    card = float(np.prod([float(d) for d in dims]))
+    ttm = sum(float(k) * card for k in core)
+    gram = sum(float(d + 1) / 2.0 * card for d in dims)
+    return ttm + gram
+
+
+def estimate_seconds(
+    params: dict,
+    dims: tuple[int, ...],
+    core: tuple[int, ...],
+    *,
+    n_procs: int,
+    dtype,
+    available_cores: int,
+) -> float:
+    """Modeled wall seconds of one sweep under one backend's parameters."""
+    flops = sweep_flops(dims, core)
+    itemsize = float(np.dtype(dtype).itemsize)
+    dtype_speedup = 8.0 / itemsize  # float32 streams twice the elements
+    cores_used = max(1, min(int(n_procs), int(available_cores)))
+    max_cores = int(params.get("max_cores", 0.0))
+    if max_cores > 0:
+        cores_used = min(cores_used, max_cores)
+    if cores_used == 1:
+        efficiency = 1.0
+    else:
+        efficiency = float(params["efficiency"])
+    throughput = float(params["rate"]) * dtype_speedup * efficiency * cores_used
+    seconds = float(params["startup"]) + flops / throughput
+    # ~2 kernels per mode per sweep, each fanning out one task per worker.
+    n_tasks = 2.0 * len(dims) * cores_used if cores_used > 1 else 0.0
+    seconds += n_tasks * float(params["per_task"])
+    copy_rate = float(params["copy_elems_per_s"])
+    if copy_rate > 0:
+        seconds += float(np.prod([float(d) for d in dims])) / copy_rate
+    return seconds
+
+
+def resolve_auto_procs(n_procs, available_cores: int | None = None) -> int:
+    """The processor count a selection will use (explicit or natural).
+
+    The natural default mirrors the pool backends' sizing: all but one of
+    the available cores, capped at 8. Exposed so callers (the session's
+    warm-instance bookkeeping) can predict the count before selecting.
+    """
+    if available_cores is None:
+        available_cores = os.cpu_count() or 1
+    available_cores = max(1, int(available_cores))
+    if n_procs is None:
+        return max(1, min(8, available_cores - 1)) if available_cores > 1 else 1
+    n_procs = int(n_procs)
+    if n_procs < 1:
+        raise ValueError(f"n_procs must be >= 1, got {n_procs}")
+    return n_procs
+
+
+@dataclass(frozen=True)
+class Selection:
+    """The auto-selector's verdict for one input."""
+
+    backend: str
+    n_procs: int
+    dtype: str
+    scores: dict = field(compare=False)
+    reason: str = ""
+
+
+def select_backend(
+    dims,
+    core,
+    *,
+    n_procs: int | None = None,
+    dtype=None,
+    available_cores: int | None = None,
+    profile: dict | None = None,
+    warm=(),
+) -> Selection:
+    """Pick the cheapest auto-eligible backend for this input.
+
+    Pure and deterministic: the same ``(dims, core, n_procs, dtype,
+    available_cores, profile, warm)`` always selects the same backend.
+    Ties break toward the earlier entry of :data:`AUTO_CANDIDATES`.
+    ``warm`` names backends whose instance already exists (a session's
+    cached pools): their one-off startup cost is sunk and is not charged.
+    """
+    dims = _check_dims("dims", dims)
+    core = _check_dims("core", core)
+    if len(core) != len(dims):
+        raise ValueError(
+            f"core has {len(core)} modes but dims has {len(dims)}"
+        )
+    if available_cores is None:
+        available_cores = os.cpu_count() or 1
+    available_cores = max(1, int(available_cores))
+    n_procs = resolve_auto_procs(n_procs, available_cores)
+    work_dtype = resolve_dtype(np.float64, dtype) if dtype is not None else np.dtype(np.float64)
+    profile = profile if profile is not None else default_profile()
+    backends = profile.get("backends") or {}
+    scores: dict[str, float] = {}
+    warm = frozenset(warm)
+    for name in AUTO_CANDIDATES:
+        params = backends.get(name)
+        if params is None:
+            continue
+        if name in warm:
+            params = {**params, "startup": 0.0}
+        scores[name] = estimate_seconds(
+            params,
+            dims,
+            core,
+            n_procs=n_procs,
+            dtype=work_dtype,
+            available_cores=available_cores,
+        )
+    if not scores:
+        raise ValueError(
+            f"profile names no auto-eligible backend "
+            f"(candidates: {AUTO_CANDIDATES})"
+        )
+    best = min(scores, key=lambda name: (scores[name], AUTO_CANDIDATES.index(name)))
+    ranked = ", ".join(
+        f"{name} {scores[name]:.3g}s" for name in sorted(scores, key=scores.get)
+    )
+    reason = (
+        f"modeled fastest for dims={'x'.join(map(str, dims))} "
+        f"core={'x'.join(map(str, core))} on {available_cores} core(s) "
+        f"with {n_procs} proc(s): {ranked}"
+    )
+    return Selection(
+        backend=best,
+        n_procs=n_procs,
+        dtype=work_dtype.name,
+        scores=scores,
+        reason=reason,
+    )
+
+
+# --------------------------------------------------------------------- #
+# calibration
+# --------------------------------------------------------------------- #
+
+
+def calibrate(
+    dims=(48, 40, 32),
+    core=(8, 8, 8),
+    *,
+    repeats: int = 3,
+    n_procs: int | None = None,
+    backends=AUTO_CANDIDATES,
+    seed: int = 0,
+) -> dict:
+    """Measure per-backend throughput on this machine; returns a profile.
+
+    For each backend the probe times ``repeats`` TTMs of a random
+    ``dims`` tensor by a ``core[0] x dims[0]`` factor (taking the fastest
+    repeat, standard benchmarking practice) and the one-off startup cost
+    of bringing the backend up. The returned profile is the defaults with
+    ``rate`` / ``startup`` replaced by measurements; persist it with
+    :func:`save_profile` and it is picked up by every ``backend="auto"``
+    session.
+    """
+    from repro.backends import (  # lazy: avoids an import cycle
+        BackendUnavailableError,
+        get_backend,
+    )
+
+    dims = _check_dims("dims", dims)
+    core = _check_dims("core", core)
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    rng = np.random.default_rng(seed)
+    tensor = rng.standard_normal(dims)
+    matrix = rng.standard_normal((core[0], dims[0]))
+    flops = float(core[0]) * tensor.size
+    profile = default_profile()
+    for name in backends:
+        if name not in profile["backends"]:
+            continue
+        start = perf_counter()
+        try:
+            backend = get_backend(name, n_procs=n_procs)
+        except BackendUnavailableError:
+            # An absent backend keeps its defaults and stays out of the
+            # "measured" list; the others still calibrate. If it is still
+            # unavailable at selection time, auto mode falls back past it.
+            continue
+        handle = backend.distribute(tensor, ())
+        backend.fro_norm_sq(handle, tag="calibrate:warmup")
+        startup = perf_counter() - start
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = perf_counter()
+            backend.ttm(handle, matrix, 0, tag="calibrate:ttm")
+            best = min(best, perf_counter() - t0)
+        cores_used = max(1, min(backend.default_procs, os.cpu_count() or 1))
+        params = profile["backends"][name]
+        params["rate"] = flops / best / (
+            cores_used * params["efficiency"] if cores_used > 1 else 1.0
+        )
+        params["startup"] = startup if name != "sequential" else 0.0
+        profile["measured"].append(name)
+        backend.close()
+    # Only a profile with at least one real measurement counts as
+    # calibrated; skipped backends are visible via the "measured" list.
+    profile["calibrated"] = bool(profile["measured"])
+    return profile
+
+
+__all__ = [
+    "AUTO_CANDIDATES",
+    "PROFILE_VERSION",
+    "Selection",
+    "calibrate",
+    "default_profile",
+    "default_profile_path",
+    "estimate_seconds",
+    "load_profile",
+    "merge_profile",
+    "resolve_auto_procs",
+    "save_profile",
+    "select_backend",
+    "sweep_flops",
+]

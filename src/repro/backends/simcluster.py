@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.backends.base import ExecutionBackend
+from repro.backends.errors import BackendUnavailableError
 from repro.dist.dtensor import DistTensor
 from repro.dist.gram import dist_leading_factor
 from repro.dist.regrid import regrid as dist_regrid
@@ -46,8 +47,8 @@ class SimClusterBackend(ExecutionBackend):
         super().__init__()
         if cluster is None:
             if n_procs is None:
-                raise ValueError(
-                    "SimClusterBackend needs a cluster or n_procs"
+                raise BackendUnavailableError(
+                    "needs a cluster or n_procs", backend=self.name
                 )
             cluster = SimCluster(n_procs, machine=machine)
         self.cluster = cluster
@@ -60,8 +61,24 @@ class SimClusterBackend(ExecutionBackend):
 
     # -- data placement -------------------------------------------------- #
 
+    def _check_grid(self, grid: tuple[int, ...]) -> tuple[int, ...]:
+        """A grid must tile exactly this cluster's world size."""
+        grid = tuple(int(q) for q in grid)
+        n = 1
+        for q in grid:
+            n *= q
+        if n != self.cluster.n_procs:
+            raise BackendUnavailableError(
+                "grid does not tile the cluster",
+                backend=self.name,
+                config={"grid": grid, "n_procs": self.cluster.n_procs},
+            )
+        return grid
+
     def distribute(self, tensor: np.ndarray, grid) -> DistTensor:
-        return DistTensor.from_global(self.cluster, tensor, tuple(grid))
+        return DistTensor.from_global(
+            self.cluster, tensor, self._check_grid(grid)
+        )
 
     def gather(self, handle: DistTensor) -> np.ndarray:
         return handle.to_global()
@@ -94,7 +111,7 @@ class SimClusterBackend(ExecutionBackend):
         return dist_leading_factor(handle, mode, k, tag=tag)
 
     def regrid(self, handle: DistTensor, grid, *, tag="regrid") -> DistTensor:
-        return dist_regrid(handle, tuple(grid), tag=tag)
+        return dist_regrid(handle, self._check_grid(grid), tag=tag)
 
     def fro_norm_sq(self, handle: DistTensor, *, tag="norm") -> float:
         return handle.fro_norm_sq(tag=tag)

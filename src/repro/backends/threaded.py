@@ -17,22 +17,22 @@ is ever recorded — the honest ledger of a shared-memory machine.
 
 from __future__ import annotations
 
-import os
 from concurrent.futures import ThreadPoolExecutor
 from time import perf_counter
 
 import numpy as np
 
 from repro.backends.base import ExecutionBackend
-from repro.dist.blocks import block_ranges
+from repro.backends.blockpar import (
+    block_slices,
+    check_worker_count,
+    gram_evd_flops,
+    reduce_partials,
+    split_mode,
+)
 from repro.tensor.linalg import leading_eigvecs
 from repro.tensor.ttm import ttm
 from repro.tensor.unfold import unfold
-from repro.util.validation import check_positive_int
-
-
-def _default_workers() -> int:
-    return max(1, min(8, (os.cpu_count() or 2) - 1))
 
 
 class ThreadedBackend(ExecutionBackend):
@@ -50,12 +50,8 @@ class ThreadedBackend(ExecutionBackend):
 
     def __init__(self, n_workers: int | None = None) -> None:
         super().__init__()
-        self.n_workers = (
-            _default_workers()
-            if n_workers is None
-            else check_positive_int(n_workers, "n_workers")
-        )
-        self._pool: ThreadPoolExecutor | None = None
+        self._pool: ThreadPoolExecutor | None = None  # before any raise
+        self.n_workers = check_worker_count(n_workers, self.name)
 
     @property
     def default_procs(self) -> int:
@@ -86,23 +82,6 @@ class ThreadedBackend(ExecutionBackend):
         if self._pool is not None:
             self._pool.shutdown(wait=False)
 
-    # -- block geometry --------------------------------------------------- #
-
-    def _split_mode(self, shape: tuple[int, ...], avoid: int | None) -> int | None:
-        """Mode to partition along: the longest mode other than ``avoid``."""
-        candidates = [
-            (length, m)
-            for m, length in enumerate(shape)
-            if m != avoid and length > 1
-        ]
-        if not candidates:
-            return None
-        return max(candidates)[1]
-
-    def _block_slices(self, length: int) -> list[slice]:
-        n_blocks = min(self.n_workers, length)
-        return [slice(a, b) for a, b in block_ranges(length, n_blocks)]
-
     # -- data placement -------------------------------------------------- #
 
     def distribute(self, tensor: np.ndarray, grid) -> np.ndarray:
@@ -120,7 +99,7 @@ class ThreadedBackend(ExecutionBackend):
         self, handle: np.ndarray, matrix: np.ndarray, mode: int, *, tag="ttm"
     ) -> np.ndarray:
         start = perf_counter()
-        split = self._split_mode(handle.shape, avoid=mode)
+        split = split_mode(handle.shape, avoid=mode)
         if split is None:
             out = ttm(handle, matrix, mode)
         else:
@@ -138,7 +117,8 @@ class ThreadedBackend(ExecutionBackend):
                 index[split] = sl
                 out[tuple(index)] = ttm(handle[tuple(index)], matrix, mode)
 
-            list(self._executor().map(work, self._block_slices(handle.shape[split])))
+            slices = block_slices(handle.shape[split], self.n_workers)
+            list(self._executor().map(work, slices))
         self.ledger.add_compute(
             op="gemm",
             tag=tag,
@@ -164,12 +144,12 @@ class ThreadedBackend(ExecutionBackend):
             )
         start = perf_counter()
         length = handle.shape[mode]
-        split = self._split_mode(handle.shape, avoid=mode)
+        split = split_mode(handle.shape, avoid=mode)
         if split is None:
             u = unfold(handle, mode)
             g = u @ u.T
         else:
-            slices = self._block_slices(handle.shape[split])
+            slices = block_slices(handle.shape[split], self.n_workers)
 
             def partial(sl: slice) -> np.ndarray:
                 index: list[slice] = [slice(None)] * handle.ndim
@@ -178,21 +158,9 @@ class ThreadedBackend(ExecutionBackend):
                 return u @ u.T
 
             partials = list(self._executor().map(partial, slices))
-            # Fixed ascending-block reduction order (determinism).
-            if out is not None and out.shape == (length, length) and (
-                out.dtype == partials[0].dtype
-            ):
-                g = out
-                g[...] = partials[0]
-            else:
-                g = partials[0].copy()
-            for p in partials[1:]:
-                g += p
+            g = reduce_partials(partials, length, out)
         g = (g + g.T) * 0.5
-        flops = (
-            length * (length + 1) // 2 * (handle.size // length)
-            + 4 * length**3 // 3
-        )
+        flops = gram_evd_flops(length, handle.size)
         factor = leading_eigvecs(g, k)
         self.ledger.add_compute(
             op="syrk",
@@ -207,7 +175,7 @@ class ThreadedBackend(ExecutionBackend):
 
     def fro_norm_sq(self, handle: np.ndarray, *, tag="norm") -> float:
         flat = handle.reshape(-1)
-        slices = self._block_slices(flat.shape[0])
+        slices = block_slices(flat.shape[0], self.n_workers)
         if len(slices) <= 1:
             return float(np.dot(flat, flat))
 

@@ -14,12 +14,19 @@ Metrics per record:
 ``tree_comm_s``      TTM + regrid comm time, tree only (Fig 11e)
 ``svd_s``            SVD phase time
 ``total_s``          overall invocation time (Fig 10)
+
+:func:`run_backends` complements the modeled sweep with *measured*
+per-backend comparisons: the same decomposition executed on several
+registered backends, reporting wall seconds, ledger aggregates and the
+worst deviation from the sequential reference.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from time import perf_counter
 
+from repro.backends import BackendUnavailableError, get_backend
 from repro.bench.algorithms import make_planner
 from repro.core.meta import TensorMeta
 from repro.hooi.model import predict
@@ -86,6 +93,86 @@ def sweep(
             }
         )
     return records
+
+
+def run_backends(
+    tensor,
+    core_dims: Sequence[int],
+    backends: Sequence[str] = ("sequential", "threaded", "procpool"),
+    *,
+    n_procs: int | None = None,
+    planner: str = "optimal",
+    max_iters: int = 2,
+    tol: float = 0.0,
+    reference: str = "sequential",
+) -> dict[str, dict[str, float]]:
+    """Execute the same decomposition on several backends; compare.
+
+    Per backend: ``seconds`` (measured wall clock), the uniform ledger
+    aggregates (``comm_volume`` / ``flops`` / ``events``), the final
+    ``error``, and ``max_core_diff`` — the worst absolute core deviation
+    from the ``reference`` backend (the conformance bound, 0.0 for the
+    reference itself). A backend the host cannot provide is reported as
+    ``{"unavailable": reason}`` rather than dropped silently.
+
+    One ``n_procs`` is resolved up front and shared by every backend —
+    the comparison is only a conformance bound if all backends execute
+    the *same* plan. ``n_procs=None`` picks the machine's natural pool
+    size clamped to a plannable count for this metadata.
+    """
+    import numpy as np
+
+    from repro.backends.blockpar import default_workers
+    from repro.core.grids import feasible_procs
+    from repro.util.validation import check_core_dims
+
+    arr = np.asarray(tensor)
+    meta = TensorMeta(
+        dims=arr.shape, core=check_core_dims(core_dims, arr.shape)
+    )
+    if n_procs is None:
+        n_procs = feasible_procs(meta, default_workers())
+    names = list(backends)
+    if reference not in names:
+        names.insert(0, reference)
+    out: dict[str, dict] = {}
+    cores: dict[str, object] = {}
+    for name in names:
+        try:
+            backend = get_backend(name, n_procs=n_procs)
+        except BackendUnavailableError as exc:
+            out[name] = {"unavailable": str(exc)}
+            continue
+        session = TuckerSession(backend=backend)
+        start = perf_counter()
+        result = session.run(
+            tensor,
+            core_dims,
+            planner=planner,
+            n_procs=n_procs,
+            max_iters=max_iters,
+            tol=tol,
+        )
+        seconds = perf_counter() - start
+        stats = backend.stats()
+        cores[name] = result.decomposition.core
+        out[name] = {
+            "seconds": seconds,
+            "error": result.error,
+            "n_iters": float(result.n_iters),
+            "comm_volume": stats["comm_volume"],
+            "flops": stats["flops"],
+            "events": stats["events"],
+        }
+        backend.close()
+    ref_core = cores.get(reference)
+    for name, metrics in out.items():
+        if "unavailable" in metrics or ref_core is None:
+            continue
+        metrics["max_core_diff"] = float(
+            np.max(np.abs(cores[name] - ref_core))
+        )
+    return out
 
 
 def normalize_against(

@@ -4,6 +4,7 @@ Subcommands
 -----------
 ``plan``       plan one metadata instance and print (or save) the plan
 ``decompose``  actually decompose a tensor via the session API
+``calibrate``  measure per-backend throughput; persist an auto-selection profile
 ``psi``        print the Table-1 grid counts for given P and N range
 ``model``      model one HOOI invocation for every algorithm configuration
 ``suite``      print benchmark-suite statistics
@@ -11,8 +12,9 @@ Subcommands
 Examples::
 
     python -m repro plan --dims 400,100,100,50,20 --core 80,80,10,40,10 -p 32
-    python -m repro decompose --random 24,20,16 --core 6,5,4 --backend threaded
+    python -m repro decompose --random 24,20,16 --core 6,5,4 --backend auto
     python -m repro decompose --input t.npy --core 8,6,5 --json
+    python -m repro calibrate --out profile.json
     python -m repro psi -p 32 --n-min 5 --n-max 10
     python -m repro model --tensor SP -p 32
     python -m repro suite --ndim 5
@@ -25,7 +27,8 @@ import json
 import sys
 from collections.abc import Sequence
 
-from repro.backends import BACKEND_NAMES
+from repro.backends import AUTO_BACKEND, BACKEND_NAMES
+from repro.backends import select as backend_select
 from repro.bench.algorithms import ALGORITHMS, make_planner, paper_label
 from repro.bench.report import ascii_table
 from repro.bench.suite import REAL_TENSORS, benchmark_metas, real_tensor_meta
@@ -90,7 +93,15 @@ def cmd_decompose(args) -> int:
     if not args.core:
         raise SystemExit("provide --core K1,K2,...")
 
-    session = TuckerSession(backend=args.backend, n_procs=args.procs)
+    calibration = getattr(args, "calibration", None)
+    if calibration is not None and args.backend != AUTO_BACKEND:
+        raise SystemExit("--calibration requires --backend auto")
+    try:
+        session = TuckerSession(
+            backend=args.backend, n_procs=args.procs, calibration=calibration
+        )
+    except ValueError as exc:  # bad profile path, bad backend config, ...
+        raise SystemExit(str(exc)) from None
     result = session.run(
         tensor,
         args.core,
@@ -117,6 +128,8 @@ def cmd_decompose(args) -> int:
         "n_iters": result.n_iters,
         "compression_ratio": result.compression_ratio,
         "from_cache": result.from_cache,
+        "auto_selected": result.auto_selected,
+        "selection_reason": result.selection_reason,
         "ledger": stats,
     }
     if args.json:
@@ -124,7 +137,10 @@ def cmd_decompose(args) -> int:
         return 0
     print(f"tensor:             {'x'.join(map(str, tensor.shape))} "
           f"-> {'x'.join(map(str, result.decomposition.core_dims))}")
-    print(f"backend:            {result.backend} ({payload['dtype']})")
+    print(f"backend:            {result.backend} ({payload['dtype']})"
+          + (" [auto]" if result.auto_selected else ""))
+    if result.auto_selected and result.selection_reason:
+        print(f"selected because:   {result.selection_reason}")
     print(f"plan:               tree={plan.tree_kind}, grid={plan.grid_kind}, "
           f"P={plan.n_procs} (cache {'hit' if result.from_cache else 'miss'})")
     print(f"sthosvd error:      {result.sthosvd_error:.6e}")
@@ -132,6 +148,45 @@ def cmd_decompose(args) -> int:
     print(f"compression ratio:  {result.compression_ratio:.2f}x")
     print(f"ledger volume:      {stats['comm_volume']:,.0f} elements")
     print(f"ledger flops:       {stats['flops']:,.0f} multiply-adds")
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    try:
+        profile = backend_select.calibrate(
+            dims=args.dims or (48, 40, 32),
+            core=args.core or (8, 8, 8),
+            repeats=args.repeats,
+            n_procs=args.procs,
+            seed=args.seed,
+        )
+        path = backend_select.save_profile(profile, args.out)
+    except (ValueError, OSError) as exc:  # bad probe args, unwritable --out
+        raise SystemExit(str(exc)) from None
+    if args.json:
+        print(json.dumps({"path": path, "profile": profile}, indent=2,
+                         sort_keys=True))
+        return 0
+    measured = set(profile.get("measured", ()))
+    rows = [
+        [
+            name,
+            f"{params['rate'] / 1e9:.2f}G",
+            f"{params['startup'] * 1e3:.1f}ms",
+            f"{params['per_task'] * 1e6:.0f}us",
+            f"{params['efficiency']:.2f}",
+            "measured" if name in measured else "default",
+        ]
+        for name, params in sorted(profile["backends"].items())
+    ]
+    print(ascii_table(
+        ["backend", "rate (madds/s)", "startup", "per task", "efficiency",
+         "source"],
+        rows,
+    ))
+    print(f"profile written to {path}")
+    print("auto-selection sessions pick it up via "
+          "TuckerSession(backend='auto')")
     return 0
 
 
@@ -220,7 +275,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_dec.add_argument("--core", type=_parse_ints, help="K1,K2,...")
     p_dec.add_argument(
-        "--backend", default="sequential", choices=BACKEND_NAMES
+        "--backend",
+        default="sequential",
+        choices=BACKEND_NAMES + (AUTO_BACKEND,),
+        help="execution backend, or 'auto' for input-adaptive selection",
+    )
+    p_dec.add_argument(
+        "--calibration",
+        help="calibration profile JSON for --backend auto "
+        "(default: the persisted machine profile)",
     )
     p_dec.add_argument(
         "--planner", default="portfolio",
@@ -237,6 +300,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_dec.add_argument("--seed", type=int, default=0)
     p_dec.add_argument("--json", action="store_true")
     p_dec.set_defaults(func=cmd_decompose)
+
+    p_cal = sub.add_parser(
+        "calibrate",
+        help="measure per-backend throughput; persist an auto profile",
+    )
+    p_cal.add_argument("--dims", type=_parse_ints, help="probe tensor dims")
+    p_cal.add_argument("--core", type=_parse_ints, help="probe core dims")
+    p_cal.add_argument("--repeats", type=int, default=3)
+    p_cal.add_argument(
+        "-p", "--procs", type=int, default=None,
+        help="worker count for the parallel backends (default: natural)",
+    )
+    p_cal.add_argument("--seed", type=int, default=0)
+    p_cal.add_argument(
+        "--out", help="write the profile here (default: the machine "
+        "profile path, $REPRO_CALIBRATION or ~/.cache/repro)",
+    )
+    p_cal.add_argument("--json", action="store_true")
+    p_cal.set_defaults(func=cmd_calibrate)
 
     p_psi = sub.add_parser("psi", help="grid counts (Table 1)")
     p_psi.add_argument("-p", "--procs", type=int, default=32)

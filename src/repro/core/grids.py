@@ -48,6 +48,26 @@ def is_valid_grid(grid: Grid, meta: TensorMeta) -> bool:
     return all(q <= k for q, k in zip(grid, meta.core))
 
 
+def has_valid_grid(p: int, meta: TensorMeta) -> bool:
+    """Whether any valid grid exists for ``p`` ranks (early-exit check)."""
+    return any(is_valid_grid(g, meta) for g in enumerate_grids(p, meta.ndim))
+
+
+def feasible_procs(meta: TensorMeta, p: int) -> int:
+    """Largest processor count ``<= p`` that admits a valid grid.
+
+    ``p = 1`` is always feasible (the all-ones grid), so this never fails.
+    Used when a processor count comes from a machine default (cores - 1,
+    say) rather than an explicit request: a prime count larger than every
+    core dim would otherwise make planning impossible.
+    """
+    p = check_positive_int(p, "p")
+    for candidate in range(p, 0, -1):
+        if has_valid_grid(candidate, meta):
+            return candidate
+    raise AssertionError("unreachable: P=1 is always feasible")
+
+
 def valid_grids(p: int, meta: TensorMeta) -> list[Grid]:
     """All valid grids for ``p`` ranks, in deterministic (sorted) order.
 

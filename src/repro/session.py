@@ -36,14 +36,20 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.backends import (
+    AUTO_BACKEND,
+    BackendUnavailableError,
     ExecutionBackend,
+    Selection,
     SimClusterBackend,
     check_factors,
     compile_core_steps,
     compile_tree_steps,
     get_backend,
+    load_profile,
+    merge_profile,
     run_core_steps,
     run_tree_steps,
+    select_backend,
 )
 from repro.backends.schedule import Step
 from repro.core.meta import TensorMeta
@@ -73,7 +79,9 @@ class TuckerResult:
     ``errors`` has one entry per completed HOOI invocation;
     ``sthosvd_error`` is the initialization error. ``backend`` names the
     executing backend and ``from_cache`` reports whether the compiled plan
-    came from the session's plan cache.
+    came from the session's plan cache. When the session runs with
+    ``backend="auto"``, ``auto_selected`` is true and
+    ``selection_reason`` records why the selector chose this backend.
     """
 
     decomposition: "TuckerDecomposition"  # noqa: F821 - hooi import is lazy
@@ -83,6 +91,8 @@ class TuckerResult:
     n_iters: int = 0
     backend: str = ""
     from_cache: bool = False
+    auto_selected: bool = False
+    selection_reason: str = ""
 
     @property
     def error(self) -> float:
@@ -210,13 +220,22 @@ class TuckerSession:
     Parameters
     ----------
     backend:
-        A backend name (``"sequential"``, ``"simcluster"``, ``"threaded"``)
-        or a ready :class:`ExecutionBackend` instance.
+        A backend name (``"sequential"``, ``"simcluster"``, ``"threaded"``,
+        ``"procpool"``), the adaptive spec ``"auto"`` (the backend is
+        selected per input from its metadata, see
+        :mod:`repro.backends.select`), or a ready
+        :class:`ExecutionBackend` instance.
     cluster / n_procs / machine:
         Configuration for a freshly built ``"simcluster"`` backend (and
-        ``n_procs`` caps a fresh ``"threaded"`` pool).
+        ``n_procs`` caps a fresh ``"threaded"`` / ``"procpool"`` pool or
+        anchors ``"auto"`` selection).
     cache_size:
         Maximum number of compiled plans kept (LRU eviction).
+    calibration:
+        Only for ``backend="auto"``: a profile dict (as produced by
+        :func:`repro.backends.calibrate`) or a path to a persisted profile
+        JSON; defaults to the machine profile on disk, falling back to the
+        built-in cost model.
     """
 
     def __init__(
@@ -227,14 +246,152 @@ class TuckerSession:
         n_procs: int | None = None,
         machine=None,
         cache_size: int = 32,
+        calibration=None,
     ) -> None:
-        self.backend = get_backend(
-            backend, cluster=cluster, n_procs=n_procs, machine=machine
-        )
+        self._auto = isinstance(backend, str) and backend == AUTO_BACKEND
+        self._selection: Selection | None = None
+        if self._auto:
+            if cluster is not None or machine is not None:
+                raise ValueError(
+                    "backend='auto' does not accept cluster=/machine= "
+                    "(simcluster is never auto-selected; name it explicitly)"
+                )
+            self._auto_procs = (
+                check_positive_int(n_procs, "n_procs")
+                if n_procs is not None
+                else None
+            )
+            # Partial dicts are merged over the defaults, exactly like
+            # profiles loaded from disk.
+            self._profile = (
+                merge_profile(calibration)
+                if isinstance(calibration, dict)
+                else load_profile(calibration)
+            )
+            self._backends: dict[tuple[str, int], ExecutionBackend] = {}
+            #: set on first selection; stays the last-used backend after.
+            self.backend: ExecutionBackend | None = None
+        else:
+            if calibration is not None:
+                raise ValueError(
+                    "calibration= only applies to backend='auto'"
+                )
+            self.backend = get_backend(
+                backend, cluster=cluster, n_procs=n_procs, machine=machine
+            )
         self._cache: OrderedDict[tuple, CompiledPlan] = OrderedDict()
         self._cache_size = check_positive_int(cache_size, "cache_size")
         self._hits = 0
         self._misses = 0
+
+    # -- adaptive backend selection --------------------------------------- #
+
+    def _auto_select(
+        self, meta: TensorMeta, n_procs: int | None, dtype
+    ) -> None:
+        """Pick and install the backend for this input (auto mode only).
+
+        Backend instances are cached per name so their ledgers persist
+        across runs; ``self.backend`` always points at the last selection.
+        """
+        if not self._auto:
+            return
+        from repro.backends.select import resolve_auto_procs
+
+        procs = n_procs if n_procs is not None else self._auto_procs
+        effective_procs = resolve_auto_procs(procs)
+        selection = select_backend(
+            meta.dims,
+            meta.core,
+            n_procs=procs,
+            dtype=dtype,
+            profile=self._profile,
+            # Instances cached at exactly this worker count have already
+            # paid their startup (pool spin-up); don't charge it again. A
+            # same-name pool at a *different* count must be rebuilt, so
+            # it is not warm.
+            warm={
+                name
+                for name, p in self._backends
+                if p == effective_procs
+            },
+        )
+        # Try the winner, then the remaining candidates in score order: a
+        # backend the host cannot provide (no /dev/shm, say) must degrade
+        # auto mode, never crash it. Instances are cached per (name,
+        # procs) so a changed n_procs builds a correctly sized pool.
+        ranked = sorted(selection.scores, key=selection.scores.get)
+        errors = []
+        for name in ranked:
+            key = (name, selection.n_procs)
+            backend = self._backends.get(key)
+            if backend is None:
+                try:
+                    backend = get_backend(name, n_procs=selection.n_procs)
+                except BackendUnavailableError as exc:
+                    errors.append(str(exc))
+                    continue
+                # A same-name pool at a superseded worker count would
+                # otherwise keep its workers alive for the session's
+                # lifetime; shut it down before caching the replacement.
+                for stale_key in [
+                    k for k in self._backends if k[0] == name
+                ]:
+                    self._backends.pop(stale_key).close()
+                self._backends[key] = backend
+            self.backend = backend
+            if name != selection.backend:
+                selection = Selection(
+                    backend=name,
+                    n_procs=selection.n_procs,
+                    dtype=selection.dtype,
+                    scores=selection.scores,
+                    reason=(
+                        f"{selection.reason}; fell back to {name} "
+                        f"(unavailable: {'; '.join(errors)})"
+                    ),
+                )
+            self._selection = selection
+            return
+        raise BackendUnavailableError(
+            f"no auto-eligible backend is available: {'; '.join(errors)}",
+            backend="auto",
+            config={"dims": meta.dims, "core": meta.core},
+        )
+
+    @property
+    def last_selection(self) -> Selection | None:
+        """The auto-selector's verdict for the most recent input."""
+        return self._selection
+
+    def close(self) -> None:
+        """Shut down every backend this session owns (worker pools).
+
+        The session stays usable: pool backends reopen on next use, and
+        auto mode simply builds fresh instances.
+        """
+        if self._auto:
+            for backend in self._backends.values():
+                backend.close()
+            self._backends.clear()
+        if self.backend is not None:
+            self.backend.close()
+
+    def __enter__(self) -> "TuckerSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _result_meta(self) -> dict:
+        """Backend/selection fields shared by every TuckerResult."""
+        return {
+            "backend": self.backend.name,
+            "auto_selected": self._auto,
+            "selection_reason": (
+                self._selection.reason if self._auto and self._selection else ""
+            ),
+        }
 
     # -- plan cache ------------------------------------------------------- #
 
@@ -252,7 +409,10 @@ class TuckerSession:
         self._misses = 0
 
     def _resolve_procs(
-        self, planner: str | Planner, n_procs: int | None
+        self,
+        planner: str | Planner,
+        n_procs: int | None,
+        meta: TensorMeta | None = None,
     ) -> int:
         if isinstance(planner, Planner):
             procs = planner.n_procs
@@ -264,9 +424,18 @@ class TuckerSession:
             isinstance(self.backend, SimClusterBackend)
             and procs != self.backend.cluster.n_procs
         ):
-            raise ValueError(
+            config = {
+                "requested_n_procs": procs,
+                "cluster_n_procs": self.backend.cluster.n_procs,
+            }
+            if meta is not None:
+                config["dims"] = meta.dims
+                config["core"] = meta.core
+            raise BackendUnavailableError(
                 f"plan is for {procs} procs but the cluster has "
-                f"{self.backend.cluster.n_procs} ranks"
+                f"{self.backend.cluster.n_procs} ranks",
+                backend=self.backend.name,
+                config=config,
             )
         return procs
 
@@ -280,7 +449,23 @@ class TuckerSession:
         """Compile (or fetch from cache); returns ``(plan, from_cache)``."""
         from repro.hooi.portfolio import select_plan
 
-        procs = self._resolve_procs(planner, n_procs)
+        self._auto_select(
+            meta,
+            planner.n_procs if isinstance(planner, Planner) else n_procs,
+            dtype,
+        )
+        procs = self._resolve_procs(planner, n_procs, meta)
+        if (
+            n_procs is None
+            and not isinstance(planner, Planner)
+            and not isinstance(self.backend, SimClusterBackend)
+        ):
+            # The count came from a machine default (cores - 1, say), not
+            # a request: clamp it to a plannable P — a prime default
+            # larger than every core dim admits no valid grid at all.
+            from repro.core.grids import feasible_procs
+
+            procs = feasible_procs(meta, procs)
         if isinstance(planner, Planner):
             planner_key = f"{planner.tree_kind}:{planner.grid_kind}"
         else:
@@ -338,6 +523,7 @@ class TuckerSession:
         arr = np.asarray(tensor)
         if isinstance(plan, Plan):
             work_dtype = resolve_dtype(arr, dtype)
+            self._auto_select(plan.meta, plan.n_procs, work_dtype)
             if plan.meta.dims != arr.shape:
                 raise ValueError(
                     f"tensor shape {arr.shape} != plan dims {plan.meta.dims}"
@@ -363,6 +549,7 @@ class TuckerSession:
             return arr.astype(work_dtype, copy=False), compiled, False
         if isinstance(plan, CompiledPlan):
             work_dtype = resolve_dtype(arr, dtype) if dtype is not None else plan.dtype
+            self._auto_select(plan.meta, plan.n_procs, work_dtype)
             if plan.meta.dims != arr.shape:
                 raise ValueError(
                     f"tensor shape {arr.shape} != plan dims {plan.meta.dims}"
@@ -468,8 +655,8 @@ class TuckerSession:
                 errors=[],
                 sthosvd_error=float("nan"),
                 n_iters=0,
-                backend=self.backend.name,
                 from_cache=from_cache,
+                **self._result_meta(),
             )
         dec, errors = self._hooi_loop(arr, factors, compiled, max_iters, tol)
         return TuckerResult(
@@ -478,8 +665,8 @@ class TuckerSession:
             errors=errors,
             sthosvd_error=float("nan"),
             n_iters=len(errors),
-            backend=self.backend.name,
             from_cache=from_cache,
+            **self._result_meta(),
         )
 
     def _sthosvd_pass(
@@ -531,8 +718,8 @@ class TuckerSession:
             errors=[],
             sthosvd_error=error,
             n_iters=0,
-            backend=self.backend.name,
             from_cache=from_cache,
+            **self._result_meta(),
         )
 
     def run(
@@ -580,8 +767,8 @@ class TuckerSession:
                 errors=[],
                 sthosvd_error=init_error,
                 n_iters=0,
-                backend=self.backend.name,
                 from_cache=from_cache,
+                **self._result_meta(),
             )
         dec, errors = self._hooi_loop(
             arr, init.factors, compiled, max_iters, tol
@@ -592,6 +779,6 @@ class TuckerSession:
             errors=errors,
             sthosvd_error=init_error,
             n_iters=len(errors),
-            backend=self.backend.name,
             from_cache=from_cache,
+            **self._result_meta(),
         )

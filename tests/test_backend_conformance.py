@@ -1,0 +1,307 @@
+"""The backend-conformance harness.
+
+One parametrized suite that holds *every registered backend* to the same
+ExecutionBackend contract, instead of per-backend ad-hoc tests:
+
+* **numerics** — the same compiled schedule must produce factors, cores
+  and error sequences identical to the sequential reference to 1e-10,
+  across a matrix of shapes and planners (and dtype preservation plus
+  agreement at float32);
+* **ledger tags** — executed ledger records must aggregate under exactly
+  the schedule's step tags, uniformly across backends;
+* **determinism** — repeated runs on fresh backend instances must be
+  bit-for-bit identical.
+
+Adding a backend means adding its name to ``BACKEND_NAMES``; this file
+then enforces the whole contract on it automatically. A backend that is
+genuinely unavailable on the host (e.g. no shared memory) is skipped via
+its typed :class:`BackendUnavailableError`, never silently ignored.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    BACKEND_NAMES,
+    BackendUnavailableError,
+    ExecutionBackend,
+    get_backend,
+)
+from repro.core.meta import TensorMeta
+from repro.session import TuckerSession
+from repro.tensor.random import low_rank_tensor
+
+#: (dims, core, n_procs) — 3-D and 4-D, uneven modes, seed per case.
+SHAPES = [
+    ((12, 10, 8), (4, 3, 3), 4),
+    ((14, 9, 11), (5, 3, 4), 4),
+    ((9, 8, 7, 6), (3, 3, 2, 2), 8),
+]
+
+PLANNERS = ["optimal", "chain-k"]
+
+#: shared-memory pool size for the worker-pool backends (kept small so the
+#: harness exercises multi-block paths without oversubscribing CI hosts).
+POOL_WORKERS = 3
+
+
+def make_backend(name: str, n_procs: int) -> ExecutionBackend:
+    """A fresh backend sized for one conformance case."""
+    try:
+        if name in ("threaded", "procpool"):
+            return get_backend(name, n_procs=POOL_WORKERS)
+        return get_backend(name, n_procs=n_procs)
+    except BackendUnavailableError as exc:  # pragma: no cover - host-specific
+        pytest.skip(f"{name} unavailable here: {exc}")
+
+
+def tensor_for(dims, core, seed, dtype=np.float64):
+    t = low_rank_tensor(dims, core, noise=0.1, seed=seed)
+    return t.astype(dtype, copy=False)
+
+
+_REFERENCE_CACHE: dict = {}
+
+
+def reference_run(dims, core, procs, planner, dtype=np.float64, seed=None):
+    """The sequential result for a case (computed once per matrix cell)."""
+    if seed is None:
+        seed = sum(dims)
+    key = (dims, core, procs, planner, np.dtype(dtype).name, seed)
+    if key not in _REFERENCE_CACHE:
+        session = TuckerSession(backend="sequential")
+        _REFERENCE_CACHE[key] = session.run(
+            tensor_for(dims, core, seed=seed, dtype=dtype),
+            core,
+            planner=planner,
+            n_procs=procs,
+            max_iters=3,
+            tol=-np.inf,  # no early stop: iteration counts must match exactly
+        )
+    return _REFERENCE_CACHE[key]
+
+
+def assert_same_decomposition(res, ref, atol, label):
+    np.testing.assert_allclose(res.errors, ref.errors, atol=atol, err_msg=label)
+    np.testing.assert_allclose(
+        res.decomposition.core, ref.decomposition.core, atol=atol, err_msg=label
+    )
+    for mode, (a, b) in enumerate(
+        zip(res.decomposition.factors, ref.decomposition.factors)
+    ):
+        np.testing.assert_allclose(
+            a, b, atol=atol, err_msg=f"{label} factor {mode}"
+        )
+
+
+class TestNumericalConformance:
+    """Every backend reproduces the sequential reference to 1e-10."""
+
+    @pytest.mark.parametrize("planner", PLANNERS)
+    @pytest.mark.parametrize("dims,core,procs", SHAPES)
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_run_matches_sequential(self, name, dims, core, procs, planner):
+        t = tensor_for(dims, core, seed=sum(dims))
+        session = TuckerSession(backend=make_backend(name, procs))
+        res = session.run(
+            t, core, planner=planner, n_procs=procs, max_iters=3, tol=-np.inf
+        )
+        ref = reference_run(dims, core, procs, planner)
+        assert res.backend == name
+        assert_same_decomposition(res, ref, atol=1e-10, label=name)
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_sthosvd_matches_sequential(self, name):
+        dims, core, procs = SHAPES[0]
+        t = tensor_for(dims, core, seed=1)
+        session = TuckerSession(backend=make_backend(name, procs))
+        res = session.sthosvd(t, core, planner="optimal", n_procs=procs)
+        ref = TuckerSession(backend="sequential").sthosvd(
+            t, core, planner="optimal", n_procs=procs
+        )
+        assert res.sthosvd_error == pytest.approx(
+            ref.sthosvd_error, abs=1e-10
+        )
+        np.testing.assert_allclose(
+            res.decomposition.core, ref.decomposition.core, atol=1e-10
+        )
+
+
+class TestDtypeConformance:
+    """float32 stays float32 on every backend and tracks the reference."""
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_float32_preserved_and_agrees(self, name):
+        dims, core, procs = SHAPES[0]
+        t = tensor_for(dims, core, seed=3, dtype=np.float32)
+        session = TuckerSession(backend=make_backend(name, procs))
+        res = session.run(
+            t, core, planner="optimal", n_procs=procs, max_iters=3, tol=-np.inf
+        )
+        assert res.decomposition.core.dtype == np.float32
+        for f in res.decomposition.factors:
+            assert f.dtype == np.float32
+        ref = reference_run(dims, core, procs, "optimal", dtype=np.float32, seed=3)
+        # float32 reduction orders differ across backends; agreement is
+        # held to a precision-appropriate tolerance, exactness to float64.
+        np.testing.assert_allclose(res.errors, ref.errors, atol=1e-5)
+        np.testing.assert_allclose(
+            res.decomposition.core, ref.decomposition.core, atol=5e-2
+        )
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_float64_default(self, name):
+        dims, core, procs = SHAPES[0]
+        t = tensor_for(dims, core, seed=4)
+        session = TuckerSession(backend=make_backend(name, procs))
+        res = session.run(t, core, planner="optimal", n_procs=procs, max_iters=1)
+        assert res.decomposition.core.dtype == np.float64
+
+
+class TestLedgerConformance:
+    """Executed ledger records aggregate under the schedule's step tags."""
+
+    @staticmethod
+    def _hooi_once(name, dims, core, procs):
+        from repro.hooi.sthosvd import sthosvd
+
+        t = tensor_for(dims, core, seed=6)
+        init = sthosvd(t, core, mode_order="optimal")
+        backend = make_backend(name, procs)
+        session = TuckerSession(backend=backend)
+        compiled = session.compile(
+            TensorMeta(dims=dims, core=core), n_procs=procs, planner="optimal"
+        )
+        session.hooi(
+            t, init, plan=compiled, n_procs=procs, max_iters=1, tol=-np.inf
+        )
+        return backend, compiled
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_step_tags_cover_ledger(self, name):
+        dims, core, procs = SHAPES[0]
+        backend, compiled = self._hooi_once(name, dims, core, procs)
+        expected = {
+            f"hooi:it0:{step.tag}"
+            for step in compiled.tree_steps
+            if step.op in ("ttm", "svd", "regrid")
+        } | {
+            f"hooi:it0:core:{step.tag}"
+            for step in compiled.core_steps
+            if step.op in ("ttm", "regrid")
+        }
+        # Regrids are identity (and unrecorded) on shared memory; only the
+        # ttm/svd steps must leave records on *every* backend.
+        kernel_tags = {
+            f"hooi:it0:{step.tag}"
+            for step in compiled.tree_steps
+            if step.op in ("ttm", "svd")
+        } | {
+            f"hooi:it0:core:{step.tag}"
+            for step in compiled.core_steps
+            if step.op == "ttm"
+        }
+        records = backend.ledger.records
+        assert records, name
+        for record in records:
+            if record.tag.startswith("norm"):
+                continue
+            assert any(
+                record.tag == tag or record.tag.startswith(tag + ":")
+                for tag in expected
+            ), f"{name}: stray ledger tag {record.tag!r}"
+        # Every ttm/svd step of the schedule left at least one record.
+        seen = {
+            tag
+            for tag in kernel_tags
+            for record in records
+            if record.tag == tag or record.tag.startswith(tag + ":")
+        }
+        assert seen == kernel_tags, f"{name}: unexecuted steps {kernel_tags - seen}"
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_stats_surface_uniform(self, name):
+        dims, core, procs = SHAPES[0]
+        backend, _ = self._hooi_once(name, dims, core, procs)
+        stats = backend.stats()
+        assert set(stats) == {
+            "comm_volume",
+            "flops",
+            "comm_seconds",
+            "compute_seconds",
+            "events",
+        }
+        assert stats["flops"] > 0
+        if name == "simcluster":
+            assert stats["comm_volume"] > 0
+        else:
+            assert stats["comm_volume"] == 0  # one address space, honest ledger
+
+
+class TestDeterminism:
+    """Repeated runs on fresh backends are bit-for-bit identical."""
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_repeat_runs_bitwise_equal(self, name):
+        dims, core, procs = SHAPES[1]
+        t = tensor_for(dims, core, seed=9)
+        runs = []
+        for _ in range(2):
+            session = TuckerSession(backend=make_backend(name, procs))
+            runs.append(
+                session.run(
+                    t, core, planner="optimal", n_procs=procs, max_iters=2,
+                    tol=-np.inf,
+                )
+            )
+        assert runs[0].errors == runs[1].errors
+        np.testing.assert_array_equal(
+            runs[0].decomposition.core, runs[1].decomposition.core
+        )
+        for a, b in zip(
+            runs[0].decomposition.factors, runs[1].decomposition.factors
+        ):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestUnavailableConfigs:
+    """Incompatible configs raise the typed BackendUnavailableError."""
+
+    def test_threaded_rejects_nonpositive_workers(self):
+        with pytest.raises(BackendUnavailableError, match="worker count"):
+            get_backend("threaded", n_procs=0)
+
+    def test_procpool_rejects_nonpositive_workers(self):
+        with pytest.raises(BackendUnavailableError, match="worker count"):
+            get_backend("procpool", n_procs=-1)
+
+    def test_simcluster_needs_cluster_or_procs(self):
+        with pytest.raises(BackendUnavailableError, match="cluster"):
+            get_backend("simcluster")
+
+    def test_simcluster_rejects_foreign_grid(self):
+        backend = make_backend("simcluster", 4)
+        t = tensor_for((8, 6, 4), (2, 2, 2), seed=0)
+        with pytest.raises(BackendUnavailableError, match="grid"):
+            backend.distribute(t, (3, 1, 1))
+        exc = None
+        try:
+            backend.distribute(t, (3, 1, 1))
+        except BackendUnavailableError as e:
+            exc = e
+        assert exc.backend == "simcluster"
+        assert exc.config["grid"] == (3, 1, 1)
+        assert exc.config["n_procs"] == 4
+
+    def test_session_surfaces_cluster_mismatch_with_config(self):
+        session = TuckerSession(backend="simcluster", n_procs=4)
+        t = tensor_for((10, 9, 8), (3, 3, 2), seed=0)
+        with pytest.raises(BackendUnavailableError, match="ranks") as info:
+            session.run(t, (3, 3, 2), planner="optimal", n_procs=8)
+        assert info.value.config["requested_n_procs"] == 8
+        assert info.value.config["cluster_n_procs"] == 4
+        assert info.value.config["dims"] == (10, 9, 8)
+
+    def test_typed_error_is_still_a_value_error(self):
+        # Compatibility contract: except ValueError keeps catching it.
+        assert issubclass(BackendUnavailableError, ValueError)

@@ -1,0 +1,431 @@
+"""Property tests for the input-adaptive backend selector.
+
+The selector is a pure function of ``(dims, core, n_procs, dtype,
+available_cores, profile)``; hypothesis pins the three contract
+properties the session relies on:
+
+* the selection is always a *registered* backend (auto candidates are a
+  subset of ``BACKEND_NAMES``);
+* selection is stable — repeated calls with the same inputs return the
+  same backend and the same scores;
+* an explicit ``backend=`` override is always respected — an auto session
+  never overrides an explicitly named backend.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends import (
+    AUTO_CANDIDATES,
+    BACKEND_NAMES,
+    default_profile,
+    load_profile,
+    save_profile,
+    select_backend,
+)
+from repro.backends.select import (
+    calibrate,
+    default_profile_path,
+    estimate_seconds,
+    sweep_flops,
+)
+from repro.session import TuckerSession
+from repro.tensor.random import low_rank_tensor
+
+# (dims, core) pairs: 1..5 modes, every core dim <= its tensor dim.
+shapes = st.integers(min_value=1, max_value=5).flatmap(
+    lambda n: st.tuples(
+        st.tuples(*[st.integers(min_value=1, max_value=64)] * n),
+        st.tuples(*[st.integers(min_value=1, max_value=64)] * n),
+    ).map(lambda dc: (dc[0], tuple(min(k, d) for k, d in zip(dc[1], dc[0]))))
+)
+
+procs = st.one_of(st.none(), st.integers(min_value=1, max_value=64))
+cores_avail = st.integers(min_value=1, max_value=128)
+dtypes = st.sampled_from([None, np.float32, np.float64])
+
+
+class TestSelectionProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(shape=shapes, n_procs=procs, cores=cores_avail, dtype=dtypes)
+    def test_selection_is_a_registered_backend(
+        self, shape, n_procs, cores, dtype
+    ):
+        dims, core = shape
+        sel = select_backend(
+            dims, core, n_procs=n_procs, available_cores=cores, dtype=dtype
+        )
+        assert sel.backend in AUTO_CANDIDATES
+        assert sel.backend in BACKEND_NAMES
+        assert sel.n_procs >= 1
+        if n_procs is not None:
+            assert sel.n_procs == n_procs
+        assert set(sel.scores) <= set(AUTO_CANDIDATES)
+        assert all(s >= 0 for s in sel.scores.values())
+        assert sel.reason
+
+    @settings(max_examples=100, deadline=None)
+    @given(shape=shapes, n_procs=procs, cores=cores_avail, dtype=dtypes)
+    def test_selection_is_stable(self, shape, n_procs, cores, dtype):
+        dims, core = shape
+        first = select_backend(
+            dims, core, n_procs=n_procs, available_cores=cores, dtype=dtype
+        )
+        second = select_backend(
+            dims, core, n_procs=n_procs, available_cores=cores, dtype=dtype
+        )
+        assert first.backend == second.backend
+        assert first.scores == second.scores
+        assert first.reason == second.reason
+
+    @settings(max_examples=100, deadline=None)
+    @given(shape=shapes, n_procs=procs)
+    def test_single_core_always_sequential(self, shape, n_procs):
+        # With one core the parallel backends pay pure overhead: the
+        # model must never pick them.
+        dims, core = shape
+        sel = select_backend(dims, core, n_procs=n_procs, available_cores=1)
+        assert sel.backend == "sequential"
+
+    @settings(max_examples=50, deadline=None)
+    @given(shape=shapes, cores=cores_avail)
+    def test_scores_cover_all_candidates(self, shape, cores):
+        dims, core = shape
+        sel = select_backend(dims, core, available_cores=cores)
+        assert set(sel.scores) == set(AUTO_CANDIDATES)
+        # The winner is the argmin of its own score table.
+        assert sel.scores[sel.backend] == min(sel.scores.values())
+
+
+class TestOverrideRespected:
+    @pytest.mark.parametrize("name", ["sequential", "threaded", "procpool"])
+    def test_explicit_backend_is_never_overridden(self, name):
+        t = low_rank_tensor((10, 9, 8), (3, 3, 2), noise=0.1, seed=0)
+        session = TuckerSession(backend=name, n_procs=2)
+        res = session.run(t, (3, 3, 2), planner="optimal", n_procs=2,
+                          max_iters=1)
+        assert res.backend == name
+        assert res.auto_selected is False
+        assert res.selection_reason == ""
+
+    def test_auto_records_choice_in_result(self):
+        t = low_rank_tensor((10, 9, 8), (3, 3, 2), noise=0.1, seed=0)
+        session = TuckerSession(backend="auto")
+        res = session.run(t, (3, 3, 2), planner="optimal", max_iters=1)
+        assert res.auto_selected is True
+        assert res.backend in AUTO_CANDIDATES
+        assert res.backend in res.selection_reason or res.selection_reason
+        assert session.last_selection is not None
+        assert session.last_selection.backend == res.backend
+
+    def test_auto_matches_selector_verdict(self):
+        profile = default_profile()
+        dims, core = (10, 9, 8), (3, 3, 2)
+        session = TuckerSession(backend="auto", n_procs=2,
+                                calibration=profile)
+        t = low_rank_tensor(dims, core, noise=0.1, seed=0)
+        res = session.run(t, core, planner="optimal", max_iters=1)
+        expected = select_backend(dims, core, n_procs=2, profile=profile)
+        assert res.backend == expected.backend
+
+    def test_auto_rejects_cluster_config(self):
+        with pytest.raises(ValueError, match="auto"):
+            TuckerSession(backend="auto", cluster=object())
+
+    def test_calibration_only_for_auto(self):
+        with pytest.raises(ValueError, match="calibration"):
+            TuckerSession(backend="sequential", calibration={})
+
+
+class TestRobustness:
+    """Regressions from review: degraded hosts and partial inputs."""
+
+    def test_partial_calibration_dict_merges_over_defaults(self):
+        t = low_rank_tensor((10, 9, 8), (3, 3, 2), noise=0.1, seed=0)
+        session = TuckerSession(
+            backend="auto",
+            calibration={"version": 1,
+                         "backends": {"procpool": {"rate": 5e9}}},
+        )
+        res = session.run(t, (3, 3, 2), planner="optimal", max_iters=1)
+        assert res.backend in AUTO_CANDIDATES
+
+    def test_auto_falls_back_when_winner_unavailable(self, monkeypatch):
+        import repro.session as session_mod
+        from repro.backends import BackendUnavailableError
+
+        real = session_mod.get_backend
+
+        def flaky(spec, **kwargs):
+            if spec == "sequential":
+                raise BackendUnavailableError("no can do", backend=spec)
+            return real(spec, **kwargs)
+
+        monkeypatch.setattr(session_mod, "get_backend", flaky)
+        t = low_rank_tensor((10, 9, 8), (3, 3, 2), noise=0.1, seed=0)
+        session = TuckerSession(backend="auto")
+        res = session.run(t, (3, 3, 2), planner="optimal", max_iters=1)
+        assert res.backend != "sequential"
+        assert res.backend in AUTO_CANDIDATES
+        assert "fell back" in res.selection_reason
+
+    def test_auto_raises_typed_error_when_nothing_available(self, monkeypatch):
+        import repro.session as session_mod
+        from repro.backends import BackendUnavailableError
+
+        def nothing(spec, **kwargs):
+            raise BackendUnavailableError("gone", backend=str(spec))
+
+        monkeypatch.setattr(session_mod, "get_backend", nothing)
+        t = low_rank_tensor((10, 9, 8), (3, 3, 2), noise=0.1, seed=0)
+        session = TuckerSession(backend="auto")
+        with pytest.raises(BackendUnavailableError, match="no auto-eligible"):
+            session.run(t, (3, 3, 2), planner="optimal", max_iters=1)
+
+    def test_auto_rebuilds_pool_when_n_procs_changes(self, monkeypatch):
+        import repro.backends.select as select_mod
+
+        monkeypatch.setattr(select_mod.os, "cpu_count", lambda: 8)
+        # Force threaded to win so the session actually builds pools.
+        profile = default_profile()
+        profile["backends"]["sequential"]["rate"] = 1.0
+        profile["backends"]["procpool"]["rate"] = 1.0
+        t = low_rank_tensor((10, 9, 8), (3, 3, 2), noise=0.1, seed=0)
+        session = TuckerSession(backend="auto", calibration=profile)
+        first = session.run(t, (3, 3, 2), planner="optimal", n_procs=2,
+                            max_iters=1)
+        assert first.backend == "threaded"
+        assert session.backend.n_workers == 2
+        second = session.run(t, (3, 3, 2), planner="optimal", n_procs=6,
+                             max_iters=1)
+        assert second.backend == "threaded"
+        assert session.backend.n_workers == 6
+
+    def test_calibrate_skips_unavailable_backend(self, monkeypatch):
+        import repro.backends as backends_mod
+        from repro.backends import BackendUnavailableError
+
+        real = backends_mod.get_backend
+
+        def flaky(spec, **kwargs):
+            if spec == "procpool":
+                raise BackendUnavailableError("no shm", backend=spec)
+            return real(spec, **kwargs)
+
+        monkeypatch.setattr(backends_mod, "get_backend", flaky)
+        profile = calibrate(dims=(12, 10, 8), core=(3, 3, 2), repeats=1)
+        assert profile["calibrated"] is True
+        # procpool keeps its default parameters and is honestly reported
+        # as unmeasured; the rest were measured.
+        assert "procpool" not in profile["measured"]
+        assert "sequential" in profile["measured"]
+        assert profile["backends"]["procpool"] == (
+            default_profile()["backends"]["procpool"]
+        )
+        assert profile["backends"]["sequential"]["rate"] > 0
+
+    def test_warm_backends_skip_startup_charge(self):
+        # A session's cached pool has paid its spin-up; selection must
+        # not keep charging it.
+        dims, core = (64, 64, 64), (8, 8, 8)
+        cold = select_backend(dims, core, n_procs=4, available_cores=8)
+        warm = select_backend(dims, core, n_procs=4, available_cores=8,
+                              warm=("procpool",))
+        assert warm.scores["procpool"] < cold.scores["procpool"]
+        assert warm.scores["threaded"] == cold.scores["threaded"]
+
+    def test_session_rejects_unreadable_explicit_calibration(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read"):
+            TuckerSession(
+                backend="auto",
+                calibration=str(tmp_path / "nope.json"),
+            )
+
+    def test_defaulted_procs_clamped_to_plannable(self):
+        # An 8-core machine's natural pool size is 7 — a prime larger
+        # than every core dim here, which admits no valid grid. A
+        # *defaulted* count must be clamped, not crash the planner.
+        from repro.backends import ThreadedBackend
+
+        t = low_rank_tensor((10, 9, 8), (5, 4, 3), noise=0.1, seed=0)
+        session = TuckerSession(backend=ThreadedBackend(n_workers=7))
+        res = session.run(t, (5, 4, 3), planner="optimal", max_iters=1)
+        assert res.plan.n_procs == 6  # largest feasible count <= 7
+
+    def test_auto_with_unplannable_natural_procs(self, monkeypatch):
+        import repro.backends.select as select_mod
+
+        monkeypatch.setattr(select_mod.os, "cpu_count", lambda: 8)
+        t = low_rank_tensor((10, 9, 8), (5, 4, 3), noise=0.1, seed=0)
+        session = TuckerSession(backend="auto")
+        res = session.run(t, (5, 4, 3), planner="optimal", max_iters=1)
+        assert res.plan.n_procs <= 6
+        session.close()
+
+    def test_explicit_unplannable_procs_still_error(self):
+        # An explicit request is honored, not silently clamped.
+        t = low_rank_tensor((10, 9, 8), (5, 4, 3), noise=0.1, seed=0)
+        session = TuckerSession(backend="sequential")
+        with pytest.raises(ValueError, match="no valid grid"):
+            session.run(t, (5, 4, 3), planner="optimal", n_procs=7,
+                        max_iters=1)
+
+    def test_superseded_pools_are_closed_not_leaked(self, monkeypatch):
+        import repro.backends.select as select_mod
+
+        monkeypatch.setattr(select_mod.os, "cpu_count", lambda: 8)
+        profile = default_profile()
+        profile["backends"]["sequential"]["rate"] = 1.0
+        profile["backends"]["procpool"]["rate"] = 1.0
+        t = low_rank_tensor((10, 9, 8), (3, 3, 2), noise=0.1, seed=0)
+        with TuckerSession(backend="auto", calibration=profile) as session:
+            session.run(t, (3, 3, 2), planner="optimal", n_procs=2,
+                        max_iters=1)
+            old = session.backend
+            assert old._pool is not None  # the 2-worker pool span up
+            session.run(t, (3, 3, 2), planner="optimal", n_procs=6,
+                        max_iters=1)
+            # The 2-worker instance was evicted and its pool shut down;
+            # exactly one threaded instance remains cached.
+            assert old._pool is None
+            assert list(session._backends) == [("threaded", 6)]
+        assert session.backend._pool is None  # close() on exit
+
+    def test_warm_discount_requires_matching_procs(self, monkeypatch):
+        import repro.backends.select as select_mod
+
+        monkeypatch.setattr(select_mod.os, "cpu_count", lambda: 8)
+        profile = default_profile()
+        profile["backends"]["sequential"]["rate"] = 1.0
+        profile["backends"]["procpool"]["rate"] = 1.0
+        t = low_rank_tensor((10, 9, 8), (3, 3, 2), noise=0.1, seed=0)
+        session = TuckerSession(backend="auto", calibration=profile)
+        session.run(t, (3, 3, 2), planner="optimal", n_procs=2, max_iters=1)
+        base = select_backend(
+            (10, 9, 8), (3, 3, 2), n_procs=6, available_cores=8,
+            profile=session._profile,
+        )
+        session.run(t, (3, 3, 2), planner="optimal", n_procs=6, max_iters=1)
+        # The cached pool had 2 workers, the new run wants 6: no warm
+        # discount applies, so the score matches a cold selection.
+        assert session.last_selection.scores == base.scores
+        session.close()
+
+    @pytest.mark.parametrize("name", ["threaded", "procpool"])
+    def test_numpy_integer_worker_counts_accepted(self, name):
+        from repro.backends import get_backend
+
+        backend = get_backend(name, n_procs=np.int64(2))
+        assert backend.n_workers == 2
+        backend.close()
+
+    def test_profile_without_calibrated_key_loads_uncalibrated(self, tmp_path):
+        import json as json_mod
+
+        path = tmp_path / "p.json"
+        path.write_text(json_mod.dumps({"version": 1, "backends": {}}))
+        assert load_profile(str(path))["calibrated"] is False
+
+
+class TestValidation:
+    def test_empty_dims_rejected(self):
+        with pytest.raises(ValueError, match="dims"):
+            select_backend((), ())
+
+    def test_mode_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="modes"):
+            select_backend((4, 4), (2,))
+
+    def test_nonpositive_procs_rejected(self):
+        with pytest.raises(ValueError, match="n_procs"):
+            select_backend((4, 4), (2, 2), n_procs=0)
+
+    def test_profile_without_candidates_rejected(self):
+        with pytest.raises(ValueError, match="auto-eligible"):
+            select_backend((4, 4), (2, 2), profile={"backends": {}})
+
+
+class TestCostModel:
+    def test_sweep_flops_monotone_in_size(self):
+        small = sweep_flops((8, 8, 8), (2, 2, 2))
+        large = sweep_flops((16, 16, 16), (2, 2, 2))
+        assert large > small > 0
+
+    def test_float32_estimated_faster(self):
+        params = default_profile()["backends"]["sequential"]
+        kwargs = dict(n_procs=1, available_cores=1)
+        f64 = estimate_seconds(params, (32, 32, 32), (4, 4, 4),
+                               dtype=np.float64, **kwargs)
+        f32 = estimate_seconds(params, (32, 32, 32), (4, 4, 4),
+                               dtype=np.float32, **kwargs)
+        assert f32 < f64
+
+    def test_large_tensor_prefers_parallel_when_cores_abound(self):
+        sel = select_backend(
+            (512, 512, 512), (32, 32, 32), n_procs=8, available_cores=16
+        )
+        assert sel.backend in ("threaded", "procpool")
+        assert sel.scores[sel.backend] < sel.scores["sequential"]
+
+
+class TestProfilePersistence:
+    def test_round_trip_preserves_selection(self, tmp_path):
+        profile = default_profile()
+        profile["backends"]["threaded"]["rate"] = 123456789.0
+        path = save_profile(profile, str(tmp_path / "p.json"))
+        loaded = load_profile(path)
+        assert loaded["backends"]["threaded"]["rate"] == 123456789.0
+        a = select_backend((64, 64, 64), (8, 8, 8), available_cores=8,
+                           profile=profile)
+        b = select_backend((64, 64, 64), (8, 8, 8), available_cores=8,
+                           profile=loaded)
+        assert a.backend == b.backend
+
+    def test_implicit_missing_profile_falls_back(self, monkeypatch, tmp_path):
+        # The machine profile is optional: absent -> defaults, silently.
+        monkeypatch.setenv("REPRO_CALIBRATION", str(tmp_path / "absent.json"))
+        loaded = load_profile()
+        assert loaded["backends"] == default_profile()["backends"]
+        assert loaded["calibrated"] is False
+
+    def test_explicit_missing_path_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read"):
+            load_profile(str(tmp_path / "absent.json"))
+
+    def test_explicit_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="cannot read"):
+            load_profile(str(path))
+
+    def test_explicit_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text('{"version": 999, "backends": {}}')
+        with pytest.raises(ValueError, match="version"):
+            load_profile(str(path))
+
+    def test_implicit_corrupt_file_falls_back(self, monkeypatch, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        monkeypatch.setenv("REPRO_CALIBRATION", str(path))
+        assert load_profile()["backends"] == default_profile()["backends"]
+
+    def test_env_var_controls_default_path(self, monkeypatch, tmp_path):
+        target = str(tmp_path / "prof.json")
+        monkeypatch.setenv("REPRO_CALIBRATION", target)
+        assert default_profile_path() == target
+
+    def test_calibrate_produces_loadable_profile(self, tmp_path):
+        profile = calibrate(
+            dims=(12, 10, 8), core=(3, 3, 2), repeats=1,
+            backends=("sequential",),
+        )
+        assert profile["calibrated"] is True
+        assert profile["backends"]["sequential"]["rate"] > 0
+        path = save_profile(profile, str(tmp_path / "cal.json"))
+        loaded = load_profile(path)
+        assert loaded["calibrated"] is True
+        sel = select_backend((12, 10, 8), (3, 3, 2), profile=loaded)
+        assert sel.backend in AUTO_CANDIDATES

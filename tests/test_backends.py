@@ -137,6 +137,11 @@ class TestRegistry:
         assert get_backend("sequential").name == "sequential"
         assert get_backend("threaded", n_procs=2).name == "threaded"
         assert get_backend("simcluster", n_procs=4).name == "simcluster"
+        assert get_backend("procpool", n_procs=2).name == "procpool"
+
+    def test_auto_is_session_level(self):
+        with pytest.raises(ValueError, match="TuckerSession"):
+            get_backend("auto")
 
     def test_simcluster_needs_procs(self):
         with pytest.raises(ValueError, match="cluster"):

@@ -5,9 +5,15 @@ import math
 import pytest
 
 from repro.bench.algorithms import ALGORITHMS, make_planner, paper_label
-from repro.bench.runner import evaluate_algorithms, normalize_against, sweep
+from repro.bench.runner import (
+    evaluate_algorithms,
+    normalize_against,
+    run_backends,
+    sweep,
+)
 from repro.bench.suite import paper_subsample
 from repro.core.meta import TensorMeta
+from repro.tensor.random import low_rank_tensor
 
 
 @pytest.fixture
@@ -81,3 +87,55 @@ class TestSweepAndNormalize:
         ]
         norm = normalize_against(recs, "x", "a")
         assert norm["b"] == [1.0, float("inf")]
+
+
+class TestRunBackends:
+    def test_executed_comparison_across_backends(self):
+        t = low_rank_tensor((12, 10, 8), (4, 3, 3), noise=0.1, seed=0)
+        out = run_backends(
+            t, (4, 3, 3),
+            backends=("sequential", "threaded", "procpool"),
+            n_procs=2, max_iters=1,
+        )
+        assert set(out) == {"sequential", "threaded", "procpool"}
+        for name, metrics in out.items():
+            assert "unavailable" not in metrics, name
+            assert metrics["seconds"] > 0
+            assert metrics["flops"] > 0
+            assert metrics["comm_volume"] == 0  # all shared-memory here
+            # the conformance bound, measured end to end
+            assert metrics["max_core_diff"] < 1e-10
+        assert out["sequential"]["max_core_diff"] == 0.0
+
+    def test_reference_always_included(self):
+        t = low_rank_tensor((10, 9, 8), (3, 3, 2), noise=0.1, seed=1)
+        out = run_backends(t, (3, 3, 2), backends=("threaded",), n_procs=2,
+                           max_iters=1)
+        assert set(out) == {"sequential", "threaded"}
+
+    def test_unavailable_backend_reported_not_dropped(self, monkeypatch):
+        import repro.bench.runner as runner_mod
+        from repro.backends import BackendUnavailableError
+
+        real = runner_mod.get_backend
+
+        def flaky(spec, **kwargs):
+            if spec == "procpool":
+                raise BackendUnavailableError("no shm here", backend=spec)
+            return real(spec, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "get_backend", flaky)
+        t = low_rank_tensor((10, 9, 8), (3, 3, 2), noise=0.1, seed=1)
+        # A backend the host cannot provide must surface as a record,
+        # not an exception or a silent drop.
+        out = run_backends(t, (3, 3, 2), backends=("procpool",), max_iters=1)
+        assert "unavailable" in out["procpool"]
+        assert "no shm" in out["procpool"]["unavailable"]
+        assert "max_core_diff" in out["sequential"]
+
+    def test_default_procs_shared_and_plannable(self):
+        # All-small core dims: the machine default (cores - 1) may be
+        # unplannable; run_backends must clamp to a feasible shared P.
+        t = low_rank_tensor((10, 9, 8), (5, 4, 3), noise=0.1, seed=2)
+        out = run_backends(t, (5, 4, 3), backends=("sequential", "threaded"))
+        assert out["threaded"]["max_core_diff"] < 1e-10

@@ -103,7 +103,121 @@ class TestDecomposeFile:
         assert payload["dtype"] == "float32"  # input dtype honored
 
 
+class TestDecomposeAuto:
+    def test_auto_backend_selects_and_reports(self, capsys):
+        rc = main(
+            [
+                "decompose",
+                "--random", "12,10,8",
+                "--core", "4,3,2",
+                "--backend", "auto",
+                "--max-iters", "1",
+                "--json",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["auto_selected"] is True
+        assert payload["backend"] in BACKEND_NAMES
+        assert payload["selection_reason"]
+
+    def test_auto_with_calibration_profile(self, tmp_path, capsys):
+        from repro.backends.select import default_profile, save_profile
+
+        profile = default_profile()
+        path = save_profile(profile, str(tmp_path / "prof.json"))
+        rc = main(
+            [
+                "decompose",
+                "--random", "12,10,8",
+                "--core", "4,3,2",
+                "--backend", "auto",
+                "--calibration", path,
+                "--max-iters", "1",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[auto]" in out
+        assert "selected because" in out
+
+
+class TestCalibrate:
+    def test_calibrate_writes_profile(self, tmp_path, capsys):
+        path = str(tmp_path / "cal.json")
+        rc = main(
+            [
+                "calibrate",
+                "--dims", "12,10,8",
+                "--core", "3,3,2",
+                "--repeats", "1",
+                "--out", path,
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "profile written to" in out
+        with open(path, encoding="utf-8") as fh:
+            profile = json.load(fh)
+        assert profile["calibrated"] is True
+        assert profile["backends"]["sequential"]["rate"] > 0
+
+    def test_calibrate_bad_args_exit_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="repeats"):
+            main(
+                [
+                    "calibrate",
+                    "--dims", "12,10,8",
+                    "--core", "3,3,2",
+                    "--repeats", "0",
+                    "--out", str(tmp_path / "cal.json"),
+                ]
+            )
+
+    def test_calibrate_json_output(self, tmp_path, capsys):
+        rc = main(
+            [
+                "calibrate",
+                "--dims", "12,10,8",
+                "--core", "3,3,2",
+                "--repeats", "1",
+                "--out", str(tmp_path / "cal.json"),
+                "--json",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["profile"]["calibrated"] is True
+        assert set(payload["profile"]["backends"]) >= {
+            "sequential", "threaded", "procpool"
+        }
+
+
 class TestDecomposeErrors:
+    def test_bad_calibration_path_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(
+                [
+                    "decompose",
+                    "--random", "8,8,8",
+                    "--core", "2,2,2",
+                    "--backend", "auto",
+                    "--calibration", str(tmp_path / "missing.json"),
+                ]
+            )
+
+    def test_calibration_requires_auto_backend(self):
+        with pytest.raises(SystemExit, match="--backend auto"):
+            main(
+                [
+                    "decompose",
+                    "--random", "8,8,8",
+                    "--core", "2,2,2",
+                    "--backend", "threaded",
+                    "--calibration", "whatever.json",
+                ]
+            )
+
     def test_requires_tensor_source(self):
         with pytest.raises(SystemExit, match="--input|--random"):
             main(["decompose", "--core", "2,2,2"])

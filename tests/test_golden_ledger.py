@@ -1,0 +1,186 @@
+"""Golden-ledger regression tests.
+
+The paper's communication-volume formulas — ``(q_n - 1)|Out(u)|`` per
+reduce-scatter TTM (section 3), owner-moved element counts per regrid
+all-to-all (section 4.3) — are frozen, for three canonical
+configurations, into ``tests/golden/*.json``: the planner's closed-form
+volumes plus the volumes/FLOPs actually executed by one HOOI invocation
+on every registered backend. The tests rebuild each record from scratch
+and require **bit-for-bit** equality with the golden file, so any drift
+in the planner DP, the engine's collectives, or a backend's ledger
+accounting fails loudly.
+
+Regenerate (only when a change is *supposed* to move the numbers)::
+
+    PYTHONPATH=src:tests python -m test_golden_ledger
+
+The frozen quantities depend only on shapes and grids — never on tensor
+values, BLAS builds or timing — which is what makes exact equality safe
+in CI.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.backends import BACKEND_NAMES, get_backend
+from repro.core.meta import TensorMeta
+from repro.core.planner import Planner
+from repro.hooi.sthosvd import sthosvd
+from repro.session import TuckerSession
+from repro.tensor.random import low_rank_tensor
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+#: the three canonical configurations: 3-D/4-D, every planner family.
+CONFIGS = {
+    "3d_optimal_dynamic_p4": {
+        "dims": (12, 10, 8),
+        "core": (4, 3, 3),
+        "n_procs": 4,
+        "tree": "optimal",
+        "grid": "dynamic",
+    },
+    "3d_chain-k_static_p6": {
+        "dims": (14, 9, 11),
+        "core": (5, 3, 4),
+        "n_procs": 6,
+        "tree": "chain-k",
+        "grid": "static",
+    },
+    "4d_balanced_dynamic_p8": {
+        "dims": (9, 8, 7, 6),
+        "core": (3, 3, 2, 2),
+        "n_procs": 8,
+        "tree": "balanced",
+        "grid": "dynamic",
+    },
+}
+
+#: pool size for the worker-pool backends (any value: volumes are zero).
+POOL_WORKERS = 3
+
+
+def _backend_for(name: str, n_procs: int):
+    if name in ("threaded", "procpool"):
+        return get_backend(name, n_procs=POOL_WORKERS)
+    return get_backend(name, n_procs=n_procs)
+
+
+def build_record(config: dict) -> dict:
+    """Plan + execute one HOOI invocation per backend; collect the ledger.
+
+    Only shape-determined quantities are recorded (volumes, FLOPs), never
+    seconds — the record is bit-stable across machines.
+    """
+    dims, core = config["dims"], config["core"]
+    meta = TensorMeta(dims=dims, core=core)
+    plan = Planner(
+        config["n_procs"], tree=config["tree"], grid=config["grid"]
+    ).plan(meta)
+    record = {
+        "config": {
+            "dims": list(dims),
+            "core": list(core),
+            "n_procs": config["n_procs"],
+            "tree": config["tree"],
+            "grid": config["grid"],
+        },
+        "plan": {
+            "flops": plan.flops,
+            "ttm_volume": plan.ttm_volume,
+            "regrid_volume": plan.regrid_volume,
+            "total_volume": plan.total_volume,
+            "core_ttm_volume": plan.core_ttm_volume,
+            "core_regrid_volume": plan.core_regrid_volume,
+            "initial_grid": list(plan.initial_grid),
+        },
+    }
+
+    t = low_rank_tensor(dims, core, noise=0.1, seed=0)
+    init = sthosvd(t, core, mode_order="optimal")
+    comm: dict = {}
+    flops: dict = {}
+    for name in BACKEND_NAMES:
+        backend = _backend_for(name, config["n_procs"])
+        session = TuckerSession(backend=backend)
+        session.hooi(t, init, plan=plan, max_iters=1, tol=0.0)
+        ledger = backend.ledger
+        comm[name] = {
+            "total": ledger.volume(),
+            "reduce_scatter": ledger.volume(op="reduce_scatter"),
+            "alltoallv": ledger.volume(op="alltoallv"),
+            "allgather": ledger.volume(op="allgather"),
+            "allreduce": ledger.volume(op="allreduce"),
+            "ttm_reduce_scatter": ledger.volume(
+                op="reduce_scatter", tag_prefix="hooi:it0:ttm"
+            ),
+            "regrid_alltoallv": ledger.volume(
+                op="alltoallv", tag_prefix="hooi:it0:regrid"
+            ),
+        }
+        flops[name] = ledger.flops()
+        backend.close()
+    record["invocation"] = {"comm": comm, "flops": flops}
+    # Normalize through JSON so tuples/ints compare cleanly with the file.
+    return json.loads(json.dumps(record))
+
+
+def golden_path(name: str) -> str:
+    return os.path.join(GOLDEN_DIR, f"{name}.json")
+
+
+def load_golden(name: str) -> dict:
+    with open(golden_path(name), encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+class TestGoldenLedger:
+    @pytest.mark.parametrize("name", sorted(CONFIGS))
+    def test_record_matches_golden_bit_for_bit(self, name):
+        assert build_record(CONFIGS[name]) == load_golden(name)
+
+    @pytest.mark.parametrize("name", sorted(CONFIGS))
+    def test_ttm_reduce_scatter_matches_paper_formula(self, name):
+        # Engine-executed TTM volume is exactly the plan's closed-form
+        # sum of (q_n - 1)|Out(u)| charges.
+        golden = load_golden(name)
+        executed = golden["invocation"]["comm"]["simcluster"]
+        assert executed["ttm_reduce_scatter"] == golden["plan"]["ttm_volume"]
+
+    @pytest.mark.parametrize("name", sorted(CONFIGS))
+    def test_regrid_never_exceeds_model_charge(self, name):
+        # The model charges a full |X| per move; the engine's alltoallv
+        # counts only owner-moved elements and can never exceed it.
+        golden = load_golden(name)
+        executed = golden["invocation"]["comm"]["simcluster"]
+        assert executed["regrid_alltoallv"] <= golden["plan"]["regrid_volume"]
+
+    @pytest.mark.parametrize("name", sorted(CONFIGS))
+    def test_shared_memory_backends_move_nothing(self, name):
+        golden = load_golden(name)
+        for backend in ("sequential", "threaded", "procpool"):
+            assert golden["invocation"]["comm"][backend]["total"] == 0
+
+    @pytest.mark.parametrize("name", sorted(CONFIGS))
+    def test_shared_memory_flops_agree_exactly(self, name):
+        # One schedule, one FLOP count: the pool backends must charge
+        # exactly what the sequential reference charges.
+        flops = load_golden(name)["invocation"]["flops"]
+        assert flops["threaded"] == flops["sequential"]
+        assert flops["procpool"] == flops["sequential"]
+        assert flops["sequential"] > 0
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance entry point
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for name, config in sorted(CONFIGS.items()):
+        with open(golden_path(name), "w", encoding="utf-8") as fh:
+            json.dump(build_record(config), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {golden_path(name)}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    regenerate()
