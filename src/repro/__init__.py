@@ -65,7 +65,14 @@ from repro.backends import (
     get_backend,
     select_backend,
 )
-from repro.session import CompiledPlan, TuckerSession, compile_plan
+from repro.session import (
+    BatchFailure,
+    BatchItem,
+    BatchResult,
+    CompiledPlan,
+    TuckerSession,
+    compile_plan,
+)
 from repro.hooi import (
     TuckerDecomposition,
     sthosvd,
@@ -120,6 +127,9 @@ __all__ = [
     "Selection",
     "select_backend",
     "get_backend",
+    "BatchFailure",
+    "BatchItem",
+    "BatchResult",
     "CompiledPlan",
     "TuckerSession",
     "compile_plan",

@@ -99,14 +99,28 @@ class ExecutionBackend(abc.ABC):
     # -- ledger ----------------------------------------------------------- #
 
     def stats(self) -> dict[str, float]:
-        """Uniform ledger summary: volumes, FLOPs and modeled/measured time."""
-        return {
-            "comm_volume": self.ledger.volume(),
-            "flops": self.ledger.flops(),
-            "comm_seconds": self.ledger.comm_seconds(),
-            "compute_seconds": self.ledger.compute_seconds(),
-            "events": float(len(self.ledger)),
-        }
+        """Uniform ledger summary: volumes, FLOPs and modeled/measured time.
+
+        The ledger is *cumulative* over the backend's lifetime: a reused
+        backend keeps accumulating across runs. Callers that need one
+        run's worth of records should scope with :meth:`mark_stats` /
+        :meth:`ledger_since` (the session attaches a per-run ledger to
+        every :class:`~repro.session.TuckerResult` this way) or call
+        :meth:`reset_stats` between runs.
+        """
+        return self.ledger.summary()
+
+    def mark_stats(self) -> int:
+        """Opaque ledger position; pass to :meth:`ledger_since` later."""
+        return self.ledger.mark()
+
+    def ledger_since(self, mark: int) -> StatsLedger:
+        """The records appended since ``mark`` as a standalone ledger."""
+        return self.ledger.since(mark)
+
+    def stats_since(self, mark: int) -> dict[str, float]:
+        """Uniform summary of only the records appended since ``mark``."""
+        return self.ledger.since(mark).summary()
 
     def reset_stats(self) -> None:
         self.ledger.clear()

@@ -33,7 +33,8 @@ from __future__ import annotations
 import multiprocessing
 import sys
 import weakref
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from time import perf_counter
 
 import numpy as np
@@ -87,7 +88,15 @@ class ShmTensor:
         self._array: np.ndarray | None = np.ndarray(
             self.shape, dtype=self.dtype, buffer=self._shm.buf
         )
-        self._finalizer = weakref.finalize(self, _destroy_segment, self._shm)
+        # The finalizer tracks the *view*, not the handle: an ndarray
+        # built over a memoryview does not hold a buffer export on it
+        # (numpy >= 2), so destroying the segment when the handle dies
+        # would unmap memory under a still-referenced gather() view.
+        # Tied to the view, the mapping lives exactly as long as anything
+        # can read it — and no longer.
+        self._finalizer = weakref.finalize(
+            self._array, _destroy_segment, self._shm
+        )
 
     @property
     def name(self) -> str:
@@ -270,6 +279,30 @@ class ProcessPoolBackend(ExecutionBackend):
 
     # -- helpers ----------------------------------------------------------- #
 
+    def _await_all(self, futures, owned: tuple = ()) -> list:
+        """Collect fan-out results; on failure leave the backend healthy.
+
+        A worker exception must not poison the backend: pending tasks are
+        cancelled and drained first (so no worker is still writing when
+        segments go away), then every handle in ``owned`` — output
+        segments that will never reach the caller — is unlinked so
+        ``/dev/shm`` stays clean. A pool whose workers died
+        (:class:`BrokenProcessPool`) is shut down and dropped; the next
+        kernel transparently spins up a fresh one.
+        """
+        try:
+            return [f.result() for f in futures]
+        except BaseException as exc:
+            for f in futures:
+                f.cancel()
+            wait(futures)
+            for handle in owned:
+                handle.close()
+            if isinstance(exc, BrokenProcessPool) and self._pool is not None:
+                self._pool.shutdown(wait=False)
+                self._pool = None
+            raise
+
     def _store(self, array: np.ndarray) -> ShmTensor:
         handle = ShmTensor(array.shape, array.dtype)
         handle.array[...] = array
@@ -285,8 +318,8 @@ class ProcessPoolBackend(ExecutionBackend):
 
     def gather(self, handle: ShmTensor) -> np.ndarray:
         # The live view, not a copy — the session copies cores it keeps,
-        # and the view itself pins the mapping even after the handle is
-        # freed (unlink removes only the name).
+        # and the segment finalizer is tied to this very view, so the
+        # mapping stays valid for as long as the caller holds it.
         return handle.array
 
     def shape(self, handle: ShmTensor) -> tuple[int, ...]:
@@ -318,8 +351,7 @@ class ProcessPoolBackend(ExecutionBackend):
                 )
                 for sl in block_slices(handle.shape[split], self.n_workers)
             ]
-            for f in futures:
-                f.result()
+            self._await_all(futures, owned=(out,))
         size = int(np.prod(handle.shape))
         self.ledger.add_compute(
             op="gemm",
@@ -359,7 +391,7 @@ class ProcessPoolBackend(ExecutionBackend):
                 )
                 for sl in block_slices(handle.shape[split], self.n_workers)
             ]
-            partials = [f.result() for f in futures]
+            partials = self._await_all(futures)
             # Fixed ascending-block reduction order (determinism).
             g = reduce_partials(partials, length, out)
         g = (g + g.T) * 0.5
@@ -391,4 +423,4 @@ class ProcessPoolBackend(ExecutionBackend):
             for sl in slices
         ]
         # Ascending block order, same as the threaded backend.
-        return float(sum(f.result() for f in futures))
+        return float(sum(self._await_all(futures)))

@@ -27,7 +27,9 @@ same answer — which is what the property-test suite pins down.
 from __future__ import annotations
 
 import json
+import math
 import os
+import warnings
 from dataclasses import dataclass, field
 from time import perf_counter
 
@@ -103,51 +105,100 @@ def merge_profile(partial: dict) -> dict:
     hand-written overrides like ``{"backends": {"procpool": {"rate":
     5e9}}}`` are valid. The ``measured`` list (which backends calibration
     actually probed) is carried through, filtered to known backends.
+
+    Merging never raises: a value of the wrong type (``"rate": "fast"``,
+    a null, a nested object) keeps its default and is reported in a
+    single :class:`RuntimeWarning` — a stale or hand-mangled calibration
+    file must degrade selection quality, not crash a run.
     """
     profile = default_profile()
     if not isinstance(partial, dict):
         return profile
-    for name, params in (partial.get("backends") or {}).items():
-        if name in profile["backends"] and isinstance(params, dict):
-            for key, value in params.items():
-                if key in profile["backends"][name]:
-                    profile["backends"][name][key] = float(value)
+    invalid: list[str] = []
+    backends = partial.get("backends") or {}
+    if not isinstance(backends, dict):
+        invalid.append("backends")
+        backends = {}
+    for name, params in backends.items():
+        if name not in profile["backends"]:
+            continue
+        if not isinstance(params, dict):
+            invalid.append(str(name))
+            continue
+        for key, value in params.items():
+            if key not in profile["backends"][name]:
+                continue
+            try:
+                value = float(value)
+            except (TypeError, ValueError):
+                invalid.append(f"{name}.{key}")
+                continue
+            if not math.isfinite(value):
+                invalid.append(f"{name}.{key}")
+                continue
+            profile["backends"][name][key] = value
+    measured = partial.get("measured") or []
+    if not isinstance(measured, (list, tuple)):
+        invalid.append("measured")
+        measured = []
     profile["measured"] = [
         name
-        for name in (partial.get("measured") or [])
-        if name in profile["backends"]
+        for name in measured
+        if isinstance(name, str) and name in profile["backends"]
     ]
     profile["calibrated"] = bool(partial.get("calibrated", False))
+    if invalid:
+        warnings.warn(
+            f"calibration profile has invalid entries "
+            f"({', '.join(sorted(set(invalid)))}); using defaults for those",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return profile
 
 
 def load_profile(path: str | None = None) -> dict:
     """Load a persisted profile merged over the defaults.
 
-    With ``path=None`` (the implicit machine profile), a missing or
-    unreadable file yields the defaults — auto-selection must never fail
-    just because calibration was skipped. A path the caller *named* is a
-    promise, though: if it cannot be read or is not a version-compatible
-    profile, a :class:`ValueError` is raised instead of silently running
-    on defaults.
+    A profile is an optimization hint, never a correctness input, so a
+    *corrupt or stale* file — truncated/empty JSON, a version mismatch,
+    wrong-typed values — falls back to :func:`default_profile` with a
+    :class:`RuntimeWarning` instead of failing a run that was about to
+    use it. Two cases stay distinct:
+
+    * with ``path=None`` (the implicit machine profile), a *missing*
+      file is simply the uncalibrated state: defaults, silently;
+    * a path the caller *named* is a promise — if the file cannot be
+      read at all (missing, permission denied), that is a caller error
+      and a :class:`ValueError` is raised.
     """
     explicit = path is not None
     path = path or default_profile_path()
     try:
         with open(path, encoding="utf-8") as fh:
             stored = json.load(fh)
-    except (OSError, ValueError) as exc:
+    except OSError as exc:
         if explicit:
             raise ValueError(
                 f"cannot read calibration profile {path!r}: {exc}"
             ) from exc
         return default_profile()
+    except ValueError as exc:  # corrupt JSON, including an empty file
+        warnings.warn(
+            f"calibration profile {path!r} is not valid JSON ({exc}); "
+            f"falling back to the default profile",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default_profile()
     if not isinstance(stored, dict) or stored.get("version") != PROFILE_VERSION:
-        if explicit:
-            raise ValueError(
-                f"{path!r} is not a version-{PROFILE_VERSION} calibration "
-                f"profile"
-            )
+        warnings.warn(
+            f"calibration profile {path!r} is not a version-"
+            f"{PROFILE_VERSION} profile; falling back to the default "
+            f"profile",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return default_profile()
     return merge_profile(stored)
 

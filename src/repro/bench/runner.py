@@ -18,7 +18,10 @@ Metrics per record:
 :func:`run_backends` complements the modeled sweep with *measured*
 per-backend comparisons: the same decomposition executed on several
 registered backends, reporting wall seconds, ledger aggregates and the
-worst deviation from the sequential reference.
+worst deviation from the sequential reference. :func:`run_batch` does
+the same for *streams*: N tensors through one warm session per backend
+(``session.run_many``), so BENCH records start tracking batched
+throughput (``items_per_second``) alongside single-shot latency.
 """
 
 from __future__ import annotations
@@ -171,6 +174,89 @@ def run_backends(
             continue
         metrics["max_core_diff"] = float(
             np.max(np.abs(cores[name] - ref_core))
+        )
+    return out
+
+
+def run_batch(
+    tensors: Sequence,
+    core_dims: Sequence[int],
+    backends: Sequence[str] = ("sequential", "threaded", "procpool"),
+    *,
+    n_procs: int | None = None,
+    planner: str = "optimal",
+    max_iters: int = 2,
+    tol: float = 0.0,
+    max_in_flight: int = 4,
+    reference: str = "sequential",
+) -> dict[str, dict[str, float]]:
+    """Stream the same tensor batch through each backend; compare throughput.
+
+    Per backend: ``seconds`` (whole-batch wall clock), ``items_per_second``,
+    ``n_items``, the plan-cache counters (``plans_compiled`` /
+    ``cache_hits``), the merged ledger aggregates, and ``max_core_diff`` —
+    the worst per-item core deviation from the ``reference`` backend's
+    batch. An unavailable backend is reported as ``{"unavailable":
+    reason}``. One ``n_procs`` is resolved up front (clamped to a count
+    plannable for *every* distinct shape) and shared, so all backends
+    execute the same plans.
+    """
+    import numpy as np
+
+    from repro.backends.blockpar import default_workers
+    from repro.core.grids import feasible_procs
+    from repro.util.validation import check_core_dims
+
+    arrays = [np.asarray(t) for t in tensors]
+    if not arrays:
+        raise ValueError("run_batch needs at least one tensor")
+    metas = {
+        TensorMeta(dims=a.shape, core=check_core_dims(core_dims, a.shape))
+        for a in arrays
+    }
+    if n_procs is None:
+        n_procs = min(feasible_procs(m, default_workers()) for m in metas)
+    names = list(backends)
+    if reference not in names:
+        names.insert(0, reference)
+    out: dict[str, dict] = {}
+    cores: dict[str, list] = {}
+    for name in names:
+        try:
+            backend = get_backend(name, n_procs=n_procs)
+        except BackendUnavailableError as exc:
+            out[name] = {"unavailable": str(exc)}
+            continue
+        with TuckerSession(backend=backend) as session:
+            batch = session.run_many(
+                arrays,
+                core_dims,
+                planner=planner,
+                n_procs=n_procs,
+                max_iters=max_iters,
+                tol=tol,
+                max_in_flight=max_in_flight,
+            )
+        cores[name] = [r.decomposition.core for r in batch.results]
+        out[name] = {
+            "seconds": batch.seconds,
+            "items_per_second": batch.items_per_second,
+            "n_items": float(batch.n_items),
+            "plans_compiled": float(batch.plans_compiled),
+            "cache_hits": float(batch.cache_hits),
+            "comm_volume": batch.ledger.volume(),
+            "flops": batch.ledger.flops(),
+            "events": float(len(batch.ledger)),
+        }
+    ref_cores = cores.get(reference)
+    for name, metrics in out.items():
+        if "unavailable" in metrics or ref_cores is None:
+            continue
+        metrics["max_core_diff"] = float(
+            max(
+                np.max(np.abs(mine - ref))
+                for mine, ref in zip(cores[name], ref_cores)
+            )
         )
     return out
 

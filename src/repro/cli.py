@@ -112,7 +112,7 @@ def cmd_decompose(args) -> int:
         tol=args.tol,
         skip_hooi=args.skip_hooi,
     )
-    stats = session.backend.stats()
+    stats = result.stats  # scoped to this run, even on a reused backend
     plan = result.plan
     payload = {
         "dims": list(tensor.shape),
@@ -149,6 +149,136 @@ def cmd_decompose(args) -> int:
     print(f"ledger volume:      {stats['comm_volume']:,.0f} elements")
     print(f"ledger flops:       {stats['flops']:,.0f} multiply-adds")
     return 0
+
+
+def _batch_paths(args) -> list[str]:
+    """Resolve the batch input list from ``--glob`` and/or ``--manifest``.
+
+    Manifest lines are one ``.npy`` path each (blank lines and ``#``
+    comments skipped); relative paths resolve against the manifest's own
+    directory, so a manifest travels with its data.
+    """
+    import glob as glob_mod
+    import os
+
+    paths: list[str] = []
+    if args.glob:
+        matched = sorted(glob_mod.glob(args.glob))
+        if not matched:
+            raise SystemExit(f"--glob {args.glob!r} matched no files")
+        paths.extend(matched)
+    if args.manifest:
+        try:
+            with open(args.manifest, encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        except OSError as exc:
+            raise SystemExit(f"cannot read manifest: {exc}") from None
+        base = os.path.dirname(os.path.abspath(args.manifest))
+        for line in lines:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            paths.append(
+                line if os.path.isabs(line) else os.path.join(base, line)
+            )
+    if not paths:
+        raise SystemExit("provide --glob PATTERN and/or --manifest FILE")
+    return paths
+
+
+def cmd_batch(args) -> int:
+    paths = _batch_paths(args)
+    if not args.core:
+        raise SystemExit("provide --core K1,K2,...")
+    calibration = getattr(args, "calibration", None)
+    if calibration is not None and args.backend != AUTO_BACKEND:
+        raise SystemExit("--calibration requires --backend auto")
+    try:
+        session = TuckerSession(
+            backend=args.backend, n_procs=args.procs, calibration=calibration
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    try:
+        batch = session.run_many(
+            paths,
+            args.core,
+            planner=args.planner,
+            n_procs=args.procs,
+            dtype=args.dtype,
+            max_iters=args.max_iters,
+            tol=args.tol,
+            skip_hooi=args.skip_hooi,
+            max_in_flight=args.max_in_flight,
+            on_error=args.on_error,
+        )
+    except (ValueError, OSError) as exc:  # bad item with --on-error raise
+        raise SystemExit(str(exc)) from None
+    finally:
+        session.close()
+    aggregate = batch.stats()
+    if args.json:
+        payload = {
+            "backend": args.backend,
+            "core": list(args.core),
+            "planner": str(args.planner),
+            "max_in_flight": args.max_in_flight,
+            **aggregate,
+            "items": [
+                {
+                    "index": item.index,
+                    "source": item.source,
+                    "dims": list(item.result.plan.meta.dims),
+                    "backend": item.backend,
+                    "sthosvd_error": item.result.sthosvd_error,
+                    "error": item.error,
+                    "n_iters": item.result.n_iters,
+                    "from_cache": item.from_cache,
+                    "auto_selected": item.result.auto_selected,
+                    "seconds": item.seconds,
+                    "ledger": item.result.stats,
+                }
+                for item in batch.items
+            ],
+            "failures": [
+                {
+                    "index": failure.index,
+                    "source": failure.source,
+                    "error": failure.error,
+                    "kind": failure.kind,
+                }
+                for failure in batch.failures
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 1 if batch.failures else 0
+    rows = [
+        [
+            str(item.index),
+            item.source if len(item.source) <= 40 else "..." + item.source[-37:],
+            "x".join(map(str, item.result.plan.meta.dims)),
+            item.backend,
+            f"{item.error:.3e}",
+            str(item.result.n_iters),
+            "hit" if item.from_cache else "miss",
+            f"{item.seconds:.3f}s",
+        ]
+        for item in batch.items
+    ]
+    print(ascii_table(
+        ["#", "source", "dims", "backend", "error", "iters", "plan", "time"],
+        rows,
+    ))
+    for failure in batch.failures:
+        print(f"FAILED #{failure.index} {failure.source}: {failure.error}")
+    print(f"{batch.n_items} item(s) in {batch.seconds:.3f}s "
+          f"({batch.items_per_second:.2f} items/s), "
+          f"{len(batch.failures)} failure(s)")
+    print(f"plans compiled:     {batch.plans_compiled} "
+          f"({batch.cache_hits} cache hit(s))")
+    print(f"ledger volume:      {aggregate['comm_volume']:,.0f} elements")
+    print(f"ledger flops:       {aggregate['flops']:,.0f} multiply-adds")
+    return 1 if batch.failures else 0
 
 
 def cmd_calibrate(args) -> int:
@@ -300,6 +430,54 @@ def build_parser() -> argparse.ArgumentParser:
     p_dec.add_argument("--seed", type=int, default=0)
     p_dec.add_argument("--json", action="store_true")
     p_dec.set_defaults(func=cmd_decompose)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="decompose a stream of .npy tensors through one warm session",
+    )
+    p_batch.add_argument(
+        "--glob", help="shell glob of .npy inputs (e.g. 'data/*.npy')"
+    )
+    p_batch.add_argument(
+        "--manifest",
+        help="text file listing one .npy path per line (# comments; "
+        "relative paths resolve against the manifest's directory)",
+    )
+    p_batch.add_argument("--core", type=_parse_ints, help="K1,K2,...")
+    p_batch.add_argument(
+        "--backend",
+        default=AUTO_BACKEND,
+        choices=BACKEND_NAMES + (AUTO_BACKEND,),
+        help="execution backend; 'auto' (default) re-selects per item",
+    )
+    p_batch.add_argument(
+        "--calibration",
+        help="calibration profile JSON for --backend auto",
+    )
+    p_batch.add_argument(
+        "--planner", default="portfolio",
+        help="'portfolio' or a tree kind (optimal, chain-k, ...)",
+    )
+    p_batch.add_argument("-p", "--procs", type=int, default=None)
+    p_batch.add_argument(
+        "--dtype", default=None, choices=["float32", "float64"],
+        help="working precision (default: keep float32/float64 inputs)",
+    )
+    p_batch.add_argument("--max-iters", type=int, default=10)
+    p_batch.add_argument("--tol", type=float, default=1e-8)
+    p_batch.add_argument("--skip-hooi", action="store_true")
+    p_batch.add_argument(
+        "--max-in-flight", type=int, default=8, metavar="N",
+        help="tensors loaded ahead of execution; bounds resident memory "
+        "and the plan-grouping window (default 8)",
+    )
+    p_batch.add_argument(
+        "--on-error", default="raise", choices=["raise", "skip"],
+        help="stop on the first failed item, or record it and keep "
+        "streaming (exit code 1 if anything failed)",
+    )
+    p_batch.add_argument("--json", action="store_true")
+    p_batch.set_defaults(func=cmd_batch)
 
     p_cal = sub.add_parser(
         "calibrate",

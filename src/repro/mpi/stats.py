@@ -92,6 +92,21 @@ class StatsLedger:
         """Append all records of ``other`` (used when composing phases)."""
         self._records.extend(other.records)
 
+    def mark(self) -> int:
+        """Opaque position marker for :meth:`since` (the current length)."""
+        return len(self._records)
+
+    def since(self, mark: int) -> "StatsLedger":
+        """A new ledger holding only the records appended after ``mark``.
+
+        This is how callers scope a shared, append-only ledger to one run:
+        take a :meth:`mark` before executing, slice after. The records are
+        shared (they are immutable), the list is not.
+        """
+        out = StatsLedger()
+        out._records.extend(self._records[mark:])
+        return out
+
     # -- aggregation ----------------------------------------------------- #
 
     def _select(
@@ -127,6 +142,16 @@ class StatsLedger:
 
     def total_seconds(self, tag_prefix: str | None = None) -> float:
         return sum(r.seconds for r in self._select(None, None, tag_prefix))
+
+    def summary(self) -> dict[str, float]:
+        """The uniform aggregate every backend reports via ``stats()``."""
+        return {
+            "comm_volume": self.volume(),
+            "flops": self.flops(),
+            "comm_seconds": self.comm_seconds(),
+            "compute_seconds": self.compute_seconds(),
+            "events": float(len(self)),
+        }
 
     def by_tag_prefix(
         self, key: Callable[[str], str] = lambda tag: tag.split(":", 1)[0]

@@ -29,9 +29,11 @@ The legacy entry points (``tucker``, ``hooi_sequential``,
 from __future__ import annotations
 
 import math
-from collections import OrderedDict
-from collections.abc import Sequence
+import os
+from collections import OrderedDict, deque
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
@@ -55,11 +57,15 @@ from repro.backends.schedule import Step
 from repro.core.meta import TensorMeta
 from repro.core.ordering import optimal_chain_ordering
 from repro.core.planner import Plan, Planner
+from repro.mpi.stats import StatsLedger
 from repro.util import serial
 from repro.util.dtypes import resolve_dtype
 from repro.util.validation import check_core_dims, check_positive_int
 
 __all__ = [
+    "BatchFailure",
+    "BatchItem",
+    "BatchResult",
     "CompiledPlan",
     "TuckerSession",
     "TuckerResult",
@@ -82,6 +88,9 @@ class TuckerResult:
     came from the session's plan cache. When the session runs with
     ``backend="auto"``, ``auto_selected`` is true and
     ``selection_reason`` records why the selector chose this backend.
+    ``ledger`` holds exactly this run's backend records — scoped, so a
+    reused backend never inflates a later result's volumes — and
+    ``stats`` is its uniform summary.
     """
 
     decomposition: "TuckerDecomposition"  # noqa: F821 - hooi import is lazy
@@ -93,14 +102,152 @@ class TuckerResult:
     from_cache: bool = False
     auto_selected: bool = False
     selection_reason: str = ""
+    ledger: StatsLedger | None = None
 
     @property
     def error(self) -> float:
         return self.errors[-1] if self.errors else self.sthosvd_error
 
     @property
+    def stats(self) -> dict[str, float]:
+        """This run's ledger summary (volumes/FLOPs/seconds/events)."""
+        return self.ledger.summary() if self.ledger is not None else {}
+
+    @property
     def compression_ratio(self) -> float:
         return self.decomposition.compression_ratio
+
+
+# --------------------------------------------------------------------- #
+# batched results
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class BatchItem:
+    """One successfully decomposed item of a :meth:`TuckerSession.run_many`.
+
+    ``index`` is the item's position in the input stream; ``seq`` is its
+    execution position (plan-key grouping inside the in-flight window may
+    execute items out of arrival order). ``source`` is the ``.npy`` path
+    for file items and ``"item[i]"`` for in-memory arrays.
+    """
+
+    index: int
+    source: str
+    seq: int
+    seconds: float
+    result: TuckerResult
+
+    @property
+    def error(self) -> float:
+        return self.result.error
+
+    @property
+    def backend(self) -> str:
+        return self.result.backend
+
+    @property
+    def from_cache(self) -> bool:
+        return self.result.from_cache
+
+
+@dataclass
+class BatchFailure:
+    """One item a ``run_many(on_error="skip")`` call could not decompose."""
+
+    index: int
+    source: str
+    error: str
+    kind: str = ""
+
+
+@dataclass
+class BatchResult:
+    """Everything a :meth:`TuckerSession.run_many` call produces.
+
+    ``items`` (input order) carry the per-item :class:`TuckerResult`;
+    ``ledger`` merges every item's per-run records; ``plans_compiled`` /
+    ``cache_hits`` are the plan-cache deltas of this batch (N same-shape
+    tensors compile exactly one plan: ``plans_compiled == 1``,
+    ``cache_hits == N - 1``).
+    """
+
+    items: list[BatchItem]
+    failures: list[BatchFailure]
+    seconds: float
+    ledger: StatsLedger
+    plans_compiled: int
+    cache_hits: int
+
+    @property
+    def results(self) -> list[TuckerResult]:
+        return [item.result for item in self.items]
+
+    @property
+    def n_items(self) -> int:
+        return len(self.items)
+
+    @property
+    def items_per_second(self) -> float:
+        """Batch throughput (completed items over total wall seconds)."""
+        return len(self.items) / self.seconds if self.seconds > 0 else 0.0
+
+    def stats(self) -> dict[str, float]:
+        """Aggregate report: merged ledger summary + throughput counters."""
+        out = self.ledger.summary()
+        out.update(
+            n_items=float(self.n_items),
+            n_failures=float(len(self.failures)),
+            seconds=self.seconds,
+            items_per_second=self.items_per_second,
+            plans_compiled=float(self.plans_compiled),
+            cache_hits=float(self.cache_hits),
+        )
+        return out
+
+
+@dataclass
+class _PendingItem:
+    """A materialized input waiting in the run_many in-flight window."""
+
+    index: int
+    source: str
+    array: np.ndarray | None
+    core: tuple[int, ...]
+    group_key: tuple
+
+
+def _item_source(raw, index: int) -> str:
+    if isinstance(raw, (str, os.PathLike)):
+        return os.fspath(raw)
+    return f"item[{index}]"
+
+
+def _materialize_item(raw, index: int, core_dims, dtype) -> _PendingItem:
+    """Load one batch input (array or ``.npy`` path) and key it for grouping."""
+    source = _item_source(raw, index)
+    if isinstance(raw, (str, os.PathLike)):
+        array = np.load(source)
+        if not isinstance(array, np.ndarray):
+            raise ValueError(f"{source} does not contain a single ndarray")
+    elif isinstance(raw, np.ndarray):
+        array = raw
+    else:
+        raise TypeError(
+            f"batch item {index}: expected an ndarray or a .npy path, "
+            f"got {type(raw).__name__}"
+        )
+    core = tuple(
+        int(k)
+        for k in (core_dims(array.shape) if callable(core_dims) else core_dims)
+    )
+    # Items agreeing on this key share a compiled plan under this call's
+    # fixed planner/n_procs — the grouping the window scheduler uses.
+    key = (tuple(array.shape), core, resolve_dtype(array, dtype).name)
+    return _PendingItem(
+        index=index, source=source, array=array, core=core, group_key=key
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -643,6 +790,7 @@ class TuckerSession:
         arr, compiled, from_cache = self._prepare(
             tensor, core_dims, plan, planner, n_procs, dtype
         )
+        mark = self.backend.mark_stats()
         if max_iters <= 0:
             # Legacy drivers returned the init untouched for max_iters=0.
             if isinstance(init, (list, tuple)):
@@ -656,6 +804,7 @@ class TuckerSession:
                 sthosvd_error=float("nan"),
                 n_iters=0,
                 from_cache=from_cache,
+                ledger=self.backend.ledger_since(mark),
                 **self._result_meta(),
             )
         dec, errors = self._hooi_loop(arr, factors, compiled, max_iters, tol)
@@ -666,6 +815,7 @@ class TuckerSession:
             sthosvd_error=float("nan"),
             n_iters=len(errors),
             from_cache=from_cache,
+            ledger=self.backend.ledger_since(mark),
             **self._result_meta(),
         )
 
@@ -711,6 +861,7 @@ class TuckerSession:
         arr, compiled, from_cache = self._prepare(
             tensor, core_dims, plan, planner, n_procs, dtype
         )
+        mark = self.backend.mark_stats()
         dec, error = self._sthosvd_pass(arr, compiled)
         return TuckerResult(
             decomposition=dec,
@@ -719,6 +870,7 @@ class TuckerSession:
             sthosvd_error=error,
             n_iters=0,
             from_cache=from_cache,
+            ledger=self.backend.ledger_since(mark),
             **self._result_meta(),
         )
 
@@ -745,6 +897,7 @@ class TuckerSession:
         arr, compiled, from_cache = self._prepare(
             tensor, core_dims, plan, planner, n_procs, dtype
         )
+        mark = self.backend.mark_stats()
         if isinstance(self.backend, SimClusterBackend):
             # Sequential init on the cluster backend: the paper does not
             # charge the initial decomposition, and the HOOI initial grid
@@ -768,6 +921,7 @@ class TuckerSession:
                 sthosvd_error=init_error,
                 n_iters=0,
                 from_cache=from_cache,
+                ledger=self.backend.ledger_since(mark),
                 **self._result_meta(),
             )
         dec, errors = self._hooi_loop(
@@ -780,5 +934,155 @@ class TuckerSession:
             sthosvd_error=init_error,
             n_iters=len(errors),
             from_cache=from_cache,
+            ledger=self.backend.ledger_since(mark),
             **self._result_meta(),
+        )
+
+    def run_many(
+        self,
+        inputs: Iterable,
+        core_dims: Sequence[int] | Callable | None = None,
+        *,
+        planner: str | Planner = "portfolio",
+        n_procs: int | None = None,
+        dtype=None,
+        max_iters: int = 10,
+        tol: float = 1e-8,
+        skip_hooi: bool = False,
+        max_in_flight: int = 1,
+        on_error: str = "raise",
+    ) -> BatchResult:
+        """Decompose a stream of tensors through one warm session.
+
+        ``inputs`` is any iterable — a list, a generator, a lazily read
+        manifest — of in-memory ndarrays and/or ``.npy`` paths
+        (``str``/``os.PathLike``); items are loaded at most
+        ``max_in_flight`` ahead of execution, so an arbitrarily long
+        stream never holds more than that many tensors resident.
+        ``core_dims`` is one core shape applied to every item, or a
+        callable ``shape -> core`` for heterogeneous streams.
+
+        Each distinct ``(shape, core, dtype)`` compiles its plan exactly
+        once (the session's LRU plan cache); within the in-flight window
+        items sharing a plan key execute consecutively, so a mixed stream
+        does not thrash backend selection. Worker pools stay warm across
+        the whole batch: the session's backend (and, under
+        ``backend="auto"``, every per-selection cached instance) is
+        *never* torn down between items — auto mode re-selects per item
+        from its metadata, reusing already-built pools at zero startup
+        charge.
+
+        ``on_error="raise"`` (default) propagates the first failure;
+        ``"skip"`` records it as a :class:`BatchFailure` and keeps
+        streaming. Per-item results, the merged per-run ledger and
+        throughput counters come back as a :class:`BatchResult`.
+        """
+        if core_dims is None:
+            raise ValueError(
+                "core_dims is required: one tuple for every item, or a "
+                "callable shape -> core for heterogeneous streams"
+            )
+        if on_error not in ("raise", "skip"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'skip', got {on_error!r}"
+            )
+        max_in_flight = check_positive_int(max_in_flight, "max_in_flight")
+        if dtype is not None:
+            resolve_dtype(np.float64, dtype)  # fail fast on a bad knob
+        info = self.cache_info()
+        hits0, misses0 = info["hits"], info["misses"]
+        start = perf_counter()
+        stream = iter(inputs)
+        window: deque[_PendingItem] = deque()
+        items: list[BatchItem] = []
+        failures: list[BatchFailure] = []
+        ledger = StatsLedger()
+        seq = 0
+        index = 0
+        exhausted = False
+
+        def fill() -> None:
+            """Top the window up to ``max_in_flight`` materialized items."""
+            nonlocal index, exhausted
+            while not exhausted and len(window) < max_in_flight:
+                try:
+                    raw = next(stream)
+                except StopIteration:
+                    exhausted = True
+                    return
+                try:
+                    window.append(
+                        _materialize_item(raw, index, core_dims, dtype)
+                    )
+                except Exception as exc:
+                    if on_error == "raise":
+                        raise
+                    failures.append(
+                        BatchFailure(
+                            index=index,
+                            source=_item_source(raw, index),
+                            error=str(exc),
+                            kind=type(exc).__name__,
+                        )
+                    )
+                index += 1
+
+        fill()
+        while window:
+            # Drain the oldest item's plan-key group first: streaming
+            # order overall, grouped execution within the window.
+            key = window[0].group_key
+            group = [entry for entry in window if entry.group_key == key]
+            for entry in group:
+                window.remove(entry)
+            for entry in group:
+                t0 = perf_counter()
+                try:
+                    result = self.run(
+                        entry.array,
+                        entry.core,
+                        planner=planner,
+                        n_procs=n_procs,
+                        dtype=dtype,
+                        max_iters=max_iters,
+                        tol=tol,
+                        skip_hooi=skip_hooi,
+                    )
+                except Exception as exc:
+                    if on_error == "raise":
+                        raise
+                    failures.append(
+                        BatchFailure(
+                            index=entry.index,
+                            source=entry.source,
+                            error=str(exc),
+                            kind=type(exc).__name__,
+                        )
+                    )
+                    continue
+                finally:
+                    entry.array = None  # released before the next load
+                items.append(
+                    BatchItem(
+                        index=entry.index,
+                        source=entry.source,
+                        seq=seq,
+                        seconds=perf_counter() - t0,
+                        result=result,
+                    )
+                )
+                seq += 1
+                if result.ledger is not None:
+                    ledger.merge(result.ledger)
+            fill()
+        items.sort(key=lambda item: item.index)
+        failures.sort(key=lambda failure: failure.index)
+        info = self.cache_info()
+        return BatchResult(
+            items=items,
+            failures=failures,
+            seconds=perf_counter() - start,
+            ledger=ledger,
+            plans_compiled=info["misses"] - misses0,
+            cache_hits=info["hits"] - hits0,
         )

@@ -22,6 +22,7 @@ from repro.backends import (
     BACKEND_NAMES,
     default_profile,
     load_profile,
+    merge_profile,
     save_profile,
     select_backend,
 )
@@ -391,26 +392,78 @@ class TestProfilePersistence:
         assert loaded["calibrated"] is False
 
     def test_explicit_missing_path_raises(self, tmp_path):
+        # A *named* path that cannot be read at all is a caller error.
         with pytest.raises(ValueError, match="cannot read"):
             load_profile(str(tmp_path / "absent.json"))
 
-    def test_explicit_corrupt_file_raises(self, tmp_path):
+    @pytest.mark.parametrize(
+        "content",
+        ["{not json", "", '{"version": 999, "backends": {}}', "[1, 2, 3]"],
+        ids=["corrupt", "empty", "stale-version", "not-an-object"],
+    )
+    def test_corrupt_or_stale_content_warns_and_falls_back(
+        self, tmp_path, content
+    ):
+        # Corrupt/stale *content* must degrade to the defaults with a
+        # warning — never crash a run that was about to use the profile.
         path = tmp_path / "bad.json"
-        path.write_text("{not json")
-        with pytest.raises(ValueError, match="cannot read"):
-            load_profile(str(path))
+        path.write_text(content)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            loaded = load_profile(str(path))
+        assert loaded["backends"] == default_profile()["backends"]
+        assert loaded["calibrated"] is False
 
-    def test_explicit_version_mismatch_raises(self, tmp_path):
-        path = tmp_path / "old.json"
-        path.write_text('{"version": 999, "backends": {}}')
-        with pytest.raises(ValueError, match="version"):
-            load_profile(str(path))
+    def test_wrong_typed_values_warn_and_keep_defaults(self, tmp_path):
+        import json as json_mod
+
+        path = tmp_path / "mangled.json"
+        path.write_text(json_mod.dumps({
+            "version": 1,
+            "backends": {
+                "threaded": {"rate": "fast", "startup": None},
+                "procpool": {"rate": 5e9},
+                "sequential": "broken",
+            },
+            "measured": "junk",
+        }))
+        with pytest.warns(RuntimeWarning, match="invalid entries"):
+            loaded = load_profile(str(path))
+        defaults = default_profile()["backends"]
+        # Bad keys keep their defaults, good keys still merge.
+        assert loaded["backends"]["threaded"]["rate"] == defaults["threaded"]["rate"]
+        assert loaded["backends"]["threaded"]["startup"] == defaults["threaded"]["startup"]
+        assert loaded["backends"]["sequential"] == defaults["sequential"]
+        assert loaded["backends"]["procpool"]["rate"] == 5e9
+        assert loaded["measured"] == []
+
+    def test_nonfinite_values_rejected(self):
+        with pytest.warns(RuntimeWarning, match="invalid entries"):
+            merged = merge_profile(
+                {"backends": {"threaded": {"rate": float("nan")}}}
+            )
+        assert merged["backends"]["threaded"]["rate"] == (
+            default_profile()["backends"]["threaded"]["rate"]
+        )
+
+    def test_session_survives_corrupt_explicit_calibration(self, tmp_path):
+        # End to end: a stale profile file named by the caller must not
+        # take the session down mid-construction or mid-run.
+        path = tmp_path / "stale.json"
+        path.write_text('{"version": 999}')
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            session = TuckerSession(backend="auto", calibration=str(path))
+        t = low_rank_tensor((10, 9, 8), (3, 3, 2), noise=0.1, seed=0)
+        res = session.run(t, (3, 3, 2), planner="optimal", max_iters=1)
+        assert res.backend in AUTO_CANDIDATES
+        session.close()
 
     def test_implicit_corrupt_file_falls_back(self, monkeypatch, tmp_path):
         path = tmp_path / "bad.json"
         path.write_text("{not json")
         monkeypatch.setenv("REPRO_CALIBRATION", str(path))
-        assert load_profile()["backends"] == default_profile()["backends"]
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            loaded = load_profile()
+        assert loaded["backends"] == default_profile()["backends"]
 
     def test_env_var_controls_default_path(self, monkeypatch, tmp_path):
         target = str(tmp_path / "prof.json")

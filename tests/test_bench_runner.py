@@ -9,6 +9,7 @@ from repro.bench.runner import (
     evaluate_algorithms,
     normalize_against,
     run_backends,
+    run_batch,
     sweep,
 )
 from repro.bench.suite import paper_subsample
@@ -139,3 +140,62 @@ class TestRunBackends:
         t = low_rank_tensor((10, 9, 8), (5, 4, 3), noise=0.1, seed=2)
         out = run_backends(t, (5, 4, 3), backends=("sequential", "threaded"))
         assert out["threaded"]["max_core_diff"] < 1e-10
+
+
+class TestRunBatch:
+    def test_batched_throughput_tracked_per_backend(self):
+        tensors = [
+            low_rank_tensor((12, 10, 8), (4, 3, 3), noise=0.1, seed=s)
+            for s in range(4)
+        ]
+        out = run_batch(
+            tensors, (4, 3, 3),
+            backends=("sequential", "threaded"),
+            n_procs=2, max_iters=1,
+        )
+        assert set(out) == {"sequential", "threaded"}
+        for name, metrics in out.items():
+            assert "unavailable" not in metrics, name
+            assert metrics["n_items"] == 4.0
+            assert metrics["items_per_second"] > 0
+            assert metrics["seconds"] > 0
+            # one plan for the whole same-shape batch
+            assert metrics["plans_compiled"] == 1.0
+            assert metrics["cache_hits"] == 3.0
+            # per-item conformance bound across the whole batch
+            assert metrics["max_core_diff"] < 1e-10
+        assert out["sequential"]["max_core_diff"] == 0.0
+
+    def test_unavailable_backend_reported(self, monkeypatch):
+        import repro.bench.runner as runner_mod
+        from repro.backends import BackendUnavailableError
+
+        real = runner_mod.get_backend
+
+        def flaky(spec, **kwargs):
+            if spec == "procpool":
+                raise BackendUnavailableError("no shm here", backend=spec)
+            return real(spec, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "get_backend", flaky)
+        tensors = [
+            low_rank_tensor((10, 9, 8), (3, 3, 2), noise=0.1, seed=s)
+            for s in range(2)
+        ]
+        out = run_batch(tensors, (3, 3, 2), backends=("procpool",),
+                        max_iters=1)
+        assert "unavailable" in out["procpool"]
+        assert out["sequential"]["n_items"] == 2.0
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            run_batch([], (2, 2, 2))
+
+    def test_heterogeneous_shapes_share_feasible_procs(self):
+        tensors = [
+            low_rank_tensor((10, 9, 8), (5, 4, 3), noise=0.1, seed=0),
+            low_rank_tensor((12, 9, 8), (5, 4, 3), noise=0.1, seed=1),
+        ]
+        out = run_batch(tensors, (5, 4, 3), backends=("sequential", "threaded"))
+        assert out["threaded"]["max_core_diff"] < 1e-10
+        assert out["threaded"]["plans_compiled"] == 2.0

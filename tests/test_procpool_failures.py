@@ -1,0 +1,185 @@
+"""Crash-injection tests: ProcessPoolBackend must survive worker failure.
+
+A worker exception (or a worker dying outright) mid-fan-out must leave the
+backend healthy: every shared-memory segment that will never reach the
+caller is unlinked (``/dev/shm`` stays clean) and the pool either remains
+usable or is cleanly dropped and transparently rebuilt on the next kernel.
+"""
+
+import gc
+import os
+import sys
+
+import numpy as np
+import pytest
+from concurrent.futures.process import BrokenProcessPool
+
+import repro.backends.procpool as procpool_mod
+from repro.backends.procpool import ProcessPoolBackend
+from repro.tensor.ttm import ttm
+
+pytestmark = pytest.mark.skipif(
+    sys.platform != "linux" or not os.path.isdir("/dev/shm"),
+    reason="failure injection relies on Linux fork workers and /dev/shm",
+)
+
+
+def shm_entries() -> set[str]:
+    return set(os.listdir("/dev/shm"))
+
+
+def _exit_hard(*args, **kwargs):  # pragma: no cover - runs in a worker
+    os._exit(13)
+
+
+def _gram_bomb(*args, **kwargs):  # pragma: no cover - runs in a worker
+    raise RuntimeError("injected gram failure")
+
+
+_REAL_NORM = procpool_mod._norm_block
+
+
+def _norm_bomb(name, shape, dtype, lo, hi):  # pragma: no cover - worker
+    """Kill the worker only for tensors carrying the poison marker."""
+    shm = procpool_mod.shared_memory.SharedMemory(name=name)
+    try:
+        flat = np.ndarray(tuple(shape), dtype=np.dtype(dtype), buffer=shm.buf)
+        poisoned = float(flat.reshape(-1)[0]) > 100.0
+        del flat
+    finally:
+        shm.close()
+    if poisoned:
+        os._exit(13)
+    return _REAL_NORM(name, shape, dtype, lo, hi)
+
+
+@pytest.fixture
+def tensor():
+    return np.random.default_rng(0).standard_normal((8, 6, 5))
+
+
+class TestWorkerException:
+    def test_ttm_failure_unlinks_output_and_pool_survives(self, tensor):
+        backend = ProcessPoolBackend(n_workers=2)
+        try:
+            handle = backend.distribute(tensor, ())
+            before = shm_entries()
+            bad = np.zeros((3, 99))  # wrong inner dim: every block task raises
+            with pytest.raises(ValueError):
+                backend.ttm(handle, bad, 0)
+            gc.collect()
+            # The preallocated output segment was unlinked on failure.
+            assert shm_entries() - before == set()
+            # The pool survived the (non-fatal) worker exception...
+            assert backend._pool is not None
+            # ...and the very next kernel still produces correct numbers.
+            good = np.random.default_rng(1).standard_normal((3, 8))
+            out = backend.gather(backend.ttm(handle, good, 0))
+            np.testing.assert_allclose(out, ttm(tensor, good, 0), atol=1e-12)
+        finally:
+            backend.close()
+
+    def test_gram_failure_leaves_backend_usable(self, tensor, monkeypatch):
+        # Patch before the pool ever forks so workers inherit the bomb.
+        real = procpool_mod._gram_block
+        monkeypatch.setattr(procpool_mod, "_gram_block", _gram_bomb)
+        backend = ProcessPoolBackend(n_workers=2)
+        try:
+            handle = backend.distribute(tensor, ())
+            before = shm_entries()
+            with pytest.raises(RuntimeError, match="injected"):
+                backend.leading_factor(handle, 0, 3)
+            monkeypatch.setattr(procpool_mod, "_gram_block", real)
+            gc.collect()
+            assert shm_entries() - before == set()
+            # The pool is poisoned (forked workers keep the bomb), so drop
+            # it; the backend reopens a clean pool on the next kernel.
+            backend.close()
+            factor = backend.leading_factor(handle, 0, 3)
+            assert factor.shape == (8, 3)
+        finally:
+            backend.close()
+
+
+class TestGatherViewLifetime:
+    def test_gather_view_outlives_handle(self, tensor):
+        # Regression: numpy >= 2 ndarrays do not pin the exporting
+        # memoryview, so a handle-tied finalizer would unmap the segment
+        # under a still-referenced gather() view (a parent segfault).
+        # The finalizer is tied to the view: reads stay valid, and the
+        # segment is unlinked only once the view itself dies.
+        backend = ProcessPoolBackend(n_workers=2)
+        try:
+            handle = backend.distribute(tensor, ())
+            before = shm_entries()
+            matrix = np.random.default_rng(3).standard_normal((3, 8))
+            res = backend.gather(backend.ttm(handle, matrix, 0))
+            gc.collect()  # the ttm handle is gone; the view must survive
+            np.testing.assert_allclose(res, ttm(tensor, matrix, 0), atol=1e-12)
+            del res
+            gc.collect()
+            assert shm_entries() - before == set()
+        finally:
+            backend.close()
+
+
+class TestWorkerDeath:
+    def test_dead_worker_resets_pool_and_cleans_shm(self, tensor):
+        backend = ProcessPoolBackend(n_workers=2)
+        original = procpool_mod._ttm_block
+        # Patch before the first kernel: the pool forks lazily, so the
+        # workers inherit the hard-exit stub.
+        procpool_mod._ttm_block = _exit_hard
+        try:
+            handle = backend.distribute(tensor, ())
+            before = shm_entries()
+            matrix = np.random.default_rng(2).standard_normal((3, 8))
+            with pytest.raises(BrokenProcessPool):
+                backend.ttm(handle, matrix, 0)
+            gc.collect()
+            # No leaked segments, and the broken pool was dropped.
+            assert shm_entries() - before == set()
+            assert backend._pool is None
+        finally:
+            procpool_mod._ttm_block = original
+        try:
+            # A fresh pool (forked with the real task function) recovers.
+            out = backend.gather(backend.ttm(handle, matrix, 0))
+            np.testing.assert_allclose(out, ttm(tensor, matrix, 0), atol=1e-12)
+        finally:
+            backend.close()
+
+    def test_session_batch_survives_pool_recovery(self, tensor):
+        """A run_many stream keeps going after the pool is rebuilt."""
+        from repro.session import TuckerSession
+
+        # The bomb is data-dependent: only the marked tensor kills its
+        # worker, so the rebuilt pool (which forks the same patched
+        # module) decomposes the healthy items normally.
+        poisoned = tensor.copy()
+        poisoned.flat[0] = 1e6
+        original = procpool_mod._norm_block
+        procpool_mod._norm_block = _norm_bomb
+        backend = ProcessPoolBackend(n_workers=2)
+        session = TuckerSession(backend=backend)
+        try:
+            before = shm_entries()
+            batch = session.run_many(
+                [poisoned, tensor + 1.0],
+                (3, 3, 2),
+                planner="optimal",
+                n_procs=2,
+                max_iters=1,
+                on_error="skip",
+            )
+            gc.collect()
+            assert shm_entries() - before == set()
+            assert len(batch.failures) == 1
+            assert batch.failures[0].index == 0
+            # Item 1 ran on a freshly rebuilt pool and succeeded.
+            assert batch.n_items == 1
+            assert batch.items[0].index == 1
+            assert np.isfinite(batch.items[0].error)
+        finally:
+            procpool_mod._norm_block = original
+            session.close()
