@@ -33,13 +33,16 @@ from repro.backends.schedule import (
 )
 from repro.backends.select import (
     AUTO_CANDIDATES,
+    STORAGE_MODES,
     Selection,
+    StorageSelection,
     calibrate,
     default_profile,
     load_profile,
     merge_profile,
     save_profile,
     select_backend,
+    select_storage,
 )
 from repro.backends.sequential import SequentialBackend
 from repro.backends.simcluster import SimClusterBackend
@@ -105,7 +108,10 @@ __all__ = [
     "BACKEND_NAMES",
     "AUTO_BACKEND",
     "AUTO_CANDIDATES",
+    "STORAGE_MODES",
     "Selection",
+    "StorageSelection",
+    "select_storage",
     "calibrate",
     "default_profile",
     "load_profile",

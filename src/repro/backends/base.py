@@ -48,8 +48,18 @@ class ExecutionBackend(abc.ABC):
     # -- data placement -------------------------------------------------- #
 
     @abc.abstractmethod
-    def distribute(self, tensor: np.ndarray, grid: tuple[int, ...]) -> Any:
-        """Place a global ndarray per ``grid`` and return a handle."""
+    def distribute(
+        self, tensor: np.ndarray, grid: tuple[int, ...], *, store=None
+    ) -> Any:
+        """Place a global ndarray per ``grid`` and return a handle.
+
+        ``store``, when given, is a :class:`~repro.storage.BlockStore`
+        the run has spilled to: the backend must place the tensor
+        *through the store* (out-of-core block handles) instead of
+        materializing it in RAM, and every kernel must accept the
+        resulting handle. ``store=None`` keeps the historical fully
+        resident behavior.
+        """
 
     @abc.abstractmethod
     def gather(self, handle: Any) -> np.ndarray:

@@ -76,6 +76,44 @@ def gram_evd_flops(length: int, size: int) -> int:
     )
 
 
+def oc_block_slices(
+    shape: tuple[int, ...],
+    split: int,
+    itemsize: int,
+    per_block_bytes: int,
+    n_workers: int = 1,
+) -> list[slice]:
+    """Split-axis slices for out-of-core kernels, bounded two ways.
+
+    Blocks are cut so each holds at most ``per_block_bytes`` (so a
+    worker's resident copy stays under the store's budget-derived
+    ceiling) *and* there are at least ``n_workers`` of them when the
+    split axis allows it (so every pool worker gets work). When one unit
+    of the split axis already exceeds ``per_block_bytes`` the slices
+    degrade to single-unit slabs — the finest cut one axis admits.
+
+    Deterministic in its arguments: the same handle geometry always
+    yields the same blocks, which keeps out-of-core runs bit-reproducible
+    like every other path.
+    """
+    size = 1
+    for length in shape:
+        size *= int(length)
+    slab_bytes = max(1, size // max(1, shape[split]) * int(itemsize))
+    per_units = max(1, int(per_block_bytes) // slab_bytes)
+    n_blocks = -(-int(shape[split]) // per_units)  # ceil
+    n_blocks = min(max(n_blocks, min(n_workers, shape[split])), shape[split])
+    return [slice(a, b) for a, b in block_ranges(shape[split], n_blocks)]
+
+
+#: resident charge per in-flight out-of-core block, as a multiple of the
+#: block's bytes: the read copy, the kernel temporary (an unfold or gemm
+#: output), and the output slab. Sessions size ``max_block_bytes`` as
+#: ``memory_budget // OC_LEASE_FACTOR`` so the concurrent leases of a
+#: full worker fan-out stay within the budget.
+OC_LEASE_FACTOR = 3
+
+
 def default_workers() -> int:
     """Natural pool size: all but one core, capped at 8."""
     return max(1, min(8, (os.cpu_count() or 2) - 1))
@@ -108,10 +146,12 @@ def check_worker_count(n_workers, backend_name: str) -> int:
 
 
 __all__ = [
+    "OC_LEASE_FACTOR",
     "block_slices",
     "check_worker_count",
     "default_workers",
     "gram_evd_flops",
+    "oc_block_slices",
     "reduce_partials",
     "split_mode",
 ]

@@ -1,0 +1,207 @@
+"""Out-of-core kernels shared by the in-process shared-memory backends.
+
+When a run spills (handle = :class:`~repro.storage.StoredTensor` instead
+of an ndarray), the sequential and threaded backends execute these
+implementations: every kernel walks the tensor in store-budgeted blocks
+(:func:`~repro.backends.blockpar.oc_block_slices`), materializes one
+block at a time under a :class:`~repro.storage.ResidentGauge` lease, and
+writes TTM outputs through a freshly allocated store block — so the full
+tensor is never resident, only ``O(block)`` bytes per in-flight worker.
+
+The two backends differ only in how blocks are mapped over workers, so
+each kernel takes a ``map_fn``: ``serial_map`` for the sequential
+backend, an executor's ``map`` for the threaded one. Both preserve
+ascending block order in reductions, the same fixed-order discipline the
+rest of the codebase uses, so out-of-core runs remain deterministic and
+agree with the in-memory reference to the conformance harness's 1e-10.
+
+The process-pool backend does not use these (its workers map the spill
+files directly — see :mod:`repro.backends.procpool`), but shares the
+block geometry, so all three cut identical blocks for a given store.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.blockpar import (
+    OC_LEASE_FACTOR,
+    oc_block_slices,
+    reduce_partials,
+    split_mode,
+)
+from repro.storage import BlockStore, StoredTensor
+from repro.tensor.ttm import ttm
+from repro.tensor.unfold import unfold
+
+
+def serial_map(func, items) -> list:
+    """The sequential backend's one-block-at-a-time map."""
+    return [func(item) for item in items]
+
+
+def oc_distribute(tensor: np.ndarray, store: BlockStore) -> StoredTensor:
+    """Place a tensor into the store without materializing it.
+
+    An already memory-mapped C-contiguous input (a lazily opened ``.npy``)
+    is wrapped in place — zero copy, zero spill bytes; anything else is
+    written through in store-chunked slabs.
+    """
+    if (
+        isinstance(tensor, np.memmap)
+        and tensor.filename is not None
+        and tensor.flags["C_CONTIGUOUS"]
+    ):
+        try:
+            return StoredTensor.external(store, tensor)
+        except ValueError:
+            pass  # unlocatable backing region: spill a copy instead
+    return StoredTensor.spill(store, np.asarray(tensor))
+
+
+def _block_index(ndim: int, split: int, sl: slice) -> tuple:
+    index: list[slice] = [slice(None)] * ndim
+    index[split] = sl
+    return tuple(index)
+
+
+def _slab_bytes(handle: StoredTensor, split: int) -> int:
+    """Bytes of one unit of the split axis."""
+    return max(1, handle.nbytes // max(1, handle.shape[split]))
+
+
+def oc_ttm(
+    handle: StoredTensor,
+    matrix: np.ndarray,
+    mode: int,
+    n_workers: int,
+    map_fn,
+) -> StoredTensor:
+    """``Z = X x_mode matrix`` block by block, output spilled to the store."""
+    store = handle.store
+    matrix = np.asarray(matrix)
+    out_shape = (
+        handle.shape[:mode] + (matrix.shape[0],) + handle.shape[mode + 1 :]
+    )
+    out_dtype = np.result_type(handle.dtype, matrix.dtype)
+    out = StoredTensor.allocate(store, out_shape, out_dtype)
+    src = handle.open()
+    dst = out.writer()
+    try:
+        split = split_mode(handle.shape, avoid=mode)
+        if split is None:
+            with store.gauge.lease(OC_LEASE_FACTOR * handle.nbytes):
+                dst[...] = ttm(np.ascontiguousarray(src), matrix, mode)
+        else:
+            slab = _slab_bytes(handle, split)
+            slices = oc_block_slices(
+                handle.shape,
+                split,
+                handle.dtype.itemsize,
+                store.per_block_bytes(n_workers),
+                n_workers,
+            )
+
+            def work(sl: slice) -> None:
+                index = _block_index(handle.ndim, split, sl)
+                with store.gauge.lease(
+                    OC_LEASE_FACTOR * (sl.stop - sl.start) * slab
+                ):
+                    dst[index] = ttm(
+                        np.ascontiguousarray(src[index]), matrix, mode
+                    )
+
+            map_fn(work, slices)
+        if hasattr(dst, "flush"):
+            dst.flush()
+    finally:
+        del dst, src
+    return out
+
+
+def oc_gram(
+    handle: StoredTensor,
+    mode: int,
+    n_workers: int,
+    map_fn,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """The mode-``mode`` Gram matrix ``U U^T``, accumulated block-wise.
+
+    Partials are summed in ascending block order
+    (:func:`~repro.backends.blockpar.reduce_partials`), so the result is
+    deterministic and matches the threaded backend's reduction discipline.
+    """
+    store = handle.store
+    length = handle.shape[mode]
+    src = handle.open()
+    try:
+        split = split_mode(handle.shape, avoid=mode)
+        if split is None:
+            with store.gauge.lease(OC_LEASE_FACTOR * handle.nbytes):
+                u = unfold(np.ascontiguousarray(src), mode)
+                return u @ u.T
+        slab = _slab_bytes(handle, split)
+        slices = oc_block_slices(
+            handle.shape,
+            split,
+            handle.dtype.itemsize,
+            store.per_block_bytes(n_workers),
+            n_workers,
+        )
+
+        def partial(sl: slice) -> np.ndarray:
+            index = _block_index(handle.ndim, split, sl)
+            with store.gauge.lease(
+                OC_LEASE_FACTOR * (sl.stop - sl.start) * slab
+            ):
+                u = unfold(np.ascontiguousarray(src[index]), mode)
+                return u @ u.T
+
+        partials = map_fn(partial, slices)
+        return reduce_partials(partials, length, out)
+    finally:
+        del src
+
+
+def oc_norm_sq(handle: StoredTensor, n_workers: int, map_fn) -> float:
+    """Squared Frobenius norm over budget-bounded flat chunks."""
+    store = handle.store
+    src = handle.open()
+    try:
+        flat = src.reshape(-1)
+        slices = oc_block_slices(
+            (handle.size,),
+            0,
+            handle.dtype.itemsize,
+            store.per_block_bytes(n_workers),
+            n_workers,
+        )
+        if len(slices) <= 1:
+            with store.gauge.lease(OC_LEASE_FACTOR * handle.nbytes):
+                piece = np.ascontiguousarray(flat)
+                return float(np.dot(piece, piece))
+
+        def partial(sl: slice) -> float:
+            with store.gauge.lease(
+                OC_LEASE_FACTOR
+                * (sl.stop - sl.start)
+                * handle.dtype.itemsize
+            ):
+                piece = np.ascontiguousarray(flat[sl])
+                return float(np.dot(piece, piece))
+
+        # Ascending chunk order: deterministic, same discipline as the
+        # in-memory threaded reduction.
+        return float(sum(map_fn(partial, slices)))
+    finally:
+        del src
+
+
+__all__ = [
+    "oc_distribute",
+    "oc_gram",
+    "oc_norm_sq",
+    "oc_ttm",
+    "serial_map",
+]

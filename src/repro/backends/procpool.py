@@ -26,6 +26,14 @@ return bare partial results and the parent folds them into single
 per-kernel records (wall-clock seconds, the same ops/tags/FLOP formulas
 the other shared-memory backends use). Regridding is the identity and no
 communication volume is recorded — one address space, honestly accounted.
+
+Out-of-core runs swap the transport: when the handle is a
+:class:`~repro.storage.StoredTensor` (a spill block or a lazily opened
+``.npy``), workers ``np.memmap`` the underlying *files* directly — read-
+only for inputs, read-write disjoint slices for outputs — instead of
+copying the tensor through ``shared_memory``. Task messages shrink to
+paths plus geometry, and a tensor larger than RAM streams through the
+pool one budget-bounded block per worker at a time.
 """
 
 from __future__ import annotations
@@ -41,13 +49,23 @@ import numpy as np
 
 from repro.backends.base import ExecutionBackend
 from repro.backends.blockpar import (
+    OC_LEASE_FACTOR,
     block_slices,
     check_worker_count,
     gram_evd_flops,
+    oc_block_slices,
     reduce_partials,
     split_mode,
 )
 from repro.backends.errors import BackendUnavailableError
+from repro.backends.ockernels import (
+    oc_distribute,
+    oc_gram,
+    oc_norm_sq,
+    oc_ttm,
+    serial_map,
+)
+from repro.storage import StoredTensor
 from repro.tensor.linalg import leading_eigvecs
 from repro.tensor.ttm import ttm
 from repro.tensor.unfold import unfold
@@ -209,6 +227,61 @@ def _norm_block(name, shape, dtype, lo, hi):
 
 
 # --------------------------------------------------------------------- #
+# worker-side task functions over spill files (out-of-core handles)
+#
+# When the source tensor is mmap-backed (a StoredTensor: a spill block or
+# a lazily opened .npy), workers map the *files* directly instead of
+# copying the tensor through shared_memory segments — a task message is
+# just paths + geometry, and the only bytes that move are the pages each
+# worker actually touches.
+# --------------------------------------------------------------------- #
+
+
+def _map_file(path, offset, shape, dtype, mode):
+    return np.memmap(
+        path, dtype=np.dtype(dtype), mode=mode,
+        offset=int(offset), shape=tuple(shape),
+    )
+
+
+def _ttm_block_file(
+    in_path, in_offset, in_shape, in_dtype,
+    out_path, out_shape, out_dtype,
+    matrix, mode, split, lo, hi,
+) -> None:
+    """One TTM block: map input ro + output r+, write a disjoint slice."""
+    src = _map_file(in_path, in_offset, in_shape, in_dtype, "r")
+    dst = _map_file(out_path, 0, out_shape, out_dtype, "r+")
+    try:
+        index = _block_index(len(in_shape), split, lo, hi)
+        dst[index] = ttm(np.ascontiguousarray(src[index]), matrix, mode)
+        dst.flush()
+    finally:
+        del src, dst
+
+
+def _gram_block_file(path, offset, shape, dtype, mode, split, lo, hi):
+    """One Gram partial read straight off the mapped file."""
+    src = _map_file(path, offset, shape, dtype, "r")
+    try:
+        index = _block_index(len(shape), split, lo, hi)
+        u = unfold(np.ascontiguousarray(src[index]), mode)
+        return u @ u.T
+    finally:
+        del src
+
+
+def _norm_block_file(path, offset, shape, dtype, lo, hi):
+    """Partial squared norm of the flat range ``[lo, hi)`` off the file."""
+    src = _map_file(path, offset, shape, dtype, "r")
+    try:
+        piece = np.ascontiguousarray(src.reshape(-1)[lo:hi])
+        return float(np.dot(piece, piece))
+    finally:
+        del src
+
+
+# --------------------------------------------------------------------- #
 # the backend
 # --------------------------------------------------------------------- #
 
@@ -313,23 +386,97 @@ class ProcessPoolBackend(ExecutionBackend):
 
     # -- data placement -------------------------------------------------- #
 
-    def distribute(self, tensor: np.ndarray, grid) -> ShmTensor:
+    def distribute(self, tensor: np.ndarray, grid, *, store=None):
+        if store is not None:
+            # Out-of-core placement: a lazily mapped .npy is wrapped in
+            # place (workers will map the file directly — no copy through
+            # shared_memory at all); anything else spills write-through.
+            return oc_distribute(tensor, store)
         return self._store(np.ascontiguousarray(tensor))
 
-    def gather(self, handle: ShmTensor) -> np.ndarray:
+    def gather(self, handle) -> np.ndarray:
+        if isinstance(handle, StoredTensor):
+            return handle.open()
         # The live view, not a copy — the session copies cores it keeps,
         # and the segment finalizer is tied to this very view, so the
         # mapping stays valid for as long as the caller holds it.
         return handle.array
 
-    def shape(self, handle: ShmTensor) -> tuple[int, ...]:
+    def shape(self, handle) -> tuple[int, ...]:
         return handle.shape
+
+    # -- out-of-core fan-out ---------------------------------------------- #
+
+    def _stored_slices(self, handle: StoredTensor, split: int) -> list[slice]:
+        return oc_block_slices(
+            handle.shape,
+            split,
+            handle.dtype.itemsize,
+            handle.store.per_block_bytes(self.n_workers),
+            self.n_workers,
+        )
+
+    def _worker_lease(self, handle: StoredTensor, slices: list[slice]):
+        """Parent-side lease modeling the workers' concurrent residency.
+
+        Workers are separate processes, so their block copies cannot
+        charge the in-process gauge directly; the parent charges the
+        worst case — every pool worker holding one leased block at once —
+        for the duration of the fan-out.
+        """
+        split_total = sum(sl.stop - sl.start for sl in slices)
+        slab = max(1, handle.nbytes // max(1, split_total))
+        biggest = max(sl.stop - sl.start for sl in slices)
+        concurrency = min(len(slices), self.n_workers)
+        return handle.store.gauge.lease(
+            OC_LEASE_FACTOR * biggest * slab * concurrency
+        )
 
     # -- kernels ---------------------------------------------------------- #
 
+    def _ttm_stored(
+        self, handle: StoredTensor, matrix: np.ndarray, mode: int
+    ) -> StoredTensor:
+        """TTM over a spilled handle: workers map the files directly."""
+        split = split_mode(handle.shape, avoid=mode)
+        if split is None or not self._parallel() or handle.path is None:
+            return oc_ttm(handle, matrix, mode, 1, serial_map)
+        matrix = np.asarray(matrix)
+        out_shape = (
+            handle.shape[:mode]
+            + (matrix.shape[0],)
+            + handle.shape[mode + 1 :]
+        )
+        out_dtype = np.result_type(handle.dtype, matrix.dtype)
+        out = StoredTensor.allocate(handle.store, out_shape, out_dtype)
+        slices = self._stored_slices(handle, split)
+        with self._worker_lease(handle, slices):
+            futures = [
+                self._executor().submit(
+                    _ttm_block_file,
+                    handle.path, handle.offset, handle.shape,
+                    handle.dtype.str,
+                    out.path, out_shape, out_dtype.str,
+                    matrix, mode, split, sl.start, sl.stop,
+                )
+                for sl in slices
+            ]
+            self._await_all(futures, owned=(out,))
+        return out
+
     def ttm(
-        self, handle: ShmTensor, matrix: np.ndarray, mode: int, *, tag="ttm"
+        self, handle, matrix: np.ndarray, mode: int, *, tag="ttm"
     ) -> ShmTensor:
+        if isinstance(handle, StoredTensor):
+            start = perf_counter()
+            out = self._ttm_stored(handle, matrix, mode)
+            self.ledger.add_compute(
+                op="gemm",
+                tag=tag,
+                flops=float(matrix.shape[0] * handle.size),
+                seconds=perf_counter() - start,
+            )
+            return out
         start = perf_counter()
         split = split_mode(handle.shape, avoid=mode)
         if split is None or not self._parallel():
@@ -361,9 +508,34 @@ class ProcessPoolBackend(ExecutionBackend):
         )
         return out
 
+    def _gram_stored(
+        self,
+        handle: StoredTensor,
+        mode: int,
+        out: np.ndarray | None,
+    ) -> np.ndarray:
+        """Gram accumulation over a spilled handle via file-mapped workers."""
+        split = split_mode(handle.shape, avoid=mode)
+        if split is None or not self._parallel() or handle.path is None:
+            return oc_gram(handle, mode, 1, serial_map, out)
+        slices = self._stored_slices(handle, split)
+        with self._worker_lease(handle, slices):
+            futures = [
+                self._executor().submit(
+                    _gram_block_file,
+                    handle.path, handle.offset, handle.shape,
+                    handle.dtype.str,
+                    mode, split, sl.start, sl.stop,
+                )
+                for sl in slices
+            ]
+            partials = self._await_all(futures)
+        # Fixed ascending-block reduction order (determinism).
+        return reduce_partials(partials, handle.shape[mode], out)
+
     def leading_factor(
         self,
-        handle: ShmTensor,
+        handle,
         mode: int,
         k: int,
         *,
@@ -376,6 +548,18 @@ class ProcessPoolBackend(ExecutionBackend):
                 f"ProcessPoolBackend only supports the Gram+EVD route, "
                 f"got method={method!r}"
             )
+        if isinstance(handle, StoredTensor):
+            start = perf_counter()
+            g = self._gram_stored(handle, mode, out)
+            g = (g + g.T) * 0.5
+            factor = leading_eigvecs(g, k)
+            self.ledger.add_compute(
+                op="syrk",
+                tag=tag,
+                flops=float(gram_evd_flops(handle.shape[mode], handle.size)),
+                seconds=perf_counter() - start,
+            )
+            return factor
         start = perf_counter()
         length = handle.shape[mode]
         split = split_mode(handle.shape, avoid=mode)
@@ -405,10 +589,37 @@ class ProcessPoolBackend(ExecutionBackend):
         )
         return factor
 
-    def regrid(self, handle: ShmTensor, grid, *, tag="regrid") -> ShmTensor:
+    def regrid(self, handle, grid, *, tag="regrid"):
         return handle
 
-    def fro_norm_sq(self, handle: ShmTensor, *, tag="norm") -> float:
+    def _norm_stored(self, handle: StoredTensor) -> float:
+        slices = oc_block_slices(
+            (handle.size,),
+            0,
+            handle.dtype.itemsize,
+            handle.store.per_block_bytes(self.n_workers),
+            self.n_workers,
+        )
+        if len(slices) <= 1 or not self._parallel() or handle.path is None:
+            return oc_norm_sq(handle, 1, serial_map)
+        # flat slices cover handle.size, so _worker_lease's slab reduces
+        # to the itemsize — one formula for every fan-out
+        with self._worker_lease(handle, slices):
+            futures = [
+                self._executor().submit(
+                    _norm_block_file,
+                    handle.path, handle.offset, handle.shape,
+                    handle.dtype.str, sl.start, sl.stop,
+                )
+                for sl in slices
+            ]
+            partials = self._await_all(futures)
+        # Ascending block order, same as every other backend.
+        return float(sum(partials))
+
+    def fro_norm_sq(self, handle, *, tag="norm") -> float:
+        if isinstance(handle, StoredTensor):
+            return self._norm_stored(handle)
         size = int(np.prod(handle.shape))
         slices = block_slices(size, self.n_workers)
         if len(slices) <= 1 or not self._parallel():

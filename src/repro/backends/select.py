@@ -35,10 +35,14 @@ from time import perf_counter
 
 import numpy as np
 
+from repro.storage import default_memory_budget, parse_bytes
 from repro.util.dtypes import resolve_dtype
 
 #: backends the auto-selector may choose, in tie-break priority order.
 AUTO_CANDIDATES = ("sequential", "threaded", "procpool")
+
+#: storage specs the session accepts; "auto" resolves per input.
+STORAGE_MODES = ("auto", "memory", "mmap")
 
 #: profile schema version (bump on incompatible changes).
 PROFILE_VERSION = 1
@@ -370,6 +374,81 @@ def select_backend(
 
 
 # --------------------------------------------------------------------- #
+# storage selection (the budget half of the cost model)
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class StorageSelection:
+    """The storage policy's verdict for one input."""
+
+    mode: str  # "memory" or "mmap"
+    memory_budget: int | None
+    reason: str = ""
+
+    @property
+    def spilled(self) -> bool:
+        return self.mode == "mmap"
+
+
+def select_storage(
+    nbytes: int,
+    storage: str = "auto",
+    memory_budget: int | str | None = None,
+) -> StorageSelection:
+    """Decide where an input's working set lives: RAM or spill files.
+
+    ``storage`` is one of :data:`STORAGE_MODES`: ``"memory"`` and
+    ``"mmap"`` are explicit; ``"auto"`` spills exactly when a memory
+    budget constrains the run (``memory_budget`` argument, else
+    ``$REPRO_MEMORY_BUDGET``) and the input's bytes exceed it — the same
+    input-adaptive shape as backend selection, driven by metadata only.
+    Pure and deterministic in its inputs, like :func:`select_backend`.
+
+    ``memory_budget`` accepts bytes or a ``"512M"``-style string. A
+    budget of 0 with ``storage="auto"`` always spills.
+    """
+    if storage not in STORAGE_MODES:
+        raise ValueError(
+            f"storage must be one of {STORAGE_MODES}, got {storage!r}"
+        )
+    nbytes = int(nbytes)
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+    budget = (
+        parse_bytes(memory_budget)
+        if memory_budget is not None
+        else default_memory_budget()
+    )
+    if storage == "memory":
+        return StorageSelection(
+            mode="memory", memory_budget=budget, reason="explicit memory"
+        )
+    if storage == "mmap":
+        return StorageSelection(
+            mode="mmap", memory_budget=budget, reason="explicit mmap"
+        )
+    if budget is not None and nbytes > budget:
+        return StorageSelection(
+            mode="mmap",
+            memory_budget=budget,
+            reason=(
+                f"input is {nbytes} bytes, over the {budget}-byte "
+                f"memory budget: spilling"
+            ),
+        )
+    return StorageSelection(
+        mode="memory",
+        memory_budget=budget,
+        reason=(
+            "no memory budget set"
+            if budget is None
+            else f"input is {nbytes} bytes, within the {budget}-byte budget"
+        ),
+    )
+
+
+# --------------------------------------------------------------------- #
 # calibration
 # --------------------------------------------------------------------- #
 
@@ -443,7 +522,9 @@ def calibrate(
 __all__ = [
     "AUTO_CANDIDATES",
     "PROFILE_VERSION",
+    "STORAGE_MODES",
     "Selection",
+    "StorageSelection",
     "calibrate",
     "default_profile",
     "default_profile_path",
@@ -453,5 +534,6 @@ __all__ = [
     "resolve_auto_procs",
     "save_profile",
     "select_backend",
+    "select_storage",
     "sweep_flops",
 ]

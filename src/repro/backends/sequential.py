@@ -4,6 +4,12 @@ Handles are plain ndarrays; regridding is the identity. Every kernel
 records its multiply-add count (and measured wall seconds) in the ledger so
 sequential runs expose the same ``stats()`` surface as the virtual cluster
 — with zero communication volume, as expected of one rank.
+
+When a run spills (``distribute(..., store=...)``), handles become
+:class:`~repro.storage.StoredTensor` block descriptions and every kernel
+runs its out-of-core form (:mod:`repro.backends.ockernels`): one
+budget-bounded block resident at a time, same ledger records, same
+numerics to 1e-10.
 """
 
 from __future__ import annotations
@@ -13,6 +19,14 @@ from time import perf_counter
 import numpy as np
 
 from repro.backends.base import ExecutionBackend
+from repro.backends.ockernels import (
+    oc_distribute,
+    oc_gram,
+    oc_norm_sq,
+    oc_ttm,
+    serial_map,
+)
+from repro.storage import StoredTensor
 from repro.tensor.linalg import (
     leading_eigvecs,
     leading_left_singular_vectors,
@@ -28,22 +42,29 @@ class SequentialBackend(ExecutionBackend):
 
     # -- data placement -------------------------------------------------- #
 
-    def distribute(self, tensor: np.ndarray, grid) -> np.ndarray:
+    def distribute(self, tensor: np.ndarray, grid, *, store=None):
+        if store is not None:
+            return oc_distribute(tensor, store)
         return np.ascontiguousarray(tensor)
 
-    def gather(self, handle: np.ndarray) -> np.ndarray:
+    def gather(self, handle) -> np.ndarray:
+        if isinstance(handle, StoredTensor):
+            return handle.open()
         return handle
 
-    def shape(self, handle: np.ndarray) -> tuple[int, ...]:
+    def shape(self, handle) -> tuple[int, ...]:
         return tuple(handle.shape)
 
     # -- kernels ---------------------------------------------------------- #
 
     def ttm(
-        self, handle: np.ndarray, matrix: np.ndarray, mode: int, *, tag="ttm"
+        self, handle, matrix: np.ndarray, mode: int, *, tag="ttm"
     ) -> np.ndarray:
         start = perf_counter()
-        out = ttm(handle, matrix, mode)
+        if isinstance(handle, StoredTensor):
+            out = oc_ttm(handle, matrix, mode, 1, serial_map)
+        else:
+            out = ttm(handle, matrix, mode)
         self.ledger.add_compute(
             op="gemm",
             tag=tag,
@@ -54,7 +75,7 @@ class SequentialBackend(ExecutionBackend):
 
     def leading_factor(
         self,
-        handle: np.ndarray,
+        handle,
         mode: int,
         k: int,
         *,
@@ -64,7 +85,16 @@ class SequentialBackend(ExecutionBackend):
     ) -> np.ndarray:
         start = perf_counter()
         length = handle.shape[mode]
-        if method == "gram":
+        if isinstance(handle, StoredTensor):
+            if method != "gram":
+                raise ValueError(
+                    f"out-of-core handles only support the Gram+EVD "
+                    f"route, got method={method!r}"
+                )
+            g = oc_gram(handle, mode, 1, serial_map, out)
+            g = (g + g.T) * 0.5
+            factor = leading_eigvecs(g, k)
+        elif method == "gram":
             u = unfold(handle, mode)
             if (
                 out is not None
@@ -92,10 +122,12 @@ class SequentialBackend(ExecutionBackend):
         )
         return factor
 
-    def regrid(self, handle: np.ndarray, grid, *, tag="regrid") -> np.ndarray:
+    def regrid(self, handle, grid, *, tag="regrid"):
         return handle
 
-    def fro_norm_sq(self, handle: np.ndarray, *, tag="norm") -> float:
+    def fro_norm_sq(self, handle, *, tag="norm") -> float:
+        if isinstance(handle, StoredTensor):
+            return oc_norm_sq(handle, 1, serial_map)
         # sqrt-then-square matches the historical fro_norm()**2 path bit for
         # bit — it matters at the norm-identity cancellation floor.
         return float(np.linalg.norm(handle.ravel())) ** 2

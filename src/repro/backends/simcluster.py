@@ -75,9 +75,9 @@ class SimClusterBackend(ExecutionBackend):
             )
         return grid
 
-    def distribute(self, tensor: np.ndarray, grid) -> DistTensor:
+    def distribute(self, tensor: np.ndarray, grid, *, store=None) -> DistTensor:
         return DistTensor.from_global(
-            self.cluster, tensor, self._check_grid(grid)
+            self.cluster, tensor, self._check_grid(grid), store=store
         )
 
     def gather(self, handle: DistTensor) -> np.ndarray:

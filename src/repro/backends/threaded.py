@@ -30,6 +30,13 @@ from repro.backends.blockpar import (
     reduce_partials,
     split_mode,
 )
+from repro.backends.ockernels import (
+    oc_distribute,
+    oc_gram,
+    oc_norm_sq,
+    oc_ttm,
+)
+from repro.storage import StoredTensor
 from repro.tensor.linalg import leading_eigvecs
 from repro.tensor.ttm import ttm
 from repro.tensor.unfold import unfold
@@ -84,21 +91,40 @@ class ThreadedBackend(ExecutionBackend):
 
     # -- data placement -------------------------------------------------- #
 
-    def distribute(self, tensor: np.ndarray, grid) -> np.ndarray:
+    def distribute(self, tensor: np.ndarray, grid, *, store=None):
+        if store is not None:
+            return oc_distribute(tensor, store)
         return np.ascontiguousarray(tensor)
 
-    def gather(self, handle: np.ndarray) -> np.ndarray:
+    def gather(self, handle) -> np.ndarray:
+        if isinstance(handle, StoredTensor):
+            return handle.open()
         return handle
 
-    def shape(self, handle: np.ndarray) -> tuple[int, ...]:
+    def shape(self, handle) -> tuple[int, ...]:
         return tuple(handle.shape)
+
+    # -- out-of-core fan-out ---------------------------------------------- #
+
+    def _oc_map(self, func, items) -> list:
+        """Blocks over the pool, results in submission (ascending) order."""
+        return list(self._executor().map(func, items))
 
     # -- kernels ---------------------------------------------------------- #
 
     def ttm(
-        self, handle: np.ndarray, matrix: np.ndarray, mode: int, *, tag="ttm"
+        self, handle, matrix: np.ndarray, mode: int, *, tag="ttm"
     ) -> np.ndarray:
         start = perf_counter()
+        if isinstance(handle, StoredTensor):
+            out = oc_ttm(handle, matrix, mode, self.n_workers, self._oc_map)
+            self.ledger.add_compute(
+                op="gemm",
+                tag=tag,
+                flops=float(matrix.shape[0] * handle.size),
+                seconds=perf_counter() - start,
+            )
+            return out
         split = split_mode(handle.shape, avoid=mode)
         if split is None:
             out = ttm(handle, matrix, mode)
@@ -129,7 +155,7 @@ class ThreadedBackend(ExecutionBackend):
 
     def leading_factor(
         self,
-        handle: np.ndarray,
+        handle,
         mode: int,
         k: int,
         *,
@@ -144,6 +170,17 @@ class ThreadedBackend(ExecutionBackend):
             )
         start = perf_counter()
         length = handle.shape[mode]
+        if isinstance(handle, StoredTensor):
+            g = oc_gram(handle, mode, self.n_workers, self._oc_map, out)
+            g = (g + g.T) * 0.5
+            factor = leading_eigvecs(g, k)
+            self.ledger.add_compute(
+                op="syrk",
+                tag=tag,
+                flops=float(gram_evd_flops(length, handle.size)),
+                seconds=perf_counter() - start,
+            )
+            return factor
         split = split_mode(handle.shape, avoid=mode)
         if split is None:
             u = unfold(handle, mode)
@@ -170,10 +207,12 @@ class ThreadedBackend(ExecutionBackend):
         )
         return factor
 
-    def regrid(self, handle: np.ndarray, grid, *, tag="regrid") -> np.ndarray:
+    def regrid(self, handle, grid, *, tag="regrid"):
         return handle
 
-    def fro_norm_sq(self, handle: np.ndarray, *, tag="norm") -> float:
+    def fro_norm_sq(self, handle, *, tag="norm") -> float:
+        if isinstance(handle, StoredTensor):
+            return oc_norm_sq(handle, self.n_workers, self._oc_map)
         flat = handle.reshape(-1)
         slices = block_slices(flat.shape[0], self.n_workers)
         if len(slices) <= 1:

@@ -108,6 +108,8 @@ def run_backends(
     max_iters: int = 2,
     tol: float = 0.0,
     reference: str = "sequential",
+    storage: str = "auto",
+    memory_budget: int | str | None = None,
 ) -> dict[str, dict[str, float]]:
     """Execute the same decomposition on several backends; compare.
 
@@ -122,6 +124,10 @@ def run_backends(
     the comparison is only a conformance bound if all backends execute
     the *same* plan. ``n_procs=None`` picks the machine's natural pool
     size clamped to a plannable count for this metadata.
+
+    ``storage`` / ``memory_budget`` apply the session storage policy to
+    every backend's run, so out-of-core (``"mmap"``) sweeps measure the
+    spill path under the same plans as resident ones.
     """
     import numpy as np
 
@@ -155,6 +161,8 @@ def run_backends(
             n_procs=n_procs,
             max_iters=max_iters,
             tol=tol,
+            storage=storage,
+            memory_budget=memory_budget,
         )
         seconds = perf_counter() - start
         stats = backend.stats()
@@ -189,6 +197,8 @@ def run_batch(
     tol: float = 0.0,
     max_in_flight: int = 4,
     reference: str = "sequential",
+    storage: str = "auto",
+    memory_budget: int | str | None = None,
 ) -> dict[str, dict[str, float]]:
     """Stream the same tensor batch through each backend; compare throughput.
 
@@ -236,6 +246,8 @@ def run_batch(
                 max_iters=max_iters,
                 tol=tol,
                 max_in_flight=max_in_flight,
+                storage=storage,
+                memory_budget=memory_budget,
             )
         cores[name] = [r.decomposition.core for r in batch.results]
         out[name] = {

@@ -14,6 +14,8 @@ Examples::
     python -m repro plan --dims 400,100,100,50,20 --core 80,80,10,40,10 -p 32
     python -m repro decompose --random 24,20,16 --core 6,5,4 --backend auto
     python -m repro decompose --input t.npy --core 8,6,5 --json
+    python -m repro decompose --input huge.npy --core 8,6,5 --storage mmap
+    python -m repro batch --glob 'data/*.npy' --core 8,6,5 --memory-budget 2G
     python -m repro calibrate --out profile.json
     python -m repro psi -p 32 --n-min 5 --n-max 10
     python -m repro model --tensor SP -p 32
@@ -27,8 +29,9 @@ import json
 import sys
 from collections.abc import Sequence
 
-from repro.backends import AUTO_BACKEND, BACKEND_NAMES
+from repro.backends import AUTO_BACKEND, BACKEND_NAMES, STORAGE_MODES
 from repro.backends import select as backend_select
+from repro.storage import parse_bytes
 from repro.bench.algorithms import ALGORITHMS, make_planner, paper_label
 from repro.bench.report import ascii_table
 from repro.bench.suite import REAL_TENSORS, benchmark_metas, real_tensor_meta
@@ -48,6 +51,34 @@ def _parse_ints(text: str) -> tuple[int, ...]:
         raise argparse.ArgumentTypeError(
             f"expected comma-separated integers, got {text!r}"
         ) from None
+
+
+def _parse_bytes_arg(text: str) -> int:
+    try:
+        return parse_bytes(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _add_storage_args(p) -> None:
+    p.add_argument(
+        "--storage", default="auto", choices=STORAGE_MODES,
+        help="where the working set lives: 'memory' (fully resident), "
+        "'mmap' (spill to memory-mapped block files), or 'auto' "
+        "(spill only when --memory-budget is exceeded; default)",
+    )
+    p.add_argument(
+        "--memory-budget", type=_parse_bytes_arg, default=None,
+        metavar="BYTES",
+        help="resident-byte budget (suffixes ok: 512K, 2M, 1G); with "
+        "--storage auto, inputs over the budget spill "
+        "(default: $REPRO_MEMORY_BUDGET)",
+    )
+    p.add_argument(
+        "--spill-dir", default=None, metavar="DIR",
+        help="root directory for spill files "
+        "(default: $REPRO_SPILL_DIR, else the system tempdir)",
+    )
 
 
 def _meta_from_args(args) -> TensorMeta:
@@ -87,7 +118,13 @@ def cmd_decompose(args) -> int:
     if args.random is not None:
         tensor = random_tensor(args.random, seed=args.seed)
     elif args.input:
-        tensor = np.load(args.input)
+        # Lazy mapping: the file is never fully resident before its
+        # blocks are cut — spilled runs read it in place.
+        tensor = np.load(args.input, mmap_mode="r")
+        if not isinstance(tensor, np.ndarray):
+            raise SystemExit(
+                f"{args.input} does not contain a single ndarray"
+            )
     else:
         raise SystemExit("provide --input FILE.npy or --random DIMS")
     if not args.core:
@@ -111,6 +148,9 @@ def cmd_decompose(args) -> int:
         max_iters=args.max_iters,
         tol=args.tol,
         skip_hooi=args.skip_hooi,
+        storage=args.storage,
+        memory_budget=args.memory_budget,
+        spill_dir=args.spill_dir,
     )
     stats = result.stats  # scoped to this run, even on a reused backend
     plan = result.plan
@@ -130,6 +170,8 @@ def cmd_decompose(args) -> int:
         "from_cache": result.from_cache,
         "auto_selected": result.auto_selected,
         "selection_reason": result.selection_reason,
+        "storage": result.storage,
+        "storage_reason": result.storage_reason,
         "ledger": stats,
     }
     if args.json:
@@ -141,6 +183,9 @@ def cmd_decompose(args) -> int:
           + (" [auto]" if result.auto_selected else ""))
     if result.auto_selected and result.selection_reason:
         print(f"selected because:   {result.selection_reason}")
+    if result.storage != "memory":
+        print(f"storage:            {result.storage} "
+              f"({result.storage_reason})")
     print(f"plan:               tree={plan.tree_kind}, grid={plan.grid_kind}, "
           f"P={plan.n_procs} (cache {'hit' if result.from_cache else 'miss'})")
     print(f"sthosvd error:      {result.sthosvd_error:.6e}")
@@ -211,6 +256,9 @@ def cmd_batch(args) -> int:
             skip_hooi=args.skip_hooi,
             max_in_flight=args.max_in_flight,
             on_error=args.on_error,
+            storage=args.storage,
+            memory_budget=args.memory_budget,
+            spill_dir=args.spill_dir,
         )
     except (ValueError, OSError) as exc:  # bad item with --on-error raise
         raise SystemExit(str(exc)) from None
@@ -235,6 +283,7 @@ def cmd_batch(args) -> int:
                     "n_iters": item.result.n_iters,
                     "from_cache": item.from_cache,
                     "auto_selected": item.result.auto_selected,
+                    "storage": item.result.storage,
                     "seconds": item.seconds,
                     "ledger": item.result.stats,
                 }
@@ -428,6 +477,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_dec.add_argument("--tol", type=float, default=1e-8)
     p_dec.add_argument("--skip-hooi", action="store_true")
     p_dec.add_argument("--seed", type=int, default=0)
+    _add_storage_args(p_dec)
     p_dec.add_argument("--json", action="store_true")
     p_dec.set_defaults(func=cmd_decompose)
 
@@ -476,6 +526,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop on the first failed item, or record it and keep "
         "streaming (exit code 1 if anything failed)",
     )
+    _add_storage_args(p_batch)
     p_batch.add_argument("--json", action="store_true")
     p_batch.set_defaults(func=cmd_batch)
 

@@ -71,6 +71,9 @@ class DistTensor:
         self.global_shape = global_shape
         self._ranges = ranges
         self._blocks = {r: blocks[r] for r in range(grid.n_procs)}
+        #: the BlockStore backing the bricks, if this tensor was spilled
+        #: (set by :meth:`from_global`; None for in-memory tensors).
+        self.store = None
 
     # ------------------------------------------------------------------ #
     # construction / assembly
@@ -82,12 +85,22 @@ class DistTensor:
         cluster: SimCluster,
         tensor: np.ndarray,
         grid_shape: tuple[int, ...],
+        *,
+        store=None,
     ) -> "DistTensor":
         """Scatter a global ndarray onto ``grid_shape`` (no volume charged).
 
         The paper does not charge the initial distribution of ``T``; neither
         does the engine. Floating dtypes are preserved (float32 stays
         float32); everything else promotes to float64.
+
+        ``store``, when given, is a :class:`~repro.storage.BlockStore`
+        the per-rank bricks are spilled through instead of living in RAM:
+        each brick is written write-through (chunked, so only one chunk of
+        one brick is resident while cutting a lazily mapped global
+        tensor) and the block dict holds the store's memory-mapped views.
+        The engine's kernels read them like any ndarray; the store owns
+        the files and reclaims them on close.
         """
         tensor = as_float(tensor)
         grid = ProcessorGrid(cluster, tuple(grid_shape))
@@ -106,8 +119,18 @@ class DistTensor:
             index = tuple(
                 slice(*ranges[m][c]) for m, c in enumerate(coords)
             )
-            blocks[rank] = np.ascontiguousarray(tensor[index])
-        return cls(grid, tensor.shape, blocks)
+            if store is None:
+                blocks[rank] = np.ascontiguousarray(tensor[index])
+            else:
+                key = store.next_key(f"rank{rank}")
+                store.put(key, tensor[index])
+                # Writable mapping: ranks own their bricks (collectives
+                # may accumulate in place); mutations land in the spill
+                # file, exactly like a local buffer would.
+                blocks[rank] = store.writer(key)
+        out = cls(grid, tensor.shape, blocks)
+        out.store = store
+        return out
 
     def to_global(self) -> np.ndarray:
         """Assemble and return the global ndarray (test/driver-side only)."""

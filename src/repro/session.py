@@ -39,10 +39,12 @@ import numpy as np
 
 from repro.backends import (
     AUTO_BACKEND,
+    STORAGE_MODES,
     BackendUnavailableError,
     ExecutionBackend,
     Selection,
     SimClusterBackend,
+    StorageSelection,
     check_factors,
     compile_core_steps,
     compile_tree_steps,
@@ -52,8 +54,11 @@ from repro.backends import (
     run_core_steps,
     run_tree_steps,
     select_backend,
+    select_storage,
 )
+from repro.backends.blockpar import OC_LEASE_FACTOR
 from repro.backends.schedule import Step
+from repro.storage import DEFAULT_CHUNK_BYTES, MmapStore, parse_bytes
 from repro.core.meta import TensorMeta
 from repro.core.ordering import optimal_chain_ordering
 from repro.core.planner import Plan, Planner
@@ -90,7 +95,9 @@ class TuckerResult:
     ``selection_reason`` records why the selector chose this backend.
     ``ledger`` holds exactly this run's backend records — scoped, so a
     reused backend never inflates a later result's volumes — and
-    ``stats`` is its uniform summary.
+    ``stats`` is its uniform summary. ``storage`` reports where the
+    working set lived (``"memory"`` or ``"mmap"``) and
+    ``storage_reason`` why the policy picked it.
     """
 
     decomposition: "TuckerDecomposition"  # noqa: F821 - hooi import is lazy
@@ -103,6 +110,8 @@ class TuckerResult:
     auto_selected: bool = False
     selection_reason: str = ""
     ledger: StatsLedger | None = None
+    storage: str = "memory"
+    storage_reason: str = ""
 
     @property
     def error(self) -> float:
@@ -218,6 +227,34 @@ class _PendingItem:
     group_key: tuple
 
 
+def _maybe_cast(arr: np.ndarray, dtype) -> np.ndarray:
+    """Convert to the working dtype now — unless the run can do better.
+
+    A memory-mapped input needing conversion is returned *unconverted*:
+    ``astype`` here would materialize the whole file in RAM, defeating
+    lazy inputs exactly when they matter. The run-level
+    :func:`_cast_for_run` finishes the job — chunked through the spill
+    store when the run spills, plain ``astype`` when it is resident
+    anyway.
+    """
+    dtype = np.dtype(dtype)
+    if isinstance(arr, np.memmap) and arr.dtype != dtype:
+        return arr
+    return arr.astype(dtype, copy=False)
+
+
+def _cast_for_run(arr: np.ndarray, dtype, store) -> np.ndarray:
+    """The deferred half of :func:`_maybe_cast` (no-op when dtypes match)."""
+    dtype = np.dtype(dtype)
+    if arr.dtype == dtype:
+        return arr
+    if store is not None:
+        key = store.next_key("cast")
+        store.put(key, arr, dtype=dtype)  # chunked write-through cast
+        return store.get(key)
+    return arr.astype(dtype, copy=False)
+
+
 def _item_source(raw, index: int) -> str:
     if isinstance(raw, (str, os.PathLike)):
         return os.fspath(raw)
@@ -225,10 +262,16 @@ def _item_source(raw, index: int) -> str:
 
 
 def _materialize_item(raw, index: int, core_dims, dtype) -> _PendingItem:
-    """Load one batch input (array or ``.npy`` path) and key it for grouping."""
+    """Open one batch input (array or ``.npy`` path) and key it for grouping.
+
+    Path items are opened *lazily* (``np.load(..., mmap_mode="r")``): the
+    window holds a mapping plus metadata, not the tensor's bytes, so an
+    item is never fully resident before its blocks are cut — windowed
+    and skipped items cost pages touched, not tensors loaded.
+    """
     source = _item_source(raw, index)
     if isinstance(raw, (str, os.PathLike)):
-        array = np.load(source)
+        array = np.load(source, mmap_mode="r")
         if not isinstance(array, np.ndarray):
             raise ValueError(f"{source} does not contain a single ndarray")
     elif isinstance(raw, np.ndarray):
@@ -383,6 +426,20 @@ class TuckerSession:
         :func:`repro.backends.calibrate`) or a path to a persisted profile
         JSON; defaults to the machine profile on disk, falling back to the
         built-in cost model.
+    storage:
+        Where each run's working set lives: ``"memory"`` (fully
+        resident, the historical behavior), ``"mmap"`` (always spill to
+        memory-mapped block files), or ``"auto"`` (the default: spill
+        exactly when ``memory_budget`` — or ``$REPRO_MEMORY_BUDGET`` —
+        is set and the input's bytes exceed it). Overridable per run.
+    memory_budget:
+        Resident-byte budget (int, or ``"512M"``-style string) the
+        storage policy holds spilled runs to; out-of-core kernels cut
+        their blocks from it.
+    spill_dir:
+        Root directory for spill files (default ``$REPRO_SPILL_DIR``,
+        else the system tempdir). Each spilled run uses a private
+        subdirectory, removed when the run finishes.
     """
 
     def __init__(
@@ -394,6 +451,9 @@ class TuckerSession:
         machine=None,
         cache_size: int = 32,
         calibration=None,
+        storage: str = "auto",
+        memory_budget: int | str | None = None,
+        spill_dir: str | None = None,
     ) -> None:
         self._auto = isinstance(backend, str) and backend == AUTO_BACKEND
         self._selection: Selection | None = None
@@ -430,6 +490,60 @@ class TuckerSession:
         self._cache_size = check_positive_int(cache_size, "cache_size")
         self._hits = 0
         self._misses = 0
+        if storage not in STORAGE_MODES:
+            raise ValueError(
+                f"storage must be one of {STORAGE_MODES}, got {storage!r}"
+            )
+        self._storage = storage
+        # Fail fast on a bad budget string; keep bytes (or None).
+        self._memory_budget = (
+            parse_bytes(memory_budget) if memory_budget is not None else None
+        )
+        self._spill_dir = spill_dir
+
+    # -- storage policy ---------------------------------------------------- #
+
+    def _select_storage(
+        self, nbytes: int, storage: str | None, memory_budget
+    ) -> StorageSelection:
+        """Resolve per-run knobs over the session defaults."""
+        return select_storage(
+            nbytes,
+            storage if storage is not None else self._storage,
+            memory_budget
+            if memory_budget is not None
+            else self._memory_budget,
+        )
+
+    def _open_store(
+        self, selection: StorageSelection, spill_dir: str | None
+    ) -> MmapStore | None:
+        """A run-scoped spill store, or ``None`` for in-memory runs.
+
+        ``max_block_bytes`` is the budget divided by the out-of-core
+        lease factor, so a full worker fan-out's concurrent block leases
+        stay within the budget.
+        """
+        if not selection.spilled:
+            return None
+        budget = selection.memory_budget
+        # `is not None`: a 0 budget means the finest practical cut (one
+        # page), not the unbounded default — 1-byte blocks would turn
+        # spills into per-element Python loops.
+        max_block = (
+            max(4096, budget // OC_LEASE_FACTOR)
+            if budget is not None
+            else None
+        )
+        return MmapStore(
+            root=spill_dir if spill_dir is not None else self._spill_dir,
+            max_block_bytes=max_block,
+            chunk_bytes=(
+                min(DEFAULT_CHUNK_BYTES, max_block)
+                if max_block is not None
+                else DEFAULT_CHUNK_BYTES
+            ),
+        )
 
     # -- adaptive backend selection --------------------------------------- #
 
@@ -644,14 +758,22 @@ class TuckerSession:
         *,
         planner: str | Planner = "portfolio",
         dtype=None,
+        storage: str | None = None,
     ) -> CompiledPlan:
         """Plan + lower ``meta`` (cached).
 
         ``planner`` is ``"portfolio"`` (model every configuration, keep the
         fastest), a tree kind (planned with dynamic grids), or a ready
         :class:`Planner`. ``n_procs`` defaults to the backend's natural
-        parallelism.
+        parallelism. ``storage`` is accepted (and validated) for API
+        symmetry with :meth:`run`: plans are metadata-only and identical
+        for every storage mode, so the same compiled plan serves resident
+        and spilled executions alike.
         """
+        if storage is not None and storage not in STORAGE_MODES:
+            raise ValueError(
+                f"storage must be one of {STORAGE_MODES}, got {storage!r}"
+            )
         compiled, _ = self._compile(meta, n_procs, planner, dtype)
         return compiled
 
@@ -667,7 +789,10 @@ class TuckerSession:
         dtype,
     ) -> tuple[np.ndarray, CompiledPlan, bool]:
         """Resolve dtype, validate shapes, compile-or-fetch the plan."""
-        arr = np.asarray(tensor)
+        # Keep ndarray subclasses (np.memmap in particular): a lazily
+        # opened .npy must reach distribute() as a mapping so spilled
+        # runs can wrap the file in place instead of materializing it.
+        arr = tensor if isinstance(tensor, np.ndarray) else np.asarray(tensor)
         if isinstance(plan, Plan):
             work_dtype = resolve_dtype(arr, dtype)
             self._auto_select(plan.meta, plan.n_procs, work_dtype)
@@ -683,7 +808,7 @@ class TuckerSession:
             if cached is not None and cached.plan is plan:
                 self._cache.move_to_end(key)
                 self._hits += 1
-                return arr.astype(work_dtype, copy=False), cached, True
+                return _maybe_cast(arr, work_dtype), cached, True
             self._misses += 1
             compiled = compile_plan(
                 plan,
@@ -693,7 +818,7 @@ class TuckerSession:
             self._cache[key] = compiled
             while len(self._cache) > self._cache_size:
                 self._cache.popitem(last=False)
-            return arr.astype(work_dtype, copy=False), compiled, False
+            return _maybe_cast(arr, work_dtype), compiled, False
         if isinstance(plan, CompiledPlan):
             work_dtype = resolve_dtype(arr, dtype) if dtype is not None else plan.dtype
             self._auto_select(plan.meta, plan.n_procs, work_dtype)
@@ -705,11 +830,11 @@ class TuckerSession:
                 plan = compile_plan(
                     plan.plan, dtype=work_dtype, planner_key=plan.planner_key
                 )
-            return arr.astype(work_dtype, copy=False), plan, False
+            return _maybe_cast(arr, work_dtype), plan, False
         if core_dims is None:
             raise ValueError("core_dims is required when no plan is given")
         work_dtype = resolve_dtype(arr, dtype)
-        arr = arr.astype(work_dtype, copy=False)
+        arr = _maybe_cast(arr, work_dtype)
         core = check_core_dims(core_dims, arr.shape)
         meta = TensorMeta(dims=arr.shape, core=core)
         compiled, from_cache = self._compile(meta, n_procs, planner, work_dtype)
@@ -724,14 +849,24 @@ class TuckerSession:
         compiled: CompiledPlan,
         max_iters: int,
         tol: float,
+        store=None,
+        handle=None,
+        t_norm_sq: float | None = None,
     ) -> tuple["TuckerDecomposition", list[float]]:  # noqa: F821
         from repro.hooi.decomposition import TuckerDecomposition
 
         backend = self.backend
         meta = compiled.meta
         factors = check_factors(factors, meta, dtype=compiled.dtype)
-        handle = backend.distribute(arr, compiled.initial_grid)
-        t_norm_sq = backend.fro_norm_sq(handle, tag="norm:input")
+        if handle is None:
+            handle = backend.distribute(
+                arr, compiled.initial_grid, store=store
+            )
+        if t_norm_sq is None:
+            # Callers that already reduced the input norm over this very
+            # handle pass it in — on an out-of-core handle this reduction
+            # is a complete pass over the spill files.
+            t_norm_sq = backend.fro_norm_sq(handle, tag="norm:input")
         workspace = compiled.gram_workspace()
         errors: list[float] = []
         core_handle = None
@@ -777,18 +912,27 @@ class TuckerSession:
         dtype=None,
         max_iters: int = 10,
         tol: float = 1e-8,
+        storage: str | None = None,
+        memory_budget: int | str | None = None,
+        spill_dir: str | None = None,
     ) -> TuckerResult:
         """Iterate HOOI from an initial decomposition (or factor list).
 
         ``init`` is a :class:`TuckerDecomposition` or a sequence of factor
         matrices. Per-iteration errors come from the norm identity using
         backend reductions, so no rank ever holds the full tensor on the
-        distributed backend.
+        distributed backend. ``storage`` / ``memory_budget`` /
+        ``spill_dir`` override the session's storage policy for this run.
         """
         factors = init if isinstance(init, (list, tuple)) else init.factors
         core_dims = tuple(f.shape[1] for f in factors)
         arr, compiled, from_cache = self._prepare(
             tensor, core_dims, plan, planner, n_procs, dtype
+        )
+        # Policy sees the *working* bytes: a float32 file run at float64
+        # occupies twice its on-disk size once cast.
+        selection = self._select_storage(
+            arr.size * compiled.dtype.itemsize, storage, memory_budget
         )
         mark = self.backend.mark_stats()
         if max_iters <= 0:
@@ -805,9 +949,21 @@ class TuckerSession:
                 n_iters=0,
                 from_cache=from_cache,
                 ledger=self.backend.ledger_since(mark),
+                # Nothing was placed, so nothing spilled — report what
+                # actually happened, not what the policy would have done.
+                storage="memory",
+                storage_reason="max_iters <= 0: input never placed",
                 **self._result_meta(),
             )
-        dec, errors = self._hooi_loop(arr, factors, compiled, max_iters, tol)
+        run_store = self._open_store(selection, spill_dir)
+        try:
+            arr = _cast_for_run(arr, compiled.dtype, run_store)
+            dec, errors = self._hooi_loop(
+                arr, factors, compiled, max_iters, tol, store=run_store
+            )
+        finally:
+            if run_store is not None:
+                run_store.close()
         return TuckerResult(
             decomposition=dec,
             plan=compiled.plan,
@@ -816,18 +972,29 @@ class TuckerSession:
             n_iters=len(errors),
             from_cache=from_cache,
             ledger=self.backend.ledger_since(mark),
+            storage=selection.mode,
+            storage_reason=selection.reason,
             **self._result_meta(),
         )
 
     def _sthosvd_pass(
-        self, arr: np.ndarray, compiled: CompiledPlan
-    ) -> tuple["TuckerDecomposition", float]:  # noqa: F821
-        """One STHOSVD pass on the backend; ``(decomposition, error)``."""
+        self, arr: np.ndarray, compiled: CompiledPlan, store=None, handle=None
+    ) -> tuple["TuckerDecomposition", float, float]:  # noqa: F821
+        """One STHOSVD pass; ``(decomposition, error, input_norm_sq)``.
+
+        ``handle``, when given, is an already distributed input (callers
+        running several phases distribute once and share it — the input
+        handle is never mutated by the kernels). The input's squared
+        norm rides along so multi-phase callers don't re-reduce it.
+        """
         from repro.hooi.decomposition import TuckerDecomposition
 
         backend = self.backend
         meta = compiled.meta
-        handle = backend.distribute(arr, compiled.initial_grid)
+        if handle is None:
+            handle = backend.distribute(
+                arr, compiled.initial_grid, store=store
+            )
         t_norm_sq = backend.fro_norm_sq(handle, tag="norm:input")
         workspace = compiled.gram_workspace()
         factors: list[np.ndarray | None] = [None] * meta.ndim
@@ -845,7 +1012,11 @@ class TuckerSession:
         err_sq = max(t_norm_sq - g_norm_sq, 0.0)
         error = 0.0 if t_norm_sq == 0 else float(math.sqrt(err_sq / t_norm_sq))
         core = np.array(backend.gather(handle), copy=True)
-        return TuckerDecomposition(core=core, factors=list(factors)), error
+        return (
+            TuckerDecomposition(core=core, factors=list(factors)),
+            error,
+            t_norm_sq,
+        )
 
     def sthosvd(
         self,
@@ -856,13 +1027,27 @@ class TuckerSession:
         planner: str | Planner = "portfolio",
         n_procs: int | None = None,
         dtype=None,
+        storage: str | None = None,
+        memory_budget: int | str | None = None,
+        spill_dir: str | None = None,
     ) -> TuckerResult:
         """One STHOSVD pass on the backend (static grid, optimal order)."""
         arr, compiled, from_cache = self._prepare(
             tensor, core_dims, plan, planner, n_procs, dtype
         )
+        # Policy sees the *working* bytes: a float32 file run at float64
+        # occupies twice its on-disk size once cast.
+        selection = self._select_storage(
+            arr.size * compiled.dtype.itemsize, storage, memory_budget
+        )
         mark = self.backend.mark_stats()
-        dec, error = self._sthosvd_pass(arr, compiled)
+        run_store = self._open_store(selection, spill_dir)
+        try:
+            arr = _cast_for_run(arr, compiled.dtype, run_store)
+            dec, error, _ = self._sthosvd_pass(arr, compiled, store=run_store)
+        finally:
+            if run_store is not None:
+                run_store.close()
         return TuckerResult(
             decomposition=dec,
             plan=compiled.plan,
@@ -871,6 +1056,8 @@ class TuckerSession:
             n_iters=0,
             from_cache=from_cache,
             ledger=self.backend.ledger_since(mark),
+            storage=selection.mode,
+            storage_reason=selection.reason,
             **self._result_meta(),
         )
 
@@ -886,6 +1073,9 @@ class TuckerSession:
         max_iters: int = 10,
         tol: float = 1e-8,
         skip_hooi: bool = False,
+        storage: str | None = None,
+        memory_budget: int | str | None = None,
+        spill_dir: str | None = None,
     ) -> TuckerResult:
         """The full pipeline: STHOSVD init + HOOI refinement to tolerance.
 
@@ -893,40 +1083,79 @@ class TuckerSession:
         (``result.from_cache``). ``dtype`` overrides the working precision;
         by default float32 inputs stay float32, everything else runs in
         float64.
+
+        ``storage`` / ``memory_budget`` / ``spill_dir`` override the
+        session's storage policy for this run: a spilled run
+        (``result.storage == "mmap"``) stages the tensor through
+        memory-mapped block files in a run-private spill directory —
+        removed before this method returns — instead of holding it
+        resident, so inputs larger than RAM (or than the budget)
+        decompose on the shared-memory backends. (``simcluster`` spills
+        its per-rank bricks too, but its sequential STHOSVD init still
+        materializes working copies — it is a measurement instrument,
+        not a capacity path.)
         """
         arr, compiled, from_cache = self._prepare(
             tensor, core_dims, plan, planner, n_procs, dtype
         )
-        mark = self.backend.mark_stats()
-        if isinstance(self.backend, SimClusterBackend):
-            # Sequential init on the cluster backend: the paper does not
-            # charge the initial decomposition, and the HOOI initial grid
-            # need not be STHOSVD-feasible (a TTM requires K_n >= q_n).
-            from repro.hooi.sthosvd import sthosvd as sthosvd_sequential
-
-            init = sthosvd_sequential(
-                arr,
-                compiled.meta.core,
-                mode_order=list(compiled.sthosvd_order),
-                dtype=compiled.dtype,
-            )
-            init_error = init.error_vs(arr)
-        else:
-            init, init_error = self._sthosvd_pass(arr, compiled)
-        if skip_hooi or max_iters <= 0:
-            return TuckerResult(
-                decomposition=init,
-                plan=compiled.plan,
-                errors=[],
-                sthosvd_error=init_error,
-                n_iters=0,
-                from_cache=from_cache,
-                ledger=self.backend.ledger_since(mark),
-                **self._result_meta(),
-            )
-        dec, errors = self._hooi_loop(
-            arr, init.factors, compiled, max_iters, tol
+        # Policy sees the *working* bytes: a float32 file run at float64
+        # occupies twice its on-disk size once cast.
+        selection = self._select_storage(
+            arr.size * compiled.dtype.itemsize, storage, memory_budget
         )
+        mark = self.backend.mark_stats()
+        run_store = self._open_store(selection, spill_dir)
+        try:
+            arr = _cast_for_run(arr, compiled.dtype, run_store)
+            handle = None
+            t_norm_sq = None
+            if isinstance(self.backend, SimClusterBackend):
+                # Sequential init on the cluster backend: the paper does not
+                # charge the initial decomposition, and the HOOI initial grid
+                # need not be STHOSVD-feasible (a TTM requires K_n >= q_n).
+                # Capacity caveat: this init materializes working copies of
+                # the tensor in RAM even on a spilled run — the virtual
+                # cluster is a measurement instrument, not a capacity path;
+                # only its HOOI phase runs store-backed.
+                from repro.hooi.sthosvd import sthosvd as sthosvd_sequential
+
+                init = sthosvd_sequential(
+                    arr,
+                    compiled.meta.core,
+                    mode_order=list(compiled.sthosvd_order),
+                    dtype=compiled.dtype,
+                )
+                init_error = init.error_vs(arr)
+            else:
+                # Distribute exactly once for both phases: the input
+                # handle is read-only to every kernel, and re-placing it
+                # would double the spill (or shared-memory) copy I/O.
+                handle = self.backend.distribute(
+                    arr, compiled.initial_grid, store=run_store
+                )
+                init, init_error, t_norm_sq = self._sthosvd_pass(
+                    arr, compiled, store=run_store, handle=handle
+                )
+            if skip_hooi or max_iters <= 0:
+                return TuckerResult(
+                    decomposition=init,
+                    plan=compiled.plan,
+                    errors=[],
+                    sthosvd_error=init_error,
+                    n_iters=0,
+                    from_cache=from_cache,
+                    ledger=self.backend.ledger_since(mark),
+                    storage=selection.mode,
+                    storage_reason=selection.reason,
+                    **self._result_meta(),
+                )
+            dec, errors = self._hooi_loop(
+                arr, init.factors, compiled, max_iters, tol,
+                store=run_store, handle=handle, t_norm_sq=t_norm_sq,
+            )
+        finally:
+            if run_store is not None:
+                run_store.close()
         return TuckerResult(
             decomposition=dec,
             plan=compiled.plan,
@@ -935,6 +1164,8 @@ class TuckerSession:
             n_iters=len(errors),
             from_cache=from_cache,
             ledger=self.backend.ledger_since(mark),
+            storage=selection.mode,
+            storage_reason=selection.reason,
             **self._result_meta(),
         )
 
@@ -951,16 +1182,27 @@ class TuckerSession:
         skip_hooi: bool = False,
         max_in_flight: int = 1,
         on_error: str = "raise",
+        storage: str | None = None,
+        memory_budget: int | str | None = None,
+        spill_dir: str | None = None,
     ) -> BatchResult:
         """Decompose a stream of tensors through one warm session.
 
         ``inputs`` is any iterable — a list, a generator, a lazily read
         manifest — of in-memory ndarrays and/or ``.npy`` paths
-        (``str``/``os.PathLike``); items are loaded at most
-        ``max_in_flight`` ahead of execution, so an arbitrarily long
-        stream never holds more than that many tensors resident.
+        (``str``/``os.PathLike``); path items are opened as lazy
+        memory mappings at most ``max_in_flight`` ahead of execution, so
+        an arbitrarily long stream never materializes more than the
+        executing item (and, spilled, never even that — see below).
         ``core_dims`` is one core shape applied to every item, or a
         callable ``shape -> core`` for heterogeneous streams.
+
+        ``storage`` / ``memory_budget`` / ``spill_dir`` apply the
+        session's storage policy per item: with a budget set, any item
+        whose bytes exceed it streams through memory-mapped spill blocks
+        (its ``result.storage`` reports ``"mmap"``) while smaller items
+        stay resident — a mixed stream gets per-item out-of-core
+        treatment exactly like it gets per-item backend selection.
 
         Each distinct ``(shape, core, dtype)`` compiles its plan exactly
         once (the session's LRU plan cache); within the in-flight window
@@ -989,6 +1231,12 @@ class TuckerSession:
         max_in_flight = check_positive_int(max_in_flight, "max_in_flight")
         if dtype is not None:
             resolve_dtype(np.float64, dtype)  # fail fast on a bad knob
+        if storage is not None and storage not in STORAGE_MODES:
+            raise ValueError(
+                f"storage must be one of {STORAGE_MODES}, got {storage!r}"
+            )
+        if memory_budget is not None:
+            parse_bytes(memory_budget)  # fail fast on a bad budget string
         info = self.cache_info()
         hits0, misses0 = info["hits"], info["misses"]
         start = perf_counter()
@@ -1047,6 +1295,9 @@ class TuckerSession:
                         max_iters=max_iters,
                         tol=tol,
                         skip_hooi=skip_hooi,
+                        storage=storage,
+                        memory_budget=memory_budget,
+                        spill_dir=spill_dir,
                     )
                 except Exception as exc:
                     if on_error == "raise":

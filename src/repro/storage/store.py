@@ -1,0 +1,778 @@
+"""Block stores: in-memory and memory-mapped spill-file backed.
+
+Layout of an :class:`MmapStore` spill directory::
+
+    <root>/store-XXXXXX/          one directory per store instance
+        t0.blk                    raw C-order little/native-endian bytes
+        t0.json                   manifest: {"key", "shape", "dtype", "nbytes"}
+        ...
+
+A block is *committed* only once its manifest exists (the manifest is
+written after the data file), so a crash mid-spill leaves a ``.blk``
+without a ``.json`` — which :meth:`MmapStore.get` reports as a typed
+:class:`CorruptBlockError`, never as silently wrong data. Truncated or
+resized data files are caught by an exact byte-size check against the
+manifest.
+
+Every store removes its own files: explicitly via :meth:`BlockStore.close`
+(idempotent), or at interpreter exit through a ``weakref.finalize`` — the
+same no-orphans discipline the procpool backend applies to ``/dev/shm``
+segments.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import os
+import re
+import shutil
+import tempfile
+import threading
+import weakref
+from contextlib import contextmanager
+
+import numpy as np
+
+#: environment variable naming the spill root directory.
+SPILL_DIR_ENV = "REPRO_SPILL_DIR"
+
+#: environment variable naming the default memory budget (bytes, K/M/G ok).
+MEMORY_BUDGET_ENV = "REPRO_MEMORY_BUDGET"
+
+#: write-through chunk size: no spill ever materializes more than this
+#: many bytes at once while copying a block into the store.
+DEFAULT_CHUNK_BYTES = 16 * 2**20
+
+#: per-block ceiling when no memory budget constrains the store.
+DEFAULT_MAX_BLOCK_BYTES = 64 * 2**20
+
+#: manifest schema version (bump on incompatible changes).
+MANIFEST_VERSION = 1
+
+_KEY_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+_BYTES_RE = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*([kKmMgGtT]?)[iI]?[bB]?\s*$")
+
+_SUFFIX = {"": 1, "k": 2**10, "m": 2**20, "g": 2**30, "t": 2**40}
+
+
+class StorageError(RuntimeError):
+    """Base class for block-store failures."""
+
+
+class CorruptBlockError(StorageError):
+    """A spill file or its manifest failed validation.
+
+    Carries the offending ``key``, the ``path`` that failed, and a short
+    machine-checkable ``reason``.
+    """
+
+    def __init__(self, message: str, *, key: str = "", path: str = "",
+                 reason: str = "") -> None:
+        super().__init__(message)
+        self.key = key
+        self.path = path
+        self.reason = reason
+
+
+def parse_bytes(text) -> int:
+    """Parse a byte count: plain int, or ``"512K"`` / ``"2M"`` / ``"1.5G"``.
+
+    Suffixes are binary (K = 2**10); an optional ``iB``/``B`` tail is
+    accepted (``64MiB``). Raises :class:`ValueError` on anything else.
+    """
+    if isinstance(text, (int, np.integer)):
+        value = int(text)
+        if value < 0:
+            raise ValueError(f"byte count must be >= 0, got {value}")
+        return value
+    match = _BYTES_RE.match(str(text))
+    if not match:
+        raise ValueError(
+            f"expected a byte count like 1048576 / 512K / 2M / 1.5G, "
+            f"got {text!r}"
+        )
+    return int(float(match.group(1)) * _SUFFIX[match.group(2).lower()])
+
+
+def default_memory_budget() -> int | None:
+    """The ``$REPRO_MEMORY_BUDGET`` budget in bytes, or ``None`` if unset."""
+    env = os.environ.get(MEMORY_BUDGET_ENV)
+    if not env:
+        return None
+    try:
+        return parse_bytes(env)
+    except ValueError as exc:
+        raise ValueError(f"invalid {MEMORY_BUDGET_ENV}: {exc}") from None
+
+
+# --------------------------------------------------------------------- #
+# resident accounting
+# --------------------------------------------------------------------- #
+
+
+class ResidentGauge:
+    """Thread-safe ledger of bytes currently leased as resident copies.
+
+    Out-of-core code paths wrap every block-sized materialization (chunk
+    buffers during spills, per-block reads inside kernels) in
+    :meth:`lease`; ``peak`` is then a *measured* bound on resident block
+    bytes that the stress suite can assert against a memory budget.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.current = 0
+        self.peak = 0
+
+    def charge(self, nbytes: int) -> None:
+        with self._lock:
+            self.current += int(nbytes)
+            if self.current > self.peak:
+                self.peak = self.current
+
+    def release(self, nbytes: int) -> None:
+        with self._lock:
+            self.current = max(0, self.current - int(nbytes))
+
+    @contextmanager
+    def lease(self, nbytes: int):
+        """Charge ``nbytes`` for the duration of the ``with`` block."""
+        nbytes = int(nbytes)
+        self.charge(nbytes)
+        try:
+            yield
+        finally:
+            self.release(nbytes)
+
+    def reset(self) -> None:
+        with self._lock:
+            self.current = 0
+            self.peak = 0
+
+
+_GAUGE = ResidentGauge()
+
+
+def resident_gauge() -> ResidentGauge:
+    """The process-wide gauge stores charge by default."""
+    return _GAUGE
+
+
+# --------------------------------------------------------------------- #
+# the store protocol
+# --------------------------------------------------------------------- #
+
+
+class BlockStore(abc.ABC):
+    """Named tensor blocks with put/get/writer semantics.
+
+    Keys are caller-chosen identifiers (``[A-Za-z0-9._-]``, not starting
+    with a separator); :meth:`next_key` hands out collision-free ones.
+    ``get`` views are read-only where the medium allows it; ``writer``
+    views are mutable and shared (the procpool workers write disjoint
+    slices of one output block through them).
+    """
+
+    #: short identifier ("memory", "mmap") mirrored in reasons/repr.
+    kind: str = "abstract"
+
+    def __init__(self, *, max_block_bytes: int | None = None,
+                 gauge: ResidentGauge | None = None) -> None:
+        self.max_block_bytes = int(
+            DEFAULT_MAX_BLOCK_BYTES
+            if max_block_bytes is None
+            else max_block_bytes
+        )
+        if self.max_block_bytes < 1:
+            raise ValueError(
+                f"max_block_bytes must be >= 1, got {self.max_block_bytes}"
+            )
+        self.gauge = gauge if gauge is not None else resident_gauge()
+        self._counter = 0
+        self._closed = False
+
+    # -- key management --------------------------------------------------- #
+
+    @staticmethod
+    def check_key(key: str) -> str:
+        if not isinstance(key, str) or not _KEY_RE.match(key):
+            raise ValueError(
+                f"block keys must match [A-Za-z0-9][A-Za-z0-9._-]*, "
+                f"got {key!r}"
+            )
+        return key
+
+    def next_key(self, prefix: str = "t") -> str:
+        """A fresh key, unique within this store."""
+        self.check_key(prefix)
+        self._counter += 1
+        return f"{prefix}.{self._counter}"
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError(f"{type(self).__name__} is closed")
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def per_block_bytes(self, n_workers: int = 1) -> int:
+        """Per-block byte ceiling when ``n_workers`` blocks fly at once."""
+        return max(1, self.max_block_bytes // max(1, int(n_workers)))
+
+    # -- the protocol ------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def put(self, key: str, array: np.ndarray, *, dtype=None) -> None:
+        """Store a block (write-through; chunked on spill media).
+
+        ``dtype``, when given, converts while writing — chunk by chunk
+        on spill media, so a dtype change never materializes a full
+        converted copy of the source.
+        """
+
+    @abc.abstractmethod
+    def get(self, key: str) -> np.ndarray:
+        """The stored block (read-only mapping on spill media)."""
+
+    @abc.abstractmethod
+    def writer(self, key: str) -> np.ndarray:
+        """A mutable view of the stored block."""
+
+    @abc.abstractmethod
+    def create(self, key: str, shape, dtype) -> None:
+        """Allocate an uninitialized block (write via :meth:`writer`)."""
+
+    @abc.abstractmethod
+    def delete(self, key: str) -> None:
+        """Remove a block (missing keys are ignored)."""
+
+    @abc.abstractmethod
+    def keys(self) -> list[str]:
+        """Keys of every committed block."""
+
+    @abc.abstractmethod
+    def path_of(self, key: str) -> str | None:
+        """Filesystem path of the block's bytes, or ``None`` in RAM."""
+
+    @abc.abstractmethod
+    def meta_of(self, key: str) -> tuple[tuple[int, ...], np.dtype]:
+        """``(shape, dtype)`` of a stored block."""
+
+    @property
+    @abc.abstractmethod
+    def nbytes(self) -> int:
+        """Total bytes of every committed block."""
+
+    def close(self) -> None:
+        """Release every block (idempotent)."""
+        self._closed = True
+
+    def __enter__(self) -> "BlockStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(kind={self.kind!r}, "
+            f"blocks={len(self.keys()) if not self._closed else 0})"
+        )
+
+
+# --------------------------------------------------------------------- #
+# in-memory store (the historical behavior, behind the protocol)
+# --------------------------------------------------------------------- #
+
+
+class InMemoryStore(BlockStore):
+    """Blocks as plain ndarrays in a dict — current-behavior storage."""
+
+    kind = "memory"
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._blocks: dict[str, np.ndarray] = {}
+
+    def put(self, key: str, array: np.ndarray, *, dtype=None) -> None:
+        self._check_open()
+        self.check_key(key)
+        self._blocks[key] = np.array(
+            array, copy=True, order="C", dtype=dtype
+        )
+
+    def get(self, key: str) -> np.ndarray:
+        self._check_open()
+        return self._blocks[key]
+
+    def writer(self, key: str) -> np.ndarray:
+        self._check_open()
+        return self._blocks[key]
+
+    def create(self, key: str, shape, dtype) -> None:
+        self._check_open()
+        self.check_key(key)
+        self._blocks[key] = np.empty(
+            tuple(int(s) for s in shape), dtype=np.dtype(dtype)
+        )
+
+    def delete(self, key: str) -> None:
+        self._blocks.pop(key, None)
+
+    def keys(self) -> list[str]:
+        return sorted(self._blocks)
+
+    def path_of(self, key: str) -> str | None:
+        self._check_open()
+        if key not in self._blocks:
+            raise KeyError(key)
+        return None
+
+    def meta_of(self, key: str) -> tuple[tuple[int, ...], np.dtype]:
+        block = self.get(key)
+        return tuple(block.shape), block.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return sum(b.nbytes for b in self._blocks.values())
+
+    def close(self) -> None:
+        self._blocks.clear()
+        super().close()
+
+
+# --------------------------------------------------------------------- #
+# mmap spill store
+# --------------------------------------------------------------------- #
+
+
+def default_spill_root() -> str | None:
+    """``$REPRO_SPILL_DIR`` when set, else ``None`` (a fresh tempdir)."""
+    return os.environ.get(SPILL_DIR_ENV) or None
+
+
+def _remove_tree(path: str) -> None:
+    """Finalizer: best-effort removal of a store directory."""
+    shutil.rmtree(path, ignore_errors=True)
+
+
+class MmapStore(BlockStore):
+    """np.memmap-backed per-block spill files under a managed directory.
+
+    Parameters
+    ----------
+    root:
+        Parent directory for this store's spill subdirectory. Defaults to
+        ``$REPRO_SPILL_DIR``, else the system tempdir. The subdirectory is
+        always store-private and is removed on :meth:`close` (or, as a
+        backstop, by a weakref finalizer at garbage collection /
+        interpreter exit); an explicitly named ``root`` itself is never
+        removed.
+    chunk_bytes:
+        Write-through granularity of :meth:`put` — bounds the resident
+        bytes of any single spill copy.
+    max_block_bytes:
+        Per-block ceiling the out-of-core kernels cut their work to
+        (sessions derive it from ``memory_budget``).
+    gauge:
+        Resident-byte accounting; defaults to the process-wide gauge.
+    """
+
+    kind = "mmap"
+
+    def __init__(
+        self,
+        root: str | None = None,
+        *,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        max_block_bytes: int | None = None,
+        gauge: ResidentGauge | None = None,
+    ) -> None:
+        super().__init__(max_block_bytes=max_block_bytes, gauge=gauge)
+        self.chunk_bytes = max(1, int(chunk_bytes))
+        root = root if root is not None else default_spill_root()
+        if root is not None:
+            os.makedirs(root, exist_ok=True)
+        self.directory = tempfile.mkdtemp(prefix="repro-spill-", dir=root)
+        self._finalizer = weakref.finalize(
+            self, _remove_tree, self.directory
+        )
+
+    # -- paths / manifests ------------------------------------------------- #
+
+    def path_of(self, key: str) -> str:
+        self.check_key(key)
+        return os.path.join(self.directory, f"{key}.blk")
+
+    def _manifest_path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def _write_manifest(self, key: str, shape, dtype, nbytes: int) -> None:
+        manifest = {
+            "version": MANIFEST_VERSION,
+            "key": key,
+            "shape": [int(s) for s in shape],
+            "dtype": np.dtype(dtype).str,
+            "nbytes": int(nbytes),
+        }
+        path = self._manifest_path(key)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh)
+        os.replace(tmp, path)  # committed atomically, data file first
+
+    def meta_of(self, key: str) -> tuple[tuple[int, ...], np.dtype]:
+        shape, dtype, _ = self._load_manifest(key)
+        return shape, dtype
+
+    def _load_manifest(self, key: str):
+        """Validated ``(shape, dtype, nbytes)``; typed errors otherwise."""
+        self._check_open()
+        self.check_key(key)
+        path = self._manifest_path(key)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                manifest = json.load(fh)
+        except FileNotFoundError:
+            if os.path.exists(self.path_of(key)):
+                raise CorruptBlockError(
+                    f"block {key!r} has data but no manifest "
+                    f"(interrupted spill?)",
+                    key=key, path=self.path_of(key),
+                    reason="missing-manifest",
+                ) from None
+            raise KeyError(key) from None
+        except ValueError as exc:
+            raise CorruptBlockError(
+                f"block {key!r} manifest is not valid JSON: {exc}",
+                key=key, path=path, reason="bad-manifest-json",
+            ) from None
+        try:
+            if manifest["version"] != MANIFEST_VERSION:
+                raise CorruptBlockError(
+                    f"block {key!r} manifest is version "
+                    f"{manifest['version']!r}, expected {MANIFEST_VERSION}",
+                    key=key, path=path, reason="bad-manifest-version",
+                )
+            shape = tuple(int(s) for s in manifest["shape"])
+            dtype = np.dtype(manifest["dtype"])
+            nbytes = int(manifest["nbytes"])
+        except CorruptBlockError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CorruptBlockError(
+                f"block {key!r} manifest is malformed: {exc!r}",
+                key=key, path=path, reason="bad-manifest-fields",
+            ) from None
+        expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if nbytes != expected:
+            raise CorruptBlockError(
+                f"block {key!r} manifest is inconsistent: shape {shape} "
+                f"x {dtype} is {expected} bytes, manifest says {nbytes}",
+                key=key, path=path, reason="inconsistent-manifest",
+            )
+        return shape, dtype, nbytes
+
+    def _checked_path(self, key: str) -> tuple[str, tuple[int, ...], np.dtype]:
+        shape, dtype, nbytes = self._load_manifest(key)
+        path = self.path_of(key)
+        try:
+            actual = os.path.getsize(path)
+        except OSError:
+            raise CorruptBlockError(
+                f"block {key!r} data file is missing",
+                key=key, path=path, reason="missing-data",
+            ) from None
+        if actual != nbytes:
+            raise CorruptBlockError(
+                f"block {key!r} data file is {actual} bytes, manifest "
+                f"says {nbytes} (truncated or overwritten spill file)",
+                key=key, path=path, reason="size-mismatch",
+            )
+        return path, shape, dtype
+
+    # -- the protocol ------------------------------------------------------ #
+
+    def put(self, key: str, array: np.ndarray, *, dtype=None) -> None:
+        """Spill ``array`` write-through in ``chunk_bytes`` chunks.
+
+        The source may be any ndarray (including a strided memmap view,
+        e.g. one brick of a lazily opened ``.npy``): chunks are copied
+        slab-by-slab along the first axis, so at most one chunk of the
+        block is ever resident on top of the source's own pages.
+        ``dtype`` converts per chunk while writing — a working-precision
+        change never materializes a full converted copy.
+        """
+        self._check_open()
+        self.check_key(key)
+        array = np.asarray(array)
+        shape = array.shape  # manifests keep the true shape, 0-d included
+        if array.ndim == 0:
+            array = array.reshape(1)  # np.memmap needs >= 1 dimension
+        target = np.dtype(dtype) if dtype is not None else array.dtype
+        path = self.path_of(key)
+        nbytes = array.size * target.itemsize
+        if nbytes == 0:
+            with open(path, "wb"):
+                pass  # data file of exactly the manifest's 0 bytes
+            self._write_manifest(key, shape, target, 0)
+            return
+        mm = np.memmap(path, dtype=target, mode="w+", shape=array.shape)
+        try:
+            if array.flags["C_CONTIGUOUS"]:
+                # Flat chunking holds the chunk_bytes bound regardless of
+                # shape (a small leading axis would make first-axis slabs
+                # arbitrarily fat).
+                src = array.reshape(-1)
+                dst = mm.reshape(-1)
+                elems = max(1, self.chunk_bytes // target.itemsize)
+                for start in range(0, src.shape[0], elems):
+                    stop = min(src.shape[0], start + elems)
+                    with self.gauge.lease(
+                        (stop - start) * target.itemsize
+                    ):
+                        dst[start:stop] = src[start:stop]  # casts per chunk
+            else:
+                # Strided sources (a brick view of a bigger mapping) copy
+                # slab-by-slab along the first axis; a slab is the finest
+                # unit a strided assignment admits without a temp copy.
+                row_bytes = max(1, nbytes // max(1, array.shape[0]))
+                rows = max(1, self.chunk_bytes // row_bytes)
+                for start in range(0, array.shape[0], rows):
+                    stop = min(array.shape[0], start + rows)
+                    with self.gauge.lease((stop - start) * row_bytes):
+                        mm[start:stop] = array[start:stop]
+            mm.flush()
+        finally:
+            del mm
+        self._write_manifest(key, shape, target, nbytes)
+
+    def _map(self, key: str, mode: str) -> np.ndarray:
+        path, shape, dtype = self._checked_path(key)
+        if int(np.prod(shape, dtype=np.int64)) == 0:
+            return np.empty(shape, dtype=dtype)  # nothing to map
+        if shape == ():
+            # stored as one element; hand back the true 0-d view
+            return np.memmap(path, dtype=dtype, mode=mode, shape=(1,)).reshape(())
+        return np.memmap(path, dtype=dtype, mode=mode, shape=shape)
+
+    def get(self, key: str) -> np.ndarray:
+        return self._map(key, "r")
+
+    def writer(self, key: str) -> np.ndarray:
+        return self._map(key, "r+")
+
+    def create(self, key: str, shape, dtype) -> None:
+        self._check_open()
+        self.check_key(key)
+        shape = tuple(int(s) for s in shape)
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        path = self.path_of(key)
+        with open(path, "wb") as fh:
+            fh.truncate(nbytes)  # sparse where the filesystem allows
+        self._write_manifest(key, shape, dtype, nbytes)
+
+    def delete(self, key: str) -> None:
+        if self._closed:
+            return
+        self.check_key(key)
+        for path in (self.path_of(key), self._manifest_path(key)):
+            try:
+                os.remove(path)
+            except FileNotFoundError:
+                pass
+
+    def keys(self) -> list[str]:
+        self._check_open()
+        return sorted(
+            name[: -len(".json")]
+            for name in os.listdir(self.directory)
+            if name.endswith(".json")
+        )
+
+    @property
+    def nbytes(self) -> int:
+        self._check_open()
+        total = 0
+        for key in self.keys():
+            _, _, nbytes = self._load_manifest(key)
+            total += nbytes
+        return total
+
+    def close(self) -> None:
+        """Remove every spill file and the store directory (idempotent)."""
+        if not self._closed:
+            self._finalizer()  # runs _remove_tree exactly once
+        super().close()
+
+
+# --------------------------------------------------------------------- #
+# the out-of-core tensor handle
+# --------------------------------------------------------------------- #
+
+
+class StoredTensor:
+    """A tensor resident in a :class:`BlockStore` — the spilled handle.
+
+    Shared-memory backends pass these instead of ndarrays when a run has
+    spilled. The description is process-portable: any worker can map
+    ``(path, offset, shape, dtype)`` read-only with ``np.memmap`` — which
+    is exactly how the procpool backend reads blocks without copying the
+    tensor through ``shared_memory`` segments.
+
+    Ownership: a handle over a store-allocated block (``owned=True``)
+    deletes the block when closed or garbage collected; a handle wrapped
+    around an *external* file (a lazily opened ``.npy``) never touches
+    the file.
+    """
+
+    def __init__(
+        self,
+        store: BlockStore,
+        shape: tuple[int, ...],
+        dtype,
+        *,
+        key: str | None = None,
+        path: str | None = None,
+        offset: int = 0,
+        owned: bool = True,
+    ) -> None:
+        self.store = store
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        self.key = key
+        self.path = path
+        self.offset = int(offset)
+        self.owned = bool(owned)
+        if owned:
+            if key is None:
+                raise ValueError("an owned StoredTensor needs its store key")
+            self._finalizer = weakref.finalize(
+                self, _delete_block, store, key
+            )
+        else:
+            self._finalizer = None
+
+    # -- constructors ------------------------------------------------------ #
+
+    @classmethod
+    def spill(
+        cls, store: BlockStore, array: np.ndarray, *, key: str | None = None
+    ) -> "StoredTensor":
+        """Write ``array`` through the store and hand back its handle."""
+        key = key if key is not None else store.next_key("t")
+        store.put(key, array)
+        return cls(
+            store, array.shape, array.dtype, key=key,
+            path=store.path_of(key), owned=True,
+        )
+
+    @classmethod
+    def allocate(
+        cls, store: BlockStore, shape, dtype, *, key: str | None = None
+    ) -> "StoredTensor":
+        """Allocate an uninitialized output block (write via writer())."""
+        key = key if key is not None else store.next_key("o")
+        store.create(key, shape, dtype)
+        return cls(
+            store, shape, dtype, key=key, path=store.path_of(key), owned=True
+        )
+
+    @classmethod
+    def external(
+        cls, store: BlockStore, mapped: np.memmap
+    ) -> "StoredTensor":
+        """Wrap an already memory-mapped file (no copy, never deleted).
+
+        ``mapped`` must be a C-contiguous ``np.memmap`` (e.g. from
+        ``np.load(..., mmap_mode="r")``); its file is read in place by
+        every backend, including pool workers.
+        """
+        if not isinstance(mapped, np.memmap):
+            raise TypeError(
+                f"external() wraps np.memmap instances, got "
+                f"{type(mapped).__name__}"
+            )
+        if not mapped.flags["C_CONTIGUOUS"]:
+            raise ValueError(
+                "external() needs a C-contiguous mapping; spill a copy "
+                "instead (StoredTensor.spill)"
+            )
+        if mapped.filename is None:
+            raise ValueError("external() needs a file-backed mapping")
+        # Views inherit the parent's .offset attribute verbatim, so
+        # trusting it would read the wrong file region for anything but
+        # the root mapping (m[2:] still reports m's offset). Derive the
+        # true file position from the data pointers instead: walk to the
+        # root memmap and add the view's byte displacement within it.
+        root = mapped
+        while isinstance(root.base, np.ndarray):
+            root = root.base
+        if not isinstance(root, np.memmap):
+            raise ValueError(
+                "external() cannot locate the mapping's backing file; "
+                "spill a copy instead (StoredTensor.spill)"
+            )
+        offset = int(root.offset) + (
+            mapped.ctypes.data - root.ctypes.data
+        )
+        return cls(
+            store, mapped.shape, mapped.dtype,
+            path=os.fspath(mapped.filename), offset=offset,
+            owned=False,
+        )
+
+    # -- geometry ---------------------------------------------------------- #
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64))
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.dtype.itemsize
+
+    # -- access ------------------------------------------------------------ #
+
+    def open(self) -> np.ndarray:
+        """A read-only mapping of the whole tensor (pages load lazily)."""
+        if self.path is not None:
+            return np.memmap(
+                self.path, dtype=self.dtype, mode="r",
+                offset=self.offset, shape=self.shape,
+            )
+        return self.store.get(self.key)
+
+    def writer(self) -> np.ndarray:
+        """A mutable mapping (owned blocks only)."""
+        if not self.owned:
+            raise StorageError("cannot write into an external StoredTensor")
+        return self.store.writer(self.key)
+
+    def close(self) -> None:
+        """Reclaim the underlying block now (owned handles only)."""
+        if self._finalizer is not None:
+            self._finalizer()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = self.path if self.path else f"memory:{self.key}"
+        return (
+            f"StoredTensor(shape={self.shape}, dtype={self.dtype}, "
+            f"at={where!r}, owned={self.owned})"
+        )
+
+
+def _delete_block(store: BlockStore, key: str) -> None:
+    """Finalizer: reclaim an owned block (quiet after store close)."""
+    try:
+        store.delete(key)
+    except (StorageError, OSError):  # pragma: no cover - already torn down
+        pass

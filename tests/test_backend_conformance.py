@@ -238,6 +238,82 @@ class TestLedgerConformance:
             assert stats["comm_volume"] == 0  # one address space, honest ledger
 
 
+class TestStorageConformance:
+    """The storage axis: every backend x memory/mmap stores.
+
+    A spilled run (``storage="mmap"`` with a budget that forces
+    multi-block out-of-core kernels) must agree with the in-memory
+    sequential reference to 1e-10, produce the *identical step-tag
+    ledger* as its own in-memory run, and leave its spill directory
+    empty afterward.
+    """
+
+    STORAGES = ["memory", "mmap"]
+
+    @staticmethod
+    def _run(name, storage, procs, dims, core, spill_dir):
+        t = tensor_for(dims, core, seed=sum(dims))
+        session = TuckerSession(
+            backend=make_backend(name, procs),
+            storage=storage,
+            # small enough that every conformance shape cuts multiple
+            # blocks per kernel when spilled
+            memory_budget="16K",
+            spill_dir=spill_dir,
+        )
+        try:
+            return session.run(
+                t, core, planner="optimal", n_procs=procs, max_iters=3,
+                tol=-np.inf,
+            )
+        finally:
+            session.close()
+
+    @pytest.mark.parametrize("storage", STORAGES)
+    @pytest.mark.parametrize("dims,core,procs", SHAPES)
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_matches_in_memory_sequential(
+        self, name, dims, core, procs, storage, tmp_path
+    ):
+        res = self._run(name, storage, procs, dims, core, str(tmp_path))
+        ref = reference_run(dims, core, procs, "optimal")
+        assert res.storage == storage
+        assert_same_decomposition(
+            res, ref, atol=1e-10, label=f"{name}/{storage}"
+        )
+        # no orphaned spill files once the run returned
+        assert list(tmp_path.iterdir()) == [], f"{name}/{storage}"
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_step_tag_ledgers_identical_across_storage(self, name, tmp_path):
+        dims, core, procs = SHAPES[0]
+        tags = {}
+        for storage in self.STORAGES:
+            res = self._run(
+                name, storage, procs, dims, core, str(tmp_path / storage)
+            )
+            tags[storage] = [
+                (r.category, r.op, r.tag) for r in res.ledger.records
+            ]
+        assert tags["memory"] == tags["mmap"], name
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_float32_spilled_stays_float32(self, name, tmp_path):
+        dims, core, procs = SHAPES[0]
+        t = tensor_for(dims, core, seed=3, dtype=np.float32)
+        session = TuckerSession(
+            backend=make_backend(name, procs),
+            storage="mmap",
+            spill_dir=str(tmp_path),
+        )
+        res = session.run(
+            t, core, planner="optimal", n_procs=procs, max_iters=1
+        )
+        session.close()
+        assert res.decomposition.core.dtype == np.float32
+        assert res.storage == "mmap"
+
+
 class TestDeterminism:
     """Repeated runs on fresh backends are bit-for-bit identical."""
 

@@ -423,3 +423,104 @@ class TestPlanCacheKey:
         # and the originals are all still cached (hits, not recompiles)
         assert session.compile(meta, 2, planner="optimal") is base
         assert session.cache_info()["hits"] == 1
+
+
+class TestLazyPathLoading:
+    """Regression: ``.npy`` path items must never be eagerly materialized.
+
+    ``run_many`` used to ``np.load`` each path fully before windowing —
+    every windowed (and even every *skipped*) item paid a whole-tensor
+    read. Path items now open as lazy memory mappings
+    (``mmap_mode="r"``), so the window holds page mappings, not copies.
+    """
+
+    def _save_batch(self, tmp_path, n=3):
+        paths = []
+        for i, t in enumerate(tensors_a(n)):
+            path = tmp_path / f"t{i}.npy"
+            np.save(path, t)
+            paths.append(str(path))
+        return paths
+
+    def test_materialize_item_returns_lazy_mapping(self, tmp_path):
+        from repro.session import _materialize_item
+
+        [path] = self._save_batch(tmp_path, n=1)
+        item = _materialize_item(path, 0, CORE_A, None)
+        assert isinstance(item.array, np.memmap)
+        assert item.array.shape == SHAPE_A
+
+    def test_every_path_load_is_mmap_mode_r(self, tmp_path, monkeypatch):
+        paths = self._save_batch(tmp_path)
+        seen = []
+        real_load = np.load
+
+        def spy(path, *args, **kwargs):
+            seen.append(kwargs.get("mmap_mode"))
+            return real_load(path, *args, **kwargs)
+
+        monkeypatch.setattr(np, "load", spy)
+        session = TuckerSession(backend="sequential")
+        batch = session.run_many(
+            paths, CORE_A, planner="optimal", n_procs=2, max_iters=1,
+            max_in_flight=3,
+        )
+        assert batch.n_items == len(paths)
+        assert seen == ["r"] * len(paths)  # no eager full-copy load
+
+    def test_skipped_items_are_not_materialized(self, tmp_path, monkeypatch):
+        """A failing item in the window never pays a full read either."""
+        paths = self._save_batch(tmp_path, n=2)
+        bad = tmp_path / "bad.npy"
+        bad.write_bytes(b"\x93NUMPY not really")
+        loads = []
+        real_load = np.load
+
+        def spy(path, *args, **kwargs):
+            loads.append((str(path), kwargs.get("mmap_mode")))
+            return real_load(path, *args, **kwargs)
+
+        monkeypatch.setattr(np, "load", spy)
+        session = TuckerSession(backend="sequential")
+        batch = session.run_many(
+            [paths[0], str(bad), paths[1]], CORE_A, planner="optimal",
+            n_procs=2, max_iters=1, max_in_flight=3, on_error="skip",
+        )
+        assert batch.n_items == 2 and len(batch.failures) == 1
+        assert all(mode == "r" for _, mode in loads)
+
+    def test_lazy_batch_matches_eager_arrays(self, tmp_path):
+        paths = self._save_batch(tmp_path)
+        arrays = tensors_a(len(paths))
+        lazy = TuckerSession(backend="sequential").run_many(
+            paths, CORE_A, planner="optimal", n_procs=2, max_iters=2,
+            tol=-np.inf, max_in_flight=2,
+        )
+        eager = TuckerSession(backend="sequential").run_many(
+            arrays, CORE_A, planner="optimal", n_procs=2, max_iters=2,
+            tol=-np.inf, max_in_flight=2,
+        )
+        for a, b in zip(lazy.results, eager.results):
+            np.testing.assert_allclose(
+                a.decomposition.core, b.decomposition.core, atol=1e-12
+            )
+
+    def test_per_item_storage_policy_in_batch(self, tmp_path):
+        """Budgeted batch: big items spill, small ones stay resident."""
+        big = low_rank_tensor((24, 20, 16), (4, 3, 3), noise=0.1, seed=5)
+        small = low_rank_tensor((8, 6, 5), (3, 2, 2), noise=0.1, seed=6)
+        budget = small.nbytes + 1  # between the two sizes
+        session = TuckerSession(backend="sequential")
+        batch = session.run_many(
+            [big, small],
+            lambda shape: (3, 2, 2) if shape == (8, 6, 5) else (4, 3, 3),
+            planner="optimal", n_procs=2, max_iters=1,
+            memory_budget=budget, spill_dir=str(tmp_path),
+        )
+        by_shape = {
+            item.result.plan.meta.dims: item.result.storage
+            for item in batch.items
+        }
+        assert by_shape[(24, 20, 16)] == "mmap"
+        assert by_shape[(8, 6, 5)] == "memory"
+        assert list(tmp_path.iterdir()) == []
