@@ -35,6 +35,13 @@ points (``tucker``, ``hooi_sequential``, ``hooi_distributed``) remain as
 deprecation shims.
 """
 
+import logging as _logging
+
+# Library logging hygiene: "repro" and its children emit through here; a
+# NullHandler keeps us silent unless the application (or `repro -v`)
+# attaches a real handler.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
 from repro._version import __version__
 from repro.core import (
     TensorMeta,

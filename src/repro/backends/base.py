@@ -22,6 +22,7 @@ from typing import Any
 import numpy as np
 
 from repro.mpi.stats import StatsLedger
+from repro.obs.trace import NULL_TRACER
 
 
 class ExecutionBackend(abc.ABC):
@@ -37,6 +38,11 @@ class ExecutionBackend(abc.ABC):
 
     def __init__(self) -> None:
         self.ledger = StatsLedger()
+        #: where span-producing backends report (procpool worker
+        #: fragments, out-of-core block I/O). The session points this at
+        #: its live tracer for traced runs; the default no-op tracer
+        #: keeps untraced kernels branch- and allocation-free.
+        self.tracer = NULL_TRACER
 
     # -- planning ------------------------------------------------------- #
 

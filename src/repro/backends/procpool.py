@@ -39,6 +39,7 @@ pool one budget-bounded block per worker at a time.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import sys
 import weakref
 from concurrent.futures import ProcessPoolExecutor, wait
@@ -179,6 +180,19 @@ def _block_index(ndim: int, split: int, lo: int, hi: int) -> tuple:
     index: list[slice] = [slice(None)] * ndim
     index[split] = slice(lo, hi)
     return tuple(index)
+
+
+def _run_timed(func, *args):
+    """Run one worker task, shipping back a span fragment with the result.
+
+    ``perf_counter`` is CLOCK_MONOTONIC on Linux — shared across
+    processes — so the fragment's timestamps land directly on the
+    parent's trace timeline. Only used when tracing is enabled; the
+    untraced path submits the task function bare.
+    """
+    t0 = perf_counter()
+    value = func(*args)
+    return (os.getpid(), t0, perf_counter()), value
 
 
 def _ttm_block(
@@ -376,6 +390,31 @@ class ProcessPoolBackend(ExecutionBackend):
                 self._pool = None
             raise
 
+    def _submit(self, func, *args):
+        """Submit one worker task, wrapped for span capture when traced."""
+        if self.tracer.enabled:
+            return self._executor().submit(_run_timed, func, *args)
+        return self._executor().submit(func, *args)
+
+    def _collect(self, label: str, futures, owned: tuple = ()) -> list:
+        """:meth:`_await_all`, unwrapping traced span fragments.
+
+        Each fragment becomes a ``kind="worker"`` span named
+        ``worker:{label}`` parented on the currently open span (the
+        enclosing kernel's phase). Fragments of a failed fan-out are
+        dropped with their results — `_await_all` raises first.
+        """
+        results = self._await_all(futures, owned)
+        if not self.tracer.enabled:
+            return results
+        out = []
+        for (pid, t0, t1), value in results:
+            self.tracer.add_span(
+                f"worker:{label}", t0, t1, kind="worker", pid=pid
+            )
+            out.append(value)
+        return out
+
     def _store(self, array: np.ndarray) -> ShmTensor:
         handle = ShmTensor(array.shape, array.dtype)
         handle.array[...] = array
@@ -452,7 +491,7 @@ class ProcessPoolBackend(ExecutionBackend):
         slices = self._stored_slices(handle, split)
         with self._worker_lease(handle, slices):
             futures = [
-                self._executor().submit(
+                self._submit(
                     _ttm_block_file,
                     handle.path, handle.offset, handle.shape,
                     handle.dtype.str,
@@ -461,7 +500,7 @@ class ProcessPoolBackend(ExecutionBackend):
                 )
                 for sl in slices
             ]
-            self._await_all(futures, owned=(out,))
+            self._collect("ttm", futures, owned=(out,))
         return out
 
     def ttm(
@@ -490,7 +529,7 @@ class ProcessPoolBackend(ExecutionBackend):
             out_dtype = np.result_type(handle.dtype, matrix.dtype)
             out = ShmTensor(out_shape, out_dtype)
             futures = [
-                self._executor().submit(
+                self._submit(
                     _ttm_block,
                     handle.name, handle.shape, handle.dtype.str,
                     out.name, out_shape, out_dtype.str,
@@ -498,7 +537,7 @@ class ProcessPoolBackend(ExecutionBackend):
                 )
                 for sl in block_slices(handle.shape[split], self.n_workers)
             ]
-            self._await_all(futures, owned=(out,))
+            self._collect("ttm", futures, owned=(out,))
         size = int(np.prod(handle.shape))
         self.ledger.add_compute(
             op="gemm",
@@ -521,7 +560,7 @@ class ProcessPoolBackend(ExecutionBackend):
         slices = self._stored_slices(handle, split)
         with self._worker_lease(handle, slices):
             futures = [
-                self._executor().submit(
+                self._submit(
                     _gram_block_file,
                     handle.path, handle.offset, handle.shape,
                     handle.dtype.str,
@@ -529,7 +568,7 @@ class ProcessPoolBackend(ExecutionBackend):
                 )
                 for sl in slices
             ]
-            partials = self._await_all(futures)
+            partials = self._collect("gram", futures)
         # Fixed ascending-block reduction order (determinism).
         return reduce_partials(partials, handle.shape[mode], out)
 
@@ -568,14 +607,14 @@ class ProcessPoolBackend(ExecutionBackend):
             g = u @ u.T
         else:
             futures = [
-                self._executor().submit(
+                self._submit(
                     _gram_block,
                     handle.name, handle.shape, handle.dtype.str,
                     mode, split, sl.start, sl.stop,
                 )
                 for sl in block_slices(handle.shape[split], self.n_workers)
             ]
-            partials = self._await_all(futures)
+            partials = self._collect("gram", futures)
             # Fixed ascending-block reduction order (determinism).
             g = reduce_partials(partials, length, out)
         g = (g + g.T) * 0.5
@@ -606,14 +645,14 @@ class ProcessPoolBackend(ExecutionBackend):
         # to the itemsize — one formula for every fan-out
         with self._worker_lease(handle, slices):
             futures = [
-                self._executor().submit(
+                self._submit(
                     _norm_block_file,
                     handle.path, handle.offset, handle.shape,
                     handle.dtype.str, sl.start, sl.stop,
                 )
                 for sl in slices
             ]
-            partials = self._await_all(futures)
+            partials = self._collect("norm", futures)
         # Ascending block order, same as every other backend.
         return float(sum(partials))
 
@@ -626,7 +665,7 @@ class ProcessPoolBackend(ExecutionBackend):
             flat = handle.array.reshape(-1)
             return float(np.dot(flat, flat))
         futures = [
-            self._executor().submit(
+            self._submit(
                 _norm_block,
                 handle.name, handle.shape, handle.dtype.str,
                 sl.start, sl.stop,
@@ -634,4 +673,4 @@ class ProcessPoolBackend(ExecutionBackend):
             for sl in slices
         ]
         # Ascending block order, same as the threaded backend.
-        return float(sum(self._await_all(futures)))
+        return float(sum(self._collect("norm", futures)))

@@ -27,6 +27,7 @@ same answer — which is what the property-test suite pins down.
 from __future__ import annotations
 
 import json
+import logging
 import math
 import os
 import warnings
@@ -37,6 +38,19 @@ import numpy as np
 
 from repro.storage import default_memory_budget, parse_bytes
 from repro.util.dtypes import resolve_dtype
+
+logger = logging.getLogger("repro.backends.select")
+
+
+def _warn(message: str) -> None:
+    """Degraded-profile warning: both channels, one call site.
+
+    ``warnings.warn`` stays the API contract (callers filter/assert on
+    ``RuntimeWarning``); the logger copy makes the event visible in
+    log-based observability (``repro -v``) where warnings are invisible.
+    """
+    warnings.warn(message, RuntimeWarning, stacklevel=3)
+    logger.warning(message)
 
 #: backends the auto-selector may choose, in tie-break priority order.
 AUTO_CANDIDATES = ("sequential", "threaded", "procpool")
@@ -152,11 +166,9 @@ def merge_profile(partial: dict) -> dict:
     ]
     profile["calibrated"] = bool(partial.get("calibrated", False))
     if invalid:
-        warnings.warn(
+        _warn(
             f"calibration profile has invalid entries "
-            f"({', '.join(sorted(set(invalid)))}); using defaults for those",
-            RuntimeWarning,
-            stacklevel=2,
+            f"({', '.join(sorted(set(invalid)))}); using defaults for those"
         )
     return profile
 
@@ -188,20 +200,16 @@ def load_profile(path: str | None = None) -> dict:
             ) from exc
         return default_profile()
     except ValueError as exc:  # corrupt JSON, including an empty file
-        warnings.warn(
+        _warn(
             f"calibration profile {path!r} is not valid JSON ({exc}); "
-            f"falling back to the default profile",
-            RuntimeWarning,
-            stacklevel=2,
+            f"falling back to the default profile"
         )
         return default_profile()
     if not isinstance(stored, dict) or stored.get("version") != PROFILE_VERSION:
-        warnings.warn(
+        _warn(
             f"calibration profile {path!r} is not a version-"
             f"{PROFILE_VERSION} profile; falling back to the default "
-            f"profile",
-            RuntimeWarning,
-            stacklevel=2,
+            f"profile"
         )
         return default_profile()
     return merge_profile(stored)
@@ -364,6 +372,7 @@ def select_backend(
         f"core={'x'.join(map(str, core))} on {available_cores} core(s) "
         f"with {n_procs} proc(s): {ranked}"
     )
+    logger.debug("select_backend: %s (%s)", best, ranked)
     return Selection(
         backend=best,
         n_procs=n_procs,

@@ -15,8 +15,20 @@ from repro.bench.algorithms import ALGORITHMS, PAPER_HEURISTICS, make_planner
 from repro.bench.runner import evaluate_algorithms, sweep, normalize_against
 from repro.bench.percentiles import percentile_curve, curve_summary
 from repro.bench.report import ascii_table, format_curve
+from repro.bench.baseline import (
+    compare,
+    gemm_rate,
+    load_baseline,
+    measure_baseline,
+    save_baseline,
+)
 
 __all__ = [
+    "compare",
+    "gemm_rate",
+    "load_baseline",
+    "measure_baseline",
+    "save_baseline",
     "REAL_TENSORS",
     "benchmark_metas",
     "paper_subsample",

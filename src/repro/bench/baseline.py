@@ -1,0 +1,191 @@
+"""Committed performance baseline and regression gate.
+
+The repository carries a ``BENCH_baseline.json`` produced by
+:func:`measure_baseline` on some reference machine. A later run (CI, a
+developer box) re-measures the same deterministic cases and feeds both
+files to :func:`compare`, which fails only on a *large* relative drop.
+
+Raw seconds are useless across machines, so every case's throughput is
+normalized by the measuring machine's own GEMM rate
+(:func:`gemm_rate`): ``normalized = (runs/second) / (madds/second)``.
+Two machines that differ only in raw speed produce (approximately) the
+same normalized figure; a real regression — an accidental O(n^2) path,
+a lost cache, a serialized pool — moves it regardless of hardware. The
+default tolerance is deliberately generous (50%) because shared CI
+boxes are noisy; the gate exists to catch order-of-magnitude mistakes,
+not 5% drift.
+"""
+
+from __future__ import annotations
+
+import json
+from statistics import median
+from time import perf_counter
+
+import numpy as np
+
+#: bump when the case set or normalization changes incompatibly
+BASELINE_VERSION = 1
+
+#: multiply-add count of the calibration GEMM (256^3)
+_GEMM_N = 256
+
+
+def gemm_rate(repeats: int = 5) -> float:
+    """This machine's dense-GEMM throughput in multiply-adds/second.
+
+    Median-of-``repeats`` of a fixed 256x256x256 matmul — the median
+    (not the best) because the cases below are medians too: a shared
+    box's transient stalls then bias numerator and denominator alike
+    and mostly cancel in the normalized ratio.
+    """
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((_GEMM_N, _GEMM_N))
+    b = rng.standard_normal((_GEMM_N, _GEMM_N))
+    a @ b  # warm the BLAS threads once, outside the timed region
+    a @ b
+    times = []
+    for _ in range(max(1, repeats)):
+        t0 = perf_counter()
+        a @ b
+        times.append(perf_counter() - t0)
+    return float(_GEMM_N) ** 3 / max(median(times), 1e-9)
+
+
+def _bench_cases():
+    """The deterministic workloads the baseline pins.
+
+    Small enough that the whole measurement stays under a few seconds,
+    but each one crosses a distinct subsystem: the plain sequential
+    path, the threaded pool through the batch API, and the mmap spill
+    path. Returns ``name -> zero-arg callable returning runs-completed``.
+    """
+    from repro.session import TuckerSession
+    from repro.tensor.random import random_tensor
+
+    x = random_tensor((40, 32, 28), seed=0)
+    core = (8, 6, 5)
+
+    def sequential_single() -> int:
+        session = TuckerSession(backend="sequential")
+        session.run(x, core, max_iters=4)
+        return 1
+
+    def threaded_batch() -> int:
+        session = TuckerSession(backend="threaded", n_procs=2)
+        try:
+            batch = session.run_many([x, x * 0.5, x * 2.0], core_dims=core,
+                                     max_iters=2)
+        finally:
+            session.close()
+        return batch.n_items
+
+    def mmap_spill() -> int:
+        session = TuckerSession(backend="sequential")
+        session.run(x, core, max_iters=2, storage="mmap")
+        return 1
+
+    return {
+        "sequential-single": sequential_single,
+        "threaded-batch": threaded_batch,
+        "mmap-spill": mmap_spill,
+    }
+
+
+def measure_baseline(repeats: int = 3) -> dict:
+    """Measure every case; returns the JSON-able baseline document.
+
+    The GEMM probe runs before *and* after the cases and the faster of
+    the two calibrates — frequency ramp-up between probe and cases is
+    the dominant systematic error on idle boxes.
+    """
+    rate = gemm_rate()
+    timings: dict[str, tuple[float, float]] = {}
+    for name, fn in _bench_cases().items():
+        runs = fn()  # warm pools/caches outside the timed repeats
+        times = []
+        for _ in range(max(1, repeats)):
+            t0 = perf_counter()
+            runs = fn()
+            times.append(perf_counter() - t0)
+        timings[name] = (median(times), float(runs))
+    rate = max(rate, gemm_rate())
+    cases: dict[str, dict[str, float]] = {}
+    for name, (seconds, runs) in timings.items():
+        cases[name] = {
+            "seconds": seconds,
+            "runs": runs,
+            # runs/second per (madd/second): machine-rate-normalized
+            "normalized": (runs / max(seconds, 1e-9)) / rate,
+        }
+    return {
+        "version": BASELINE_VERSION,
+        "gemm_rate": rate,
+        "cases": cases,
+    }
+
+
+def compare(
+    current: dict, baseline: dict, tolerance: float = 0.5
+) -> tuple[bool, list[dict]]:
+    """Gate ``current`` against ``baseline``; ``(ok, per-case rows)``.
+
+    A case fails when its normalized throughput drops more than
+    ``tolerance`` (a fraction) below the baseline's, or when a baseline
+    case is missing from the current measurement (a silently dropped
+    case would otherwise neuter the gate). Extra current-only cases
+    are reported but never gate.
+    """
+    if not 0 <= tolerance < 1:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    if baseline.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline version {baseline.get('version')!r} != "
+            f"{BASELINE_VERSION}; re-measure with 'repro bench --out'"
+        )
+    rows: list[dict] = []
+    ok = True
+    base_cases = baseline.get("cases") or {}
+    cur_cases = current.get("cases") or {}
+    for name, base in sorted(base_cases.items()):
+        cur = cur_cases.get(name)
+        if cur is None:
+            rows.append({
+                "case": name, "status": "MISSING",
+                "baseline": base["normalized"], "current": None,
+                "ratio": None,
+            })
+            ok = False
+            continue
+        floor = base["normalized"] * (1.0 - tolerance)
+        ratio = (
+            cur["normalized"] / base["normalized"]
+            if base["normalized"] > 0 else float("inf")
+        )
+        failed = cur["normalized"] < floor
+        rows.append({
+            "case": name,
+            "status": "FAIL" if failed else "ok",
+            "baseline": base["normalized"],
+            "current": cur["normalized"],
+            "ratio": ratio,
+        })
+        ok = ok and not failed
+    for name in sorted(set(cur_cases) - set(base_cases)):
+        rows.append({
+            "case": name, "status": "new",
+            "baseline": None, "current": cur_cases[name]["normalized"],
+            "ratio": None,
+        })
+    return ok, rows
+
+
+def load_baseline(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def save_baseline(doc: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -6,6 +6,8 @@ Subcommands
 ``decompose``  actually decompose a tensor via the session API
 ``calibrate``  measure per-backend throughput; persist an auto-selection profile
 ``psi``        print the Table-1 grid counts for given P and N range
+``trace``      inspect a saved run trace (``trace summarize out.json``)
+``bench``      measure the committed performance baseline; gate regressions
 ``model``      model one HOOI invocation for every algorithm configuration
 ``suite``      print benchmark-suite statistics
 
@@ -15,6 +17,9 @@ Examples::
     python -m repro decompose --random 24,20,16 --core 6,5,4 --backend auto
     python -m repro decompose --input t.npy --core 8,6,5 --json
     python -m repro decompose --input huge.npy --core 8,6,5 --storage mmap
+    python -m repro decompose --random 24,20,16 --core 6,5,4 --trace out.json
+    python -m repro trace summarize out.json
+    python -m repro bench --compare BENCH_baseline.json
     python -m repro batch --glob 'data/*.npy' --core 8,6,5 --memory-budget 2G
     python -m repro calibrate --out profile.json
     python -m repro psi -p 32 --n-min 5 --n-max 10
@@ -26,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from collections.abc import Sequence
 
@@ -135,7 +141,8 @@ def cmd_decompose(args) -> int:
         raise SystemExit("--calibration requires --backend auto")
     try:
         session = TuckerSession(
-            backend=args.backend, n_procs=args.procs, calibration=calibration
+            backend=args.backend, n_procs=args.procs, calibration=calibration,
+            trace=bool(args.trace),
         )
     except ValueError as exc:  # bad profile path, bad backend config, ...
         raise SystemExit(str(exc)) from None
@@ -154,6 +161,8 @@ def cmd_decompose(args) -> int:
     )
     stats = result.stats  # scoped to this run, even on a reused backend
     plan = result.plan
+    if args.trace:
+        result.trace.save(args.trace)
     payload = {
         "dims": list(tensor.shape),
         "core": list(result.decomposition.core_dims),
@@ -172,8 +181,11 @@ def cmd_decompose(args) -> int:
         "selection_reason": result.selection_reason,
         "storage": result.storage,
         "storage_reason": result.storage_reason,
+        "seconds": result.seconds,
         "ledger": stats,
     }
+    if args.trace:
+        payload["trace"] = args.trace
     if args.json:
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
@@ -193,6 +205,11 @@ def cmd_decompose(args) -> int:
     print(f"compression ratio:  {result.compression_ratio:.2f}x")
     print(f"ledger volume:      {stats['comm_volume']:,.0f} elements")
     print(f"ledger flops:       {stats['flops']:,.0f} multiply-adds")
+    print(f"wall time:          {result.seconds:.3f}s")
+    if args.trace:
+        print(f"trace written to    {args.trace} "
+              f"(chrome://tracing / ui.perfetto.dev, or "
+              f"'repro trace summarize {args.trace}')")
     return 0
 
 
@@ -240,7 +257,8 @@ def cmd_batch(args) -> int:
         raise SystemExit("--calibration requires --backend auto")
     try:
         session = TuckerSession(
-            backend=args.backend, n_procs=args.procs, calibration=calibration
+            backend=args.backend, n_procs=args.procs, calibration=calibration,
+            trace=bool(args.trace),
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
@@ -264,6 +282,8 @@ def cmd_batch(args) -> int:
         raise SystemExit(str(exc)) from None
     finally:
         session.close()
+    if args.trace:
+        batch.trace.save(args.trace)
     aggregate = batch.stats()
     if args.json:
         payload = {
@@ -327,6 +347,8 @@ def cmd_batch(args) -> int:
           f"({batch.cache_hits} cache hit(s))")
     print(f"ledger volume:      {aggregate['comm_volume']:,.0f} elements")
     print(f"ledger flops:       {aggregate['flops']:,.0f} multiply-adds")
+    if args.trace:
+        print(f"trace written to    {args.trace}")
     return 1 if batch.failures else 0
 
 
@@ -366,6 +388,75 @@ def cmd_calibrate(args) -> int:
     print(f"profile written to {path}")
     print("auto-selection sessions pick it up via "
           "TuckerSession(backend='auto')")
+    return 0
+
+
+def cmd_trace_summarize(args) -> int:
+    from repro.obs import format_summary, load_trace, summarize
+
+    try:
+        trace = load_trace(args.path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot load trace {args.path!r}: {exc}") from None
+    rows = summarize(trace)
+    if args.json:
+        print(json.dumps({"meta": {k: v for k, v in trace.meta.items()
+                                   if k != "metrics"},
+                          "rows": rows}, indent=2, sort_keys=True,
+                         default=str))
+        return 0
+    meta = trace.meta
+    title = None
+    if meta.get("dims"):
+        title = (
+            f"{'x'.join(map(str, meta['dims']))} -> "
+            f"{'x'.join(map(str, meta.get('core', ())))} "
+            f"on {meta.get('backend', '?')}"
+        )
+    print(format_summary(rows, title=title))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.bench import baseline as bl
+
+    doc = bl.measure_baseline(repeats=args.repeats)
+    if args.out:
+        bl.save_baseline(doc, args.out)
+    if args.compare:
+        try:
+            base = bl.load_baseline(args.compare)
+            ok, rows = bl.compare(doc, base, tolerance=args.tolerance)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"bench compare failed: {exc}") from None
+        if args.json:
+            print(json.dumps({"ok": ok, "rows": rows, "current": doc},
+                             indent=2, sort_keys=True))
+        else:
+            def fmt(x):
+                return "-" if x is None else f"{x:.3e}"
+
+            print(ascii_table(
+                ["case", "status", "baseline", "current", "ratio"],
+                [[r["case"], r["status"], fmt(r["baseline"]),
+                  fmt(r["current"]),
+                  "-" if r["ratio"] is None else f"{r['ratio']:.2f}x"]
+                 for r in rows],
+            ))
+            print("bench gate:", "ok" if ok else
+                  f"REGRESSION (>{args.tolerance:.0%} drop)")
+        return 0 if ok else 1
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(ascii_table(
+            ["case", "seconds", "normalized"],
+            [[name, f"{c['seconds']:.3f}", f"{c['normalized']:.3e}"]
+             for name, c in sorted(doc["cases"].items())],
+        ))
+        print(f"gemm rate: {doc['gemm_rate'] / 1e9:.2f}G madds/s")
+        if args.out:
+            print(f"baseline written to {args.out}")
     return 0
 
 
@@ -426,6 +517,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="Distributed Tucker decomposition planner/model "
         "(Chakaravarthy et al., IPDPS 2017 reproduction)",
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log to stderr: -v for INFO, -vv for DEBUG "
+        "(the library is silent by default)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_meta_args(p):
@@ -478,6 +574,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_dec.add_argument("--skip-hooi", action="store_true")
     p_dec.add_argument("--seed", type=int, default=0)
     _add_storage_args(p_dec)
+    p_dec.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a span trace of the run and write it here as a "
+        "Chrome trace-event file (.jsonl extension selects JSON-lines); "
+        "inspect with 'repro trace summarize PATH' or ui.perfetto.dev",
+    )
     p_dec.add_argument("--json", action="store_true")
     p_dec.set_defaults(func=cmd_decompose)
 
@@ -527,6 +629,11 @@ def build_parser() -> argparse.ArgumentParser:
         "streaming (exit code 1 if anything failed)",
     )
     _add_storage_args(p_batch)
+    p_batch.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a span trace of the whole batch and write it here "
+        "(Chrome trace-event format; .jsonl selects JSON-lines)",
+    )
     p_batch.add_argument("--json", action="store_true")
     p_batch.set_defaults(func=cmd_batch)
 
@@ -549,6 +656,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_cal.add_argument("--json", action="store_true")
     p_cal.set_defaults(func=cmd_calibrate)
 
+    p_trace = sub.add_parser(
+        "trace", help="inspect a saved run trace"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_tsum = trace_sub.add_parser(
+        "summarize",
+        help="per-step table: modeled volume vs measured seconds/bytes",
+    )
+    p_tsum.add_argument("path", help="trace file (Chrome or JSON-lines)")
+    p_tsum.add_argument("--json", action="store_true")
+    p_tsum.set_defaults(func=cmd_trace_summarize)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="measure the performance baseline cases; optionally gate "
+        "against a committed baseline",
+    )
+    p_bench.add_argument(
+        "--out", help="write the measured baseline JSON here"
+    )
+    p_bench.add_argument(
+        "--compare", metavar="BASELINE",
+        help="compare against this baseline file; exit 1 on regression",
+    )
+    p_bench.add_argument(
+        "--tolerance", type=float, default=0.5,
+        help="allowed fractional drop in normalized throughput before "
+        "the gate fails (default 0.5)",
+    )
+    p_bench.add_argument("--repeats", type=int, default=3)
+    p_bench.add_argument("--json", action="store_true")
+    p_bench.set_defaults(func=cmd_bench)
+
     p_psi = sub.add_parser("psi", help="grid counts (Table 1)")
     p_psi.add_argument("-p", "--procs", type=int, default=32)
     p_psi.add_argument("--n-min", type=int, default=5)
@@ -568,6 +708,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.verbose:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        root = logging.getLogger("repro")
+        root.addHandler(handler)
+        root.setLevel(
+            logging.INFO if args.verbose == 1 else logging.DEBUG
+        )
     return args.func(args)
 
 

@@ -47,15 +47,25 @@ class Record:
 
 
 class StatsLedger:
-    """Append-only list of :class:`Record` with aggregation helpers."""
+    """Append-only list of :class:`Record` with aggregation helpers.
+
+    ``observer``, when set, is called with every record as it is
+    appended — the hook the tracing layer (:mod:`repro.obs`) uses to
+    mirror ledger events as spans without touching any recording call
+    site. Observers see live appends only: :meth:`merge` copies records
+    that were already observed (or deliberately not) at their origin.
+    """
 
     def __init__(self) -> None:
         self._records: list[Record] = []
+        self.observer: Callable[[Record], None] | None = None
 
     # -- recording ------------------------------------------------------ #
 
     def add(self, record: Record) -> None:
         self._records.append(record)
+        if self.observer is not None:
+            self.observer(record)
 
     def add_comm(
         self, op: str, tag: str, group_size: int, elements: float, seconds: float

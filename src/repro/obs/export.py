@@ -1,0 +1,242 @@
+"""Trace exporters: Chrome trace-event JSON and JSON-lines.
+
+Chrome format follows the trace-event spec's "JSON object format": a
+top-level object with ``traceEvents`` (one complete ``"X"`` event per
+span, microsecond timestamps relative to the trace epoch) plus
+``otherData`` carrying the trace's run-level metadata. The files load
+directly in Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``.
+
+Round-tripping is lossless: each event's ``args`` carries the span's
+sid/parent/kind/attrs *and* its full-precision ``t0``/``t1`` (Chrome's
+integer-microsecond ``ts``/``dur`` would otherwise truncate
+``perf_counter`` resolution), so ``load_trace(write_chrome(t)) == t``
+up to dataclass equality.
+
+JSON-lines is the streaming-friendly sibling: line 1 is a ``meta``
+header, every following line one span.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.trace import Span, SpanEvent, Trace
+
+__all__ = [
+    "load_chrome",
+    "load_trace",
+    "read_jsonl",
+    "to_chrome",
+    "to_jsonl",
+    "write_chrome",
+    "write_jsonl",
+]
+
+# Lane assignment: Perfetto draws one track per (pid, tid). Main-process
+# spans nest on their kind's lane; worker spans land on a per-worker-pid
+# lane so pool fan-outs render as parallel tracks.
+_TIDS = {"phase": 1, "step": 2, "io": 3, "worker": 4}
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars / tuples into plain JSON types."""
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if hasattr(value, "item") and callable(value.item):
+        try:
+            return value.item()
+        except Exception:
+            return str(value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _span_record(span: Span) -> dict[str, Any]:
+    """The canonical JSON shape of one span (shared by both formats)."""
+    out: dict[str, Any] = {
+        "sid": span.sid,
+        "name": span.name,
+        "kind": span.kind,
+        "t0": span.start,
+        "t1": span.end,
+        "parent": span.parent,
+        "attrs": _jsonable(span.attrs),
+    }
+    if span.events:
+        out["events"] = [
+            {"name": e.name, "t": e.t, "attrs": _jsonable(e.attrs)}
+            for e in span.events
+        ]
+    return out
+
+
+def _span_from_record(d: dict[str, Any]) -> Span:
+    return Span(
+        sid=int(d["sid"]),
+        name=d["name"],
+        kind=d["kind"],
+        start=float(d["t0"]),
+        end=float(d["t1"]),
+        parent=int(d["parent"]) if d.get("parent") is not None else None,
+        attrs=dict(d.get("attrs") or {}),
+        events=[
+            SpanEvent(
+                name=e["name"], t=float(e["t"]), attrs=dict(e.get("attrs") or {})
+            )
+            for e in d.get("events", ())
+        ],
+    )
+
+
+# --------------------------------------------------------------------- #
+# Chrome trace-event format
+# --------------------------------------------------------------------- #
+
+
+def to_chrome(trace: Trace) -> dict[str, Any]:
+    """Build the Chrome trace-event JSON object for ``trace``."""
+    epoch = min((s.start for s in trace.spans), default=0.0)
+    events: list[dict[str, Any]] = []
+    for span in trace.spans:
+        record = _span_record(span)
+        args = {
+            "sid": record["sid"],
+            "parent": record["parent"],
+            "kind": record["kind"],
+            "t0": record["t0"],
+            "t1": record["t1"],
+        }
+        args.update(record["attrs"])
+        tid = _TIDS.get(span.kind, 1)
+        if span.kind == "worker" and "pid" in span.attrs:
+            tid = 1000 + int(span.attrs["pid"]) % 1000
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.kind,
+                "ph": "X",
+                "ts": (span.start - epoch) * 1e6,
+                "dur": span.seconds * 1e6,
+                "pid": 1,
+                "tid": tid,
+                "args": args,
+            }
+        )
+        for evt in span.events:
+            events.append(
+                {
+                    "name": evt.name,
+                    "cat": "event",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": (evt.t - epoch) * 1e6,
+                    "pid": 1,
+                    "tid": tid,
+                    "args": dict(
+                        _jsonable(evt.attrs), span=span.sid, t=evt.t
+                    ),
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": _jsonable(dict(trace.meta)),
+    }
+
+
+def write_chrome(trace: Trace, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome(trace), fh)
+        fh.write("\n")
+
+
+def load_chrome(path: str) -> Trace:
+    """Reconstruct a :class:`Trace` from a Chrome trace-event file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    return from_chrome(doc)
+
+
+def from_chrome(doc: dict[str, Any]) -> Trace:
+    if "traceEvents" not in doc:
+        raise ValueError("not a Chrome trace-event document")
+    spans: dict[int, Span] = {}
+    pending_events: list[dict[str, Any]] = []
+    for event in doc.get("traceEvents", ()):
+        if event.get("ph") == "X":
+            args = dict(event.get("args") or {})
+            sid = int(args.pop("sid"))
+            parent = args.pop("parent", None)
+            kind = args.pop("kind", event.get("cat", "phase"))
+            t0 = float(args.pop("t0"))
+            t1 = float(args.pop("t1"))
+            spans[sid] = Span(
+                sid=sid,
+                name=event["name"],
+                kind=kind,
+                start=t0,
+                end=t1,
+                parent=int(parent) if parent is not None else None,
+                attrs=args,
+            )
+        elif event.get("ph") == "i":
+            pending_events.append(event)
+    for event in pending_events:
+        args = dict(event.get("args") or {})
+        sid = args.pop("span", None)
+        t = args.pop("t", None)
+        if sid is not None and int(sid) in spans and t is not None:
+            spans[int(sid)].events.append(
+                SpanEvent(name=event["name"], t=float(t), attrs=args)
+            )
+    ordered = tuple(spans[sid] for sid in sorted(spans))
+    return Trace(spans=ordered, meta=dict(doc.get("otherData") or {}))
+
+
+# --------------------------------------------------------------------- #
+# JSON-lines format
+# --------------------------------------------------------------------- #
+
+
+def to_jsonl(trace: Trace) -> str:
+    lines = [json.dumps({"meta": _jsonable(dict(trace.meta))})]
+    lines.extend(json.dumps(_span_record(s)) for s in trace.spans)
+    return "\n".join(lines) + "\n"
+
+
+def write_jsonl(trace: Trace, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_jsonl(trace))
+
+
+def read_jsonl(path: str) -> Trace:
+    meta: dict[str, Any] = {}
+    spans: list[Span] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            d = json.loads(line)
+            if "meta" in d and "sid" not in d:
+                meta = dict(d["meta"] or {})
+            else:
+                spans.append(_span_from_record(d))
+    return Trace(spans=tuple(spans), meta=meta)
+
+
+def load_trace(path: str) -> Trace:
+    """Load either format, sniffing the first byte (``{`` → Chrome)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        head = fh.read(4096).lstrip()
+    if head.startswith("{"):
+        first = json.loads(head.split("\n", 1)[0]) if "\n" in head else None
+        # A JSONL header line is itself a JSON object; distinguish by key.
+        if first is not None and ("meta" in first or "sid" in first):
+            return read_jsonl(path)
+        return load_chrome(path)
+    raise ValueError(f"{path}: not a repro trace file")

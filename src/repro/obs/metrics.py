@@ -1,0 +1,193 @@
+"""Counters, gauges and histograms for the observability layer.
+
+A :class:`MetricsRegistry` is a named bag of three instrument kinds:
+
+* :class:`Counter` — monotonically increasing totals (plan-cache hits,
+  spill I/O bytes, runs executed);
+* :class:`Gauge` — last-written values with a retained high-water mark
+  (:class:`~repro.storage.store.ResidentGauge` peak, pool utilization);
+* :class:`Histogram` — observed samples with percentile summaries
+  (per-step seconds), computed by the same
+  :func:`repro.bench.percentiles.percentile_curve` the benchmark layer
+  uses, so trace summaries and bench reports quote identical
+  percentile semantics.
+
+Instruments are created on first use (``registry.counter("x").inc()``)
+and are thread-safe: out-of-core helper threads bump spill counters
+concurrently with the main thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+DEFAULT_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A last-written value that remembers its high-water mark."""
+
+    __slots__ = ("name", "_value", "_peak", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._peak = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+            if value > self._peak:
+                self._peak = float(value)
+
+    def max(self, value: float) -> None:
+        """Raise the gauge to ``value`` if it is higher (peak tracking)."""
+        with self._lock:
+            if value > self._value:
+                self._value = float(value)
+            if value > self._peak:
+                self._peak = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    @property
+    def peak(self) -> float:
+        return self._peak
+
+
+class Histogram:
+    """Observed samples with count/total/percentile summaries."""
+
+    __slots__ = ("name", "_values", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: list[float] = []
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        return sum(self._values)
+
+    @property
+    def values(self) -> tuple[float, ...]:
+        return tuple(self._values)
+
+    def percentiles(
+        self, points: Sequence[float] = DEFAULT_PERCENTILES
+    ) -> dict[float, float]:
+        """``{percentile: value}`` over the observed samples."""
+        # Imported lazily: repro.bench.__init__ pulls in the session
+        # layer, which imports repro.obs — a top-level import here would
+        # close that cycle.
+        from repro.bench.percentiles import percentile_curve
+
+        with self._lock:
+            if not self._values:
+                return {float(p): 0.0 for p in points}
+            curve = percentile_curve(self._values, points)
+        return {float(p): float(v) for p, v in curve.items()}
+
+    def summary(self) -> dict[str, float]:
+        with self._lock:
+            values = list(self._values)
+        if not values:
+            return {"count": 0.0, "total": 0.0, "mean": 0.0}
+        out = {
+            "count": float(len(values)),
+            "total": float(sum(values)),
+            "mean": float(sum(values) / len(values)),
+        }
+        out.update(
+            {f"p{p:g}": v for p, v in self.percentiles().items()}
+        )
+        return out
+
+
+class MetricsRegistry:
+    """A named collection of instruments, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            inst = self._counters.get(name)
+            if inst is None:
+                inst = self._counters[name] = Counter(name)
+            return inst
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            inst = self._gauges.get(name)
+            if inst is None:
+                inst = self._gauges[name] = Gauge(name)
+            return inst
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            inst = self._histograms.get(name)
+            if inst is None:
+                inst = self._histograms[name] = Histogram(name)
+            return inst
+
+    def snapshot(self) -> dict[str, Any]:
+        """A plain-dict dump (JSON-serializable) of every instrument."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {n: c.value for n, c in sorted(counters.items())},
+            "gauges": {
+                n: {"value": g.value, "peak": g.peak}
+                for n, g in sorted(gauges.items())
+            },
+            "histograms": {
+                n: h.summary() for n, h in sorted(histograms.items())
+            },
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

@@ -28,12 +28,13 @@ The legacy entry points (``tucker``, ``hooi_sequential``,
 
 from __future__ import annotations
 
+import logging
 import math
 import os
 from collections import OrderedDict, deque
 from collections.abc import Callable, Iterable, Sequence
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from time import perf_counter
 
 import numpy as np
 
@@ -63,9 +64,13 @@ from repro.core.meta import TensorMeta
 from repro.core.ordering import optimal_chain_ordering
 from repro.core.planner import Plan, Planner
 from repro.mpi.stats import StatsLedger
+from repro.obs import MetricsRegistry, Trace, Tracer, canonical_tag
+from repro.obs.trace import NULL_TRACER
 from repro.util import serial
 from repro.util.dtypes import resolve_dtype
 from repro.util.validation import check_core_dims, check_positive_int
+
+logger = logging.getLogger("repro.session")
 
 __all__ = [
     "BatchFailure",
@@ -98,6 +103,12 @@ class TuckerResult:
     ``stats`` is its uniform summary. ``storage`` reports where the
     working set lived (``"memory"`` or ``"mmap"``) and
     ``storage_reason`` why the policy picked it.
+
+    ``seconds`` is the wall-clock duration of this run's root span —
+    the session times every run through its tracer, so result timings
+    and traces cannot disagree. ``trace`` holds the run's drained
+    :class:`~repro.obs.Trace` when the session was built with
+    ``trace=True`` (``None`` otherwise).
     """
 
     decomposition: "TuckerDecomposition"  # noqa: F821 - hooi import is lazy
@@ -112,6 +123,8 @@ class TuckerResult:
     ledger: StatsLedger | None = None
     storage: str = "memory"
     storage_reason: str = ""
+    seconds: float = 0.0
+    trace: Trace | None = None
 
     @property
     def error(self) -> float:
@@ -139,7 +152,8 @@ class BatchItem:
     ``index`` is the item's position in the input stream; ``seq`` is its
     execution position (plan-key grouping inside the in-flight window may
     execute items out of arrival order). ``source`` is the ``.npy`` path
-    for file items and ``"item[i]"`` for in-memory arrays.
+    for file items and ``"item[i]"`` for in-memory arrays. ``seconds``
+    is the item's run-root-span duration (== ``result.seconds``).
     """
 
     index: int
@@ -188,6 +202,10 @@ class BatchResult:
     ledger: StatsLedger
     plans_compiled: int
     cache_hits: int
+    #: merged batch trace (batch root + every item's spans) on traced
+    #: sessions; ``None`` otherwise. ``seconds`` is the batch root
+    #: span's duration.
+    trace: Trace | None = None
 
     @property
     def results(self) -> list[TuckerResult]:
@@ -440,6 +458,15 @@ class TuckerSession:
         Root directory for spill files (default ``$REPRO_SPILL_DIR``,
         else the system tempdir). Each spilled run uses a private
         subdirectory, removed when the run finishes.
+    trace:
+        ``True`` to record a full :class:`~repro.obs.Trace` per run
+        (``result.trace``): phase spans, one step span per ledger
+        record, spill I/O spans, procpool worker fragments, plus the
+        plan's modeled per-step volumes for ``repro trace summarize``.
+        A ready :class:`~repro.obs.Tracer` is also accepted (shared
+        timelines across sessions). Default off: execution still times
+        runs through a root span (``result.seconds``) but records
+        nothing else — kernels see only the no-op tracer.
     """
 
     def __init__(
@@ -454,6 +481,7 @@ class TuckerSession:
         storage: str = "auto",
         memory_budget: int | str | None = None,
         spill_dir: str | None = None,
+        trace: bool | Tracer = False,
     ) -> None:
         self._auto = isinstance(backend, str) and backend == AUTO_BACKEND
         self._selection: Selection | None = None
@@ -500,6 +528,20 @@ class TuckerSession:
             parse_bytes(memory_budget) if memory_budget is not None else None
         )
         self._spill_dir = spill_dir
+        # The session always owns a real tracer: the per-run root span
+        # is what result.seconds reads even with tracing off (one span
+        # per run, drained immediately — no accumulation). Inner
+        # instrumentation activates only when `trace` is truthy.
+        if isinstance(trace, Tracer):
+            self.tracer = trace
+            self._trace_enabled = True
+        else:
+            self.tracer = Tracer()
+            self._trace_enabled = bool(trace)
+        self.metrics = MetricsRegistry()
+        #: trace of the most recent *failed* traced run (``on_error=
+        #: "skip"`` batches fold these into the batch trace).
+        self.last_error_trace: Trace | None = None
 
     # -- storage policy ---------------------------------------------------- #
 
@@ -613,6 +655,16 @@ class TuckerSession:
                     ),
                 )
             self._selection = selection
+            logger.debug(
+                "auto-selected backend %s (n_procs=%d): %s",
+                selection.backend, selection.n_procs, selection.reason,
+            )
+            self._tr().event(
+                "select:backend",
+                backend=selection.backend,
+                n_procs=selection.n_procs,
+                reason=selection.reason,
+            )
             return
         raise BackendUnavailableError(
             f"no auto-eligible backend is available: {'; '.join(errors)}",
@@ -653,6 +705,96 @@ class TuckerSession:
                 self._selection.reason if self._auto and self._selection else ""
             ),
         }
+
+    # -- tracing ----------------------------------------------------------- #
+
+    def _tr(self) -> Tracer:
+        """The live tracer for instrumentation, or the shared no-op.
+
+        Only the per-run root span bypasses this (it must exist for
+        ``result.seconds`` even untraced); every other instrumentation
+        point routes here so disabled tracing costs one attribute read.
+        """
+        return self.tracer if self._trace_enabled else NULL_TRACER
+
+    @contextmanager
+    def _observed(self, run_store=None):
+        """Point the resolved backend (and spill store) at the tracer.
+
+        Attaches the ledger observer — every :class:`Record` the backend
+        appends becomes a ``kind="step"`` span — plus the backend and
+        store tracer references (worker fragments, spill I/O spans).
+        Always restored: a crashed run leaves no observer behind.
+        """
+        if not self._trace_enabled:
+            yield
+            return
+        backend = self.backend
+        ledger = backend.ledger
+        prev_observer = ledger.observer
+        prev_tracer = backend.tracer
+        prev_store_tracer = run_store.tracer if run_store is not None else None
+        ledger.observer = self.tracer.on_record
+        backend.tracer = self.tracer
+        if run_store is not None:
+            run_store.tracer = self.tracer
+        try:
+            yield
+        finally:
+            ledger.observer = prev_observer
+            backend.tracer = prev_tracer
+            if run_store is not None:
+                run_store.tracer = prev_store_tracer
+
+    def _finish_trace(self, root, tmark: int) -> Trace | None:
+        """Drain this run's spans; fold run metrics; ``None`` untraced."""
+        self.metrics.counter("runs").inc()
+        self.metrics.histogram("run_seconds").observe(root.seconds)
+        if not self._trace_enabled:
+            self.tracer.drain(tmark)  # just the root span; keep memory flat
+            return None
+        trace = self.tracer.drain(tmark)
+        trace.meta.update(dict(root.attrs))
+        self._fold_metrics(trace)
+        trace.meta["metrics"] = self.metrics.snapshot()
+        return trace
+
+    def _stash_error_trace(self, tmark: int) -> None:
+        """Preserve a failed run's partial spans (crash forensics)."""
+        if self._trace_enabled:
+            trace = self.tracer.drain(tmark)
+            roots = trace.roots()
+            if roots:
+                trace.meta.update(dict(roots[-1].attrs))
+            self.last_error_trace = trace
+        else:
+            self.tracer.drain(tmark)
+
+    def _fold_metrics(self, trace: Trace) -> None:
+        """Update the session registry from one run's spans."""
+        for span in trace.spans:
+            if span.kind == "step":
+                component = canonical_tag(span.name).split(":", 1)[0]
+                self.metrics.histogram(
+                    f"step_seconds:{component}"
+                ).observe(span.seconds)
+            elif span.kind == "io":
+                name = "spill_write_bytes" if span.name == "spill:write" else "spill_read_bytes"
+                self.metrics.counter(name).inc(
+                    float(span.attrs.get("bytes", 0) or 0)
+                )
+        workers = trace.by_kind("worker")
+        if workers:
+            busy = sum(s.seconds for s in workers)
+            n_workers = int(getattr(self.backend, "n_workers", 1) or 1)
+            wall = trace.seconds
+            if wall > 0:
+                self.metrics.gauge("pool_utilization").set(
+                    min(1.0, busy / (wall * n_workers))
+                )
+        peak = trace.meta.get("resident_peak")
+        if peak:
+            self.metrics.gauge("resident_peak_bytes").max(float(peak))
 
     # -- plan cache ------------------------------------------------------- #
 
@@ -737,8 +879,14 @@ class TuckerSession:
         if cached is not None:
             self._cache.move_to_end(key)
             self._hits += 1
+            self.metrics.counter("plan_cache_hits").inc()
             return cached, True
         self._misses += 1
+        self.metrics.counter("plan_cache_misses").inc()
+        logger.info(
+            "compiling plan: dims=%s core=%s n_procs=%d planner=%s",
+            meta.dims, meta.core, procs, planner_key,
+        )
         if isinstance(planner, Planner):
             plan = planner.plan(meta)
         elif planner == "portfolio":
@@ -856,12 +1004,14 @@ class TuckerSession:
         from repro.hooi.decomposition import TuckerDecomposition
 
         backend = self.backend
+        tr = self._tr()
         meta = compiled.meta
         factors = check_factors(factors, meta, dtype=compiled.dtype)
         if handle is None:
-            handle = backend.distribute(
-                arr, compiled.initial_grid, store=store
-            )
+            with tr.span("distribute", kind="phase"):
+                handle = backend.distribute(
+                    arr, compiled.initial_grid, store=store
+                )
         if t_norm_sq is None:
             # Callers that already reduced the input norm over this very
             # handle pass it in — on an out-of-core handle this reduction
@@ -870,34 +1020,40 @@ class TuckerSession:
         workspace = compiled.gram_workspace()
         errors: list[float] = []
         core_handle = None
-        for it in range(max_iters):
-            tag = f"hooi:it{it}"
-            new = run_tree_steps(
-                backend,
-                handle,
-                factors,
-                compiled.tree_steps,
-                tag=tag,
-                workspace=workspace,
-            )
-            if sorted(new) != list(range(meta.ndim)):
-                raise AssertionError(
-                    "tree execution did not produce every factor"
+        with tr.span("hooi", kind="phase"):
+            for it in range(max_iters):
+                tag = f"hooi:it{it}"
+                with tr.span(tag, kind="phase", iteration=it):
+                    new = run_tree_steps(
+                        backend,
+                        handle,
+                        factors,
+                        compiled.tree_steps,
+                        tag=tag,
+                        workspace=workspace,
+                    )
+                    if sorted(new) != list(range(meta.ndim)):
+                        raise AssertionError(
+                            "tree execution did not produce every factor"
+                        )
+                    factors = [new[m] for m in range(meta.ndim)]
+                    core_handle = run_core_steps(
+                        backend, handle, factors, compiled.core_steps,
+                        tag=f"{tag}:core",
+                    )
+                    g_norm_sq = backend.fro_norm_sq(
+                        core_handle, tag="norm:core"
+                    )
+                err_sq = max(t_norm_sq - g_norm_sq, 0.0)
+                errors.append(
+                    0.0 if t_norm_sq == 0 else float(math.sqrt(err_sq / t_norm_sq))
                 )
-            factors = [new[m] for m in range(meta.ndim)]
-            core_handle = run_core_steps(
-                backend, handle, factors, compiled.core_steps, tag=f"{tag}:core"
-            )
-            g_norm_sq = backend.fro_norm_sq(core_handle, tag="norm:core")
-            err_sq = max(t_norm_sq - g_norm_sq, 0.0)
-            errors.append(
-                0.0 if t_norm_sq == 0 else float(math.sqrt(err_sq / t_norm_sq))
-            )
-            if it > 0 and errors[-2] - errors[-1] < tol:
-                break
+                if it > 0 and errors[-2] - errors[-1] < tol:
+                    break
         # Copy: shared-memory cores may alias reusable workspace/output
         # buffers that the next run would overwrite.
-        core = np.array(backend.gather(core_handle), copy=True)
+        with tr.span("gather", kind="phase"):
+            core = np.array(backend.gather(core_handle), copy=True)
         dec = TuckerDecomposition(core=core, factors=list(factors))
         return dec, errors
 
@@ -924,16 +1080,42 @@ class TuckerSession:
         distributed backend. ``storage`` / ``memory_budget`` /
         ``spill_dir`` override the session's storage policy for this run.
         """
+        tmark = self.tracer.mark()
+        try:
+            with self.tracer.span("run", kind="phase", method="hooi") as root:
+                result = self._hooi_impl(
+                    tensor, init, plan=plan, planner=planner,
+                    n_procs=n_procs, dtype=dtype, max_iters=max_iters,
+                    tol=tol, storage=storage, memory_budget=memory_budget,
+                    spill_dir=spill_dir, root=root,
+                )
+        except BaseException:
+            self._stash_error_trace(tmark)
+            raise
+        result.seconds = root.seconds
+        result.trace = self._finish_trace(root, tmark)
+        return result
+
+    def _hooi_impl(
+        self, tensor, init, *, plan, planner, n_procs, dtype, max_iters,
+        tol, storage, memory_budget, spill_dir, root,
+    ) -> TuckerResult:
         factors = init if isinstance(init, (list, tuple)) else init.factors
         core_dims = tuple(f.shape[1] for f in factors)
-        arr, compiled, from_cache = self._prepare(
-            tensor, core_dims, plan, planner, n_procs, dtype
-        )
+        tr = self._tr()
+        with tr.span("compile", kind="phase"):
+            arr, compiled, from_cache = self._prepare(
+                tensor, core_dims, plan, planner, n_procs, dtype
+            )
         # Policy sees the *working* bytes: a float32 file run at float64
         # occupies twice its on-disk size once cast.
         selection = self._select_storage(
             arr.size * compiled.dtype.itemsize, storage, memory_budget
         )
+        tr.event(
+            "select:storage", mode=selection.mode, reason=selection.reason
+        )
+        self._annotate_root(root, compiled, selection, from_cache)
         mark = self.backend.mark_stats()
         if max_iters <= 0:
             # Legacy drivers returned the init untouched for max_iters=0.
@@ -957,12 +1139,14 @@ class TuckerSession:
             )
         run_store = self._open_store(selection, spill_dir)
         try:
-            arr = _cast_for_run(arr, compiled.dtype, run_store)
-            dec, errors = self._hooi_loop(
-                arr, factors, compiled, max_iters, tol, store=run_store
-            )
+            with self._observed(run_store):
+                arr = _cast_for_run(arr, compiled.dtype, run_store)
+                dec, errors = self._hooi_loop(
+                    arr, factors, compiled, max_iters, tol, store=run_store
+                )
         finally:
             if run_store is not None:
+                root.set(resident_peak=float(run_store.gauge.peak))
                 run_store.close()
         return TuckerResult(
             decomposition=dec,
@@ -990,28 +1174,34 @@ class TuckerSession:
         from repro.hooi.decomposition import TuckerDecomposition
 
         backend = self.backend
+        tr = self._tr()
         meta = compiled.meta
         if handle is None:
-            handle = backend.distribute(
-                arr, compiled.initial_grid, store=store
-            )
-        t_norm_sq = backend.fro_norm_sq(handle, tag="norm:input")
-        workspace = compiled.gram_workspace()
-        factors: list[np.ndarray | None] = [None] * meta.ndim
-        for mode in compiled.sthosvd_order:
-            f = backend.leading_factor(
-                handle,
-                mode,
-                meta.core[mode],
-                tag=f"sthosvd:svd{mode}",
-                out=workspace.get(mode),
-            )
-            factors[mode] = f
-            handle = backend.ttm(handle, f.T, mode, tag=f"sthosvd:ttm{mode}")
-        g_norm_sq = backend.fro_norm_sq(handle, tag="norm:core")
+            with tr.span("distribute", kind="phase"):
+                handle = backend.distribute(
+                    arr, compiled.initial_grid, store=store
+                )
+        with tr.span("sthosvd", kind="phase"):
+            t_norm_sq = backend.fro_norm_sq(handle, tag="norm:input")
+            workspace = compiled.gram_workspace()
+            factors: list[np.ndarray | None] = [None] * meta.ndim
+            for mode in compiled.sthosvd_order:
+                f = backend.leading_factor(
+                    handle,
+                    mode,
+                    meta.core[mode],
+                    tag=f"sthosvd:svd{mode}",
+                    out=workspace.get(mode),
+                )
+                factors[mode] = f
+                handle = backend.ttm(
+                    handle, f.T, mode, tag=f"sthosvd:ttm{mode}"
+                )
+            g_norm_sq = backend.fro_norm_sq(handle, tag="norm:core")
         err_sq = max(t_norm_sq - g_norm_sq, 0.0)
         error = 0.0 if t_norm_sq == 0 else float(math.sqrt(err_sq / t_norm_sq))
-        core = np.array(backend.gather(handle), copy=True)
+        with tr.span("gather", kind="phase"):
+            core = np.array(backend.gather(handle), copy=True)
         return (
             TuckerDecomposition(core=core, factors=list(factors)),
             error,
@@ -1032,21 +1222,51 @@ class TuckerSession:
         spill_dir: str | None = None,
     ) -> TuckerResult:
         """One STHOSVD pass on the backend (static grid, optimal order)."""
-        arr, compiled, from_cache = self._prepare(
-            tensor, core_dims, plan, planner, n_procs, dtype
-        )
+        tmark = self.tracer.mark()
+        try:
+            with self.tracer.span("run", kind="phase", method="sthosvd") as root:
+                result = self._sthosvd_impl(
+                    tensor, core_dims, plan=plan, planner=planner,
+                    n_procs=n_procs, dtype=dtype, storage=storage,
+                    memory_budget=memory_budget, spill_dir=spill_dir,
+                    root=root,
+                )
+        except BaseException:
+            self._stash_error_trace(tmark)
+            raise
+        result.seconds = root.seconds
+        result.trace = self._finish_trace(root, tmark)
+        return result
+
+    def _sthosvd_impl(
+        self, tensor, core_dims, *, plan, planner, n_procs, dtype,
+        storage, memory_budget, spill_dir, root,
+    ) -> TuckerResult:
+        tr = self._tr()
+        with tr.span("compile", kind="phase"):
+            arr, compiled, from_cache = self._prepare(
+                tensor, core_dims, plan, planner, n_procs, dtype
+            )
         # Policy sees the *working* bytes: a float32 file run at float64
         # occupies twice its on-disk size once cast.
         selection = self._select_storage(
             arr.size * compiled.dtype.itemsize, storage, memory_budget
         )
+        tr.event(
+            "select:storage", mode=selection.mode, reason=selection.reason
+        )
+        self._annotate_root(root, compiled, selection, from_cache)
         mark = self.backend.mark_stats()
         run_store = self._open_store(selection, spill_dir)
         try:
-            arr = _cast_for_run(arr, compiled.dtype, run_store)
-            dec, error, _ = self._sthosvd_pass(arr, compiled, store=run_store)
+            with self._observed(run_store):
+                arr = _cast_for_run(arr, compiled.dtype, run_store)
+                dec, error, _ = self._sthosvd_pass(
+                    arr, compiled, store=run_store
+                )
         finally:
             if run_store is not None:
+                root.set(resident_peak=float(run_store.gauge.peak))
                 run_store.close()
         return TuckerResult(
             decomposition=dec,
@@ -1094,67 +1314,124 @@ class TuckerSession:
         its per-rank bricks too, but its sequential STHOSVD init still
         materializes working copies — it is a measurement instrument,
         not a capacity path.)
+        The run is timed through the session tracer's root span
+        (``result.seconds``); on traced sessions ``result.trace`` holds
+        the full span tree, a metrics snapshot and the plan's modeled
+        per-step volumes.
         """
-        arr, compiled, from_cache = self._prepare(
-            tensor, core_dims, plan, planner, n_procs, dtype
+        tmark = self.tracer.mark()
+        try:
+            with self.tracer.span("run", kind="phase", method="run") as root:
+                result = self._run_impl(
+                    tensor, core_dims, plan=plan, planner=planner,
+                    n_procs=n_procs, dtype=dtype, max_iters=max_iters,
+                    tol=tol, skip_hooi=skip_hooi, storage=storage,
+                    memory_budget=memory_budget, spill_dir=spill_dir,
+                    root=root,
+                )
+        except BaseException:
+            self._stash_error_trace(tmark)
+            raise
+        result.seconds = root.seconds
+        result.trace = self._finish_trace(root, tmark)
+        return result
+
+    def _annotate_root(
+        self, root, compiled: CompiledPlan, selection, from_cache: bool
+    ) -> None:
+        """Run-level metadata on the root span (becomes ``trace.meta``)."""
+        root.set(
+            backend=self.backend.name,
+            storage=selection.mode,
+            itemsize=int(compiled.dtype.itemsize),
+            dims=list(compiled.meta.dims),
+            core=list(compiled.meta.core),
+            n_procs=int(compiled.n_procs),
+            from_cache=bool(from_cache),
         )
+        if self._trace_enabled:
+            from repro.obs import modeled_step_volumes
+
+            root.set(modeled_volumes=modeled_step_volumes(compiled.plan))
+
+    def _run_impl(
+        self, tensor, core_dims, *, plan, planner, n_procs, dtype,
+        max_iters, tol, skip_hooi, storage, memory_budget, spill_dir, root,
+    ) -> TuckerResult:
+        tr = self._tr()
+        with tr.span("compile", kind="phase"):
+            arr, compiled, from_cache = self._prepare(
+                tensor, core_dims, plan, planner, n_procs, dtype
+            )
         # Policy sees the *working* bytes: a float32 file run at float64
         # occupies twice its on-disk size once cast.
         selection = self._select_storage(
             arr.size * compiled.dtype.itemsize, storage, memory_budget
         )
+        tr.event(
+            "select:storage", mode=selection.mode, reason=selection.reason
+        )
+        if selection.spilled:
+            logger.info("run spills to mmap store: %s", selection.reason)
+        self._annotate_root(root, compiled, selection, from_cache)
         mark = self.backend.mark_stats()
         run_store = self._open_store(selection, spill_dir)
         try:
-            arr = _cast_for_run(arr, compiled.dtype, run_store)
-            handle = None
-            t_norm_sq = None
-            if isinstance(self.backend, SimClusterBackend):
-                # Sequential init on the cluster backend: the paper does not
-                # charge the initial decomposition, and the HOOI initial grid
-                # need not be STHOSVD-feasible (a TTM requires K_n >= q_n).
-                # Capacity caveat: this init materializes working copies of
-                # the tensor in RAM even on a spilled run — the virtual
-                # cluster is a measurement instrument, not a capacity path;
-                # only its HOOI phase runs store-backed.
-                from repro.hooi.sthosvd import sthosvd as sthosvd_sequential
+            with self._observed(run_store):
+                arr = _cast_for_run(arr, compiled.dtype, run_store)
+                handle = None
+                t_norm_sq = None
+                if isinstance(self.backend, SimClusterBackend):
+                    # Sequential init on the cluster backend: the paper
+                    # does not charge the initial decomposition, and the
+                    # HOOI initial grid need not be STHOSVD-feasible (a
+                    # TTM requires K_n >= q_n). Capacity caveat: this
+                    # init materializes working copies of the tensor in
+                    # RAM even on a spilled run — the virtual cluster is
+                    # a measurement instrument, not a capacity path; only
+                    # its HOOI phase runs store-backed.
+                    from repro.hooi.sthosvd import sthosvd as sthosvd_sequential
 
-                init = sthosvd_sequential(
-                    arr,
-                    compiled.meta.core,
-                    mode_order=list(compiled.sthosvd_order),
-                    dtype=compiled.dtype,
+                    with tr.span("sthosvd", kind="phase", init="sequential"):
+                        init = sthosvd_sequential(
+                            arr,
+                            compiled.meta.core,
+                            mode_order=list(compiled.sthosvd_order),
+                            dtype=compiled.dtype,
+                        )
+                        init_error = init.error_vs(arr)
+                else:
+                    # Distribute exactly once for both phases: the input
+                    # handle is read-only to every kernel, and re-placing
+                    # it would double the spill (or shared-memory) copy
+                    # I/O.
+                    with tr.span("distribute", kind="phase"):
+                        handle = self.backend.distribute(
+                            arr, compiled.initial_grid, store=run_store
+                        )
+                    init, init_error, t_norm_sq = self._sthosvd_pass(
+                        arr, compiled, store=run_store, handle=handle
+                    )
+                if skip_hooi or max_iters <= 0:
+                    return TuckerResult(
+                        decomposition=init,
+                        plan=compiled.plan,
+                        errors=[],
+                        sthosvd_error=init_error,
+                        n_iters=0,
+                        from_cache=from_cache,
+                        ledger=self.backend.ledger_since(mark),
+                        storage=selection.mode,
+                        storage_reason=selection.reason,
+                        **self._result_meta(),
+                    )
+                dec, errors = self._hooi_loop(
+                    arr, init.factors, compiled, max_iters, tol,
+                    store=run_store, handle=handle, t_norm_sq=t_norm_sq,
                 )
-                init_error = init.error_vs(arr)
-            else:
-                # Distribute exactly once for both phases: the input
-                # handle is read-only to every kernel, and re-placing it
-                # would double the spill (or shared-memory) copy I/O.
-                handle = self.backend.distribute(
-                    arr, compiled.initial_grid, store=run_store
-                )
-                init, init_error, t_norm_sq = self._sthosvd_pass(
-                    arr, compiled, store=run_store, handle=handle
-                )
-            if skip_hooi or max_iters <= 0:
-                return TuckerResult(
-                    decomposition=init,
-                    plan=compiled.plan,
-                    errors=[],
-                    sthosvd_error=init_error,
-                    n_iters=0,
-                    from_cache=from_cache,
-                    ledger=self.backend.ledger_since(mark),
-                    storage=selection.mode,
-                    storage_reason=selection.reason,
-                    **self._result_meta(),
-                )
-            dec, errors = self._hooi_loop(
-                arr, init.factors, compiled, max_iters, tol,
-                store=run_store, handle=handle, t_norm_sq=t_norm_sq,
-            )
         finally:
             if run_store is not None:
+                root.set(resident_peak=float(run_store.gauge.peak))
                 run_store.close()
         return TuckerResult(
             decomposition=dec,
@@ -1239,7 +1516,8 @@ class TuckerSession:
             parse_bytes(memory_budget)  # fail fast on a bad budget string
         info = self.cache_info()
         hits0, misses0 = info["hits"], info["misses"]
-        start = perf_counter()
+        tmark = self.tracer.mark()
+        item_traces: list[Trace] = []
         stream = iter(inputs)
         window: deque[_PendingItem] = deque()
         items: list[BatchItem] = []
@@ -1275,65 +1553,100 @@ class TuckerSession:
                     )
                 index += 1
 
-        fill()
-        while window:
-            # Drain the oldest item's plan-key group first: streaming
-            # order overall, grouped execution within the window.
-            key = window[0].group_key
-            group = [entry for entry in window if entry.group_key == key]
-            for entry in group:
-                window.remove(entry)
-            for entry in group:
-                t0 = perf_counter()
-                try:
-                    result = self.run(
-                        entry.array,
-                        entry.core,
-                        planner=planner,
-                        n_procs=n_procs,
-                        dtype=dtype,
-                        max_iters=max_iters,
-                        tol=tol,
-                        skip_hooi=skip_hooi,
-                        storage=storage,
-                        memory_budget=memory_budget,
-                        spill_dir=spill_dir,
-                    )
-                except Exception as exc:
-                    if on_error == "raise":
-                        raise
-                    failures.append(
-                        BatchFailure(
-                            index=entry.index,
-                            source=entry.source,
-                            error=str(exc),
-                            kind=type(exc).__name__,
+        try:
+            with self.tracer.span("batch", kind="phase", method="batch") as root:
+                fill()
+                while window:
+                    # Drain the oldest item's plan-key group first:
+                    # streaming order overall, grouped execution within
+                    # the window.
+                    key = window[0].group_key
+                    group = [
+                        entry for entry in window if entry.group_key == key
+                    ]
+                    for entry in group:
+                        window.remove(entry)
+                    for entry in group:
+                        try:
+                            result = self.run(
+                                entry.array,
+                                entry.core,
+                                planner=planner,
+                                n_procs=n_procs,
+                                dtype=dtype,
+                                max_iters=max_iters,
+                                tol=tol,
+                                skip_hooi=skip_hooi,
+                                storage=storage,
+                                memory_budget=memory_budget,
+                                spill_dir=spill_dir,
+                            )
+                        except Exception as exc:
+                            if on_error == "raise":
+                                raise
+                            failures.append(
+                                BatchFailure(
+                                    index=entry.index,
+                                    source=entry.source,
+                                    error=str(exc),
+                                    kind=type(exc).__name__,
+                                )
+                            )
+                            # The failed run stashed its spans; fold
+                            # them into the batch timeline so a skipped
+                            # item still shows up in the trace.
+                            if self.last_error_trace is not None:
+                                item_traces.append(self.last_error_trace)
+                                self.last_error_trace = None
+                            continue
+                        finally:
+                            entry.array = None  # released before next load
+                        if result.trace is not None:
+                            item_traces.append(result.trace)
+                        items.append(
+                            BatchItem(
+                                index=entry.index,
+                                source=entry.source,
+                                seq=seq,
+                                seconds=result.seconds,
+                                result=result,
+                            )
                         )
-                    )
-                    continue
-                finally:
-                    entry.array = None  # released before the next load
-                items.append(
-                    BatchItem(
-                        index=entry.index,
-                        source=entry.source,
-                        seq=seq,
-                        seconds=perf_counter() - t0,
-                        result=result,
-                    )
-                )
-                seq += 1
-                if result.ledger is not None:
-                    ledger.merge(result.ledger)
-            fill()
+                        seq += 1
+                        if result.ledger is not None:
+                            ledger.merge(result.ledger)
+                    fill()
+                root.set(items=len(items), failures=len(failures))
+        except BaseException:
+            if self._trace_enabled:
+                tail = self.tracer.drain(tmark)
+                pieces = [tail] + item_traces
+                if self.last_error_trace is not None:
+                    pieces.append(self.last_error_trace)
+                self.last_error_trace = Trace.merge(pieces)
+            else:
+                self.tracer.drain(tmark)
+            raise
         items.sort(key=lambda item: item.index)
         failures.sort(key=lambda failure: failure.index)
         info = self.cache_info()
+        self.metrics.counter("batches").inc()
+        trace = None
+        if self._trace_enabled:
+            # Batch root first so its meta wins the first-wins merge.
+            tail = self.tracer.drain(tmark)
+            tail.meta.update(dict(root.attrs))
+            tail.meta["method"] = "batch"
+            trace = Trace.merge([tail] + item_traces)
+            trace.meta["metrics"] = self.metrics.snapshot()
+        else:
+            self.tracer.drain(tmark)
         return BatchResult(
             items=items,
             failures=failures,
-            seconds=perf_counter() - start,
+            seconds=root.seconds,
             ledger=ledger,
             plans_compiled=info["misses"] - misses0,
             cache_hits=info["hits"] - hits0,
+            trace=trace,
         )

@@ -34,6 +34,8 @@ from contextlib import contextmanager
 
 import numpy as np
 
+from repro.obs.trace import NULL_TRACER
+
 #: environment variable naming the spill root directory.
 SPILL_DIR_ENV = "REPRO_SPILL_DIR"
 
@@ -190,6 +192,10 @@ class BlockStore(abc.ABC):
                 f"max_block_bytes must be >= 1, got {self.max_block_bytes}"
             )
         self.gauge = gauge if gauge is not None else resident_gauge()
+        #: spill I/O reporting target (:mod:`repro.obs`); the session
+        #: repoints this at its live tracer for traced runs. The default
+        #: no-op tracer keeps untraced spills branch-free.
+        self.tracer = NULL_TRACER
         self._counter = 0
         self._closed = False
 
@@ -520,6 +526,15 @@ class MmapStore(BlockStore):
                 pass  # data file of exactly the manifest's 0 bytes
             self._write_manifest(key, shape, target, 0)
             return
+        with self.tracer.span(
+            "spill:write", kind="io", key=key, bytes=int(nbytes)
+        ):
+            self._spill_copy(array, path, target, nbytes)
+        self._write_manifest(key, shape, target, nbytes)
+
+    def _spill_copy(
+        self, array: np.ndarray, path: str, target: np.dtype, nbytes: int
+    ) -> None:
         mm = np.memmap(path, dtype=target, mode="w+", shape=array.shape)
         try:
             if array.flags["C_CONTIGUOUS"]:
@@ -548,7 +563,6 @@ class MmapStore(BlockStore):
             mm.flush()
         finally:
             del mm
-        self._write_manifest(key, shape, target, nbytes)
 
     def _map(self, key: str, mode: str) -> np.ndarray:
         path, shape, dtype = self._checked_path(key)
@@ -560,7 +574,13 @@ class MmapStore(BlockStore):
         return np.memmap(path, dtype=dtype, mode=mode, shape=shape)
 
     def get(self, key: str) -> np.ndarray:
-        return self._map(key, "r")
+        # The span covers manifest validation + the mmap syscall; the
+        # pages themselves fault in lazily inside the consuming kernel,
+        # so `bytes` reports the block's size, not bytes read here.
+        with self.tracer.span("spill:read", kind="io", key=key) as span:
+            out = self._map(key, "r")
+            span.set(bytes=int(out.nbytes))
+        return out
 
     def writer(self, key: str) -> np.ndarray:
         return self._map(key, "r+")

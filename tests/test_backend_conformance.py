@@ -381,3 +381,86 @@ class TestUnavailableConfigs:
     def test_typed_error_is_still_a_value_error(self):
         # Compatibility contract: except ValueError keeps catching it.
         assert issubclass(BackendUnavailableError, ValueError)
+
+
+class TestTracingConformance:
+    """The observability layer holds uniformly across backends.
+
+    Traced runs must mirror the ledger exactly (every ledger tag appears
+    as a ``kind="step"`` span and vice versa) with a well-formed span
+    tree; disabled tracing must leave no observer or tracer attached to
+    the backend afterwards and no trace on the result.
+    """
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_step_span_tags_equal_ledger_tags(self, name):
+        dims, core, procs = SHAPES[0]
+        t = tensor_for(dims, core, seed=11)
+        session = TuckerSession(backend=make_backend(name, procs), trace=True)
+        res = session.run(
+            t, core, planner="optimal", n_procs=procs, max_iters=2,
+            tol=-np.inf,
+        )
+        trace = res.trace
+        assert trace is not None
+        trace.validate()
+        assert trace.step_tags() == {r.tag for r in res.ledger.records}, name
+        # Per-tag multiplicity must match too, not just the set.
+        from collections import Counter
+
+        span_counts = Counter(
+            s.name for s in trace.spans if s.kind == "step"
+        )
+        ledger_counts = Counter(r.tag for r in res.ledger.records)
+        assert span_counts == ledger_counts, name
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_trace_nesting_and_meta(self, name):
+        dims, core, procs = SHAPES[0]
+        t = tensor_for(dims, core, seed=11)
+        session = TuckerSession(backend=make_backend(name, procs), trace=True)
+        res = session.run(
+            t, core, planner="optimal", n_procs=procs, max_iters=1
+        )
+        trace = res.trace
+        roots = trace.roots()
+        assert [r.name for r in roots] == ["run"]
+        phases = {s.name for s in trace.children(roots[0])}
+        assert "compile" in phases
+        assert "hooi" in phases
+        assert "sthosvd" in phases
+        assert trace.meta["backend"] == name
+        assert trace.meta["dims"] == list(dims)
+        assert trace.meta["metrics"]["counters"]["runs"] == 1.0
+        assert res.seconds == pytest.approx(roots[0].seconds)
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_disabled_tracing_detaches_cleanly(self, name):
+        from repro.obs.trace import NULL_TRACER
+
+        dims, core, procs = SHAPES[0]
+        t = tensor_for(dims, core, seed=11)
+        backend = make_backend(name, procs)
+        session = TuckerSession(backend=backend)
+        res = session.run(
+            t, core, planner="optimal", n_procs=procs, max_iters=1
+        )
+        assert res.trace is None
+        assert res.seconds > 0
+        assert backend.tracer is NULL_TRACER
+        assert backend.ledger.observer is None
+        # The session tracer buffer must not accumulate across runs.
+        session.run(t, core, planner="optimal", n_procs=procs, max_iters=1)
+        assert session.tracer.mark() == 0
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_observer_restored_after_crash(self, name):
+        dims, core, procs = SHAPES[0]
+        backend = make_backend(name, procs)
+        session = TuckerSession(backend=backend, trace=True)
+        bad = tensor_for(dims, core, seed=11)
+        with pytest.raises(ValueError):
+            session.run(bad, (999, 3, 3), n_procs=procs)
+        assert backend.ledger.observer is None
+        # The failed attempt's partial spans are preserved for forensics.
+        assert session.last_error_trace is not None

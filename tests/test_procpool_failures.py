@@ -183,3 +183,69 @@ class TestWorkerDeath:
         finally:
             procpool_mod._norm_block = original
             session.close()
+
+
+class TestTracedCrash:
+    def test_traced_batch_keeps_spans_across_worker_death(self, tensor):
+        """Crash forensics: a traced stream retains the failed item's
+        partial spans (marked ``error``) and the healthy items' worker
+        spans on the rebuilt pool."""
+        from repro.session import TuckerSession
+
+        poisoned = tensor.copy()
+        poisoned.flat[0] = 1e6
+        original = procpool_mod._norm_block
+        procpool_mod._norm_block = _norm_bomb
+        backend = ProcessPoolBackend(n_workers=2)
+        session = TuckerSession(backend=backend, trace=True)
+        try:
+            batch = session.run_many(
+                [poisoned, tensor + 1.0],
+                (3, 3, 2),
+                planner="optimal",
+                n_procs=2,
+                max_iters=1,
+                on_error="skip",
+            )
+            assert len(batch.failures) == 1
+            assert batch.n_items == 1
+            trace = batch.trace
+            assert trace is not None
+            # Two run roots survive in the batch timeline: the failed
+            # item's partial trace and the successful item's full one.
+            runs = trace.find("run")
+            assert len(runs) == 2
+            assert any("error" in s.attrs for s in runs)
+            # The healthy item's fan-out produced worker spans from the
+            # rebuilt pool.
+            workers = trace.by_kind("worker")
+            assert workers
+            for w in workers:
+                assert w.seconds >= 0
+            # The observer never leaks past the crashed run.
+            assert backend.ledger.observer is None
+        finally:
+            procpool_mod._norm_block = original
+            session.close()
+
+    def test_untraced_crash_leaves_tracer_empty(self, tensor):
+        from repro.session import TuckerSession
+
+        poisoned = tensor.copy()
+        poisoned.flat[0] = 1e6
+        original = procpool_mod._norm_block
+        procpool_mod._norm_block = _norm_bomb
+        backend = ProcessPoolBackend(n_workers=2)
+        session = TuckerSession(backend=backend)
+        try:
+            batch = session.run_many(
+                [poisoned], (3, 3, 2), planner="optimal", n_procs=2,
+                max_iters=1, on_error="skip",
+            )
+            assert len(batch.failures) == 1
+            assert batch.trace is None
+            assert session.tracer.mark() == 0
+            assert session.last_error_trace is None
+        finally:
+            procpool_mod._norm_block = original
+            session.close()
