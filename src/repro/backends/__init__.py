@@ -40,6 +40,7 @@ from repro.backends.select import (
     default_profile,
     load_profile,
     merge_profile,
+    profile_from_trace,
     save_profile,
     select_backend,
     select_storage,
@@ -116,6 +117,7 @@ __all__ = [
     "default_profile",
     "load_profile",
     "merge_profile",
+    "profile_from_trace",
     "save_profile",
     "select_backend",
     "get_backend",

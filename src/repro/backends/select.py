@@ -94,6 +94,16 @@ _DEFAULT_BACKENDS = {
     },
 }
 
+#: machine-level spill-storage parameters (backend-independent: the
+#: spill directory's device doesn't care which backend reads it).
+#: ``spill_read_passes`` models how many full-tensor read passes a
+#: spilled run makes over its blocks on top of the one staging write.
+_DEFAULT_STORAGE = {
+    "spill_write_bytes_per_s": 8.0e8,
+    "spill_read_bytes_per_s": 1.6e9,
+    "spill_read_passes": 1.0,
+}
+
 
 def default_profile() -> dict:
     """A fresh copy of the built-in profile."""
@@ -102,6 +112,7 @@ def default_profile() -> dict:
         "calibrated": False,
         "measured": [],
         "backends": {k: dict(v) for k, v in _DEFAULT_BACKENDS.items()},
+        "storage": dict(_DEFAULT_STORAGE),
     }
 
 
@@ -155,6 +166,23 @@ def merge_profile(partial: dict) -> dict:
                 invalid.append(f"{name}.{key}")
                 continue
             profile["backends"][name][key] = value
+    storage = partial.get("storage")
+    if storage is not None:
+        if not isinstance(storage, dict):
+            invalid.append("storage")
+        else:
+            for key, value in storage.items():
+                if key not in profile["storage"]:
+                    continue
+                try:
+                    value = float(value)
+                except (TypeError, ValueError):
+                    invalid.append(f"storage.{key}")
+                    continue
+                if not math.isfinite(value) or value <= 0:
+                    invalid.append(f"storage.{key}")
+                    continue
+                profile["storage"][key] = value
     measured = partial.get("measured") or []
     if not isinstance(measured, (list, tuple)):
         invalid.append("measured")
@@ -258,8 +286,18 @@ def estimate_seconds(
     n_procs: int,
     dtype,
     available_cores: int,
+    spilled: bool = False,
+    storage_params: dict | None = None,
 ) -> float:
-    """Modeled wall seconds of one sweep under one backend's parameters."""
+    """Modeled wall seconds of one sweep under one backend's parameters.
+
+    ``spilled`` switches the model to the out-of-core regime: the copy
+    charge is *dropped* (workers memory-map the spill blocks in place —
+    there is no staging copy into backend-owned segments) and a spill
+    I/O term is *added* — one full write pass to stage the tensor plus
+    ``spill_read_passes`` read passes at the machine's measured (or
+    default) spill bandwidths from ``storage_params``.
+    """
     flops = sweep_flops(dims, core)
     itemsize = float(np.dtype(dtype).itemsize)
     dtype_speedup = 8.0 / itemsize  # float32 streams twice the elements
@@ -276,9 +314,19 @@ def estimate_seconds(
     # ~2 kernels per mode per sweep, each fanning out one task per worker.
     n_tasks = 2.0 * len(dims) * cores_used if cores_used > 1 else 0.0
     seconds += n_tasks * float(params["per_task"])
-    copy_rate = float(params["copy_elems_per_s"])
-    if copy_rate > 0:
-        seconds += float(np.prod([float(d) for d in dims])) / copy_rate
+    if spilled:
+        storage = {**_DEFAULT_STORAGE, **(storage_params or {})}
+        nbytes = float(np.prod([float(d) for d in dims])) * itemsize
+        seconds += nbytes / float(storage["spill_write_bytes_per_s"])
+        seconds += (
+            float(storage["spill_read_passes"])
+            * nbytes
+            / float(storage["spill_read_bytes_per_s"])
+        )
+    else:
+        copy_rate = float(params["copy_elems_per_s"])
+        if copy_rate > 0:
+            seconds += float(np.prod([float(d) for d in dims])) / copy_rate
     return seconds
 
 
@@ -320,14 +368,20 @@ def select_backend(
     available_cores: int | None = None,
     profile: dict | None = None,
     warm=(),
+    spilled: bool = False,
 ) -> Selection:
     """Pick the cheapest auto-eligible backend for this input.
 
     Pure and deterministic: the same ``(dims, core, n_procs, dtype,
-    available_cores, profile, warm)`` always selects the same backend.
-    Ties break toward the earlier entry of :data:`AUTO_CANDIDATES`.
-    ``warm`` names backends whose instance already exists (a session's
-    cached pools): their one-off startup cost is sunk and is not charged.
+    available_cores, profile, warm, spilled)`` always selects the same
+    backend. Ties break toward the earlier entry of
+    :data:`AUTO_CANDIDATES`. ``warm`` names backends whose instance
+    already exists (a session's cached pools): their one-off startup
+    cost is sunk and is not charged. ``spilled`` scores the run in the
+    out-of-core regime — spill I/O charged at the profile's measured
+    storage bandwidths, staging copies dropped (see
+    :func:`estimate_seconds`) — which notably removes procpool's copy
+    handicap on runs that stream from spill files anyway.
     """
     dims = _check_dims("dims", dims)
     core = _check_dims("core", core)
@@ -357,6 +411,8 @@ def select_backend(
             n_procs=n_procs,
             dtype=work_dtype,
             available_cores=available_cores,
+            spilled=spilled,
+            storage_params=profile.get("storage"),
         )
     if not scores:
         raise ValueError(
@@ -367,10 +423,11 @@ def select_backend(
     ranked = ", ".join(
         f"{name} {scores[name]:.3g}s" for name in sorted(scores, key=scores.get)
     )
+    regime = " (spilled: I/O charged, staging copies dropped)" if spilled else ""
     reason = (
         f"modeled fastest for dims={'x'.join(map(str, dims))} "
         f"core={'x'.join(map(str, core))} on {available_cores} core(s) "
-        f"with {n_procs} proc(s): {ranked}"
+        f"with {n_procs} proc(s){regime}: {ranked}"
     )
     logger.debug("select_backend: %s (%s)", best, ranked)
     return Selection(
@@ -457,6 +514,49 @@ def select_storage(
     )
 
 
+def profile_from_trace(trace) -> dict:
+    """Measured spill bandwidths from one traced run's I/O spans.
+
+    Every ``kind="io"`` span the storage layer emits (``spill:write`` /
+    ``spill:read``) carries its byte count and wall seconds; aggregating
+    them yields this machine-and-directory's *observed* spill bandwidth,
+    which is exactly the ``storage`` term the cost model charges spilled
+    runs. Returns a partial profile — ``{"storage": {...}}`` with only
+    the directions the trace actually exercised — ready for
+    :func:`merge_profile` or the session's ``calibration=`` argument.
+
+    Write spans time the chunked copy to disk, so their bandwidth is a
+    faithful measurement. Read spans time manifest validation plus the
+    ``mmap`` call (pages fault in lazily inside the consuming kernels),
+    so sub-millisecond aggregates are discarded rather than reported as
+    an absurd bandwidth; with enough read spans the syscall overhead
+    itself is the honest per-pass cost.
+    """
+    totals = {"spill:write": [0.0, 0.0], "spill:read": [0.0, 0.0]}
+    for span in getattr(trace, "spans", ()) or ():
+        if getattr(span, "kind", None) != "io":
+            continue
+        slot = totals.get(span.name)
+        if slot is None:
+            continue
+        try:
+            nbytes = float(span.attrs.get("bytes", 0) or 0)
+        except (TypeError, ValueError):
+            continue
+        seconds = float(span.seconds)
+        if nbytes > 0 and math.isfinite(seconds) and seconds > 0:
+            slot[0] += nbytes
+            slot[1] += seconds
+    storage: dict[str, float] = {}
+    written, w_seconds = totals["spill:write"]
+    if written > 0 and w_seconds > 1e-6:
+        storage["spill_write_bytes_per_s"] = written / w_seconds
+    read, r_seconds = totals["spill:read"]
+    if read > 0 and r_seconds > 1e-6:
+        storage["spill_read_bytes_per_s"] = read / r_seconds
+    return {"storage": storage} if storage else {}
+
+
 # --------------------------------------------------------------------- #
 # calibration
 # --------------------------------------------------------------------- #
@@ -540,6 +640,7 @@ __all__ = [
     "estimate_seconds",
     "load_profile",
     "merge_profile",
+    "profile_from_trace",
     "resolve_auto_procs",
     "save_profile",
     "select_backend",

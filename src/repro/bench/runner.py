@@ -273,6 +273,106 @@ def run_batch(
     return out
 
 
+def run_serve(
+    tensors: Sequence,
+    core_dims: Sequence[int],
+    *,
+    workers: int = 2,
+    backend: str = "sequential",
+    n_procs: int | None = None,
+    planner: str = "portfolio",
+    max_iters: int = 2,
+    tol: float = 0.0,
+    memory_budget: int | str | None = None,
+) -> dict[str, dict[str, float]]:
+    """Serve a workload concurrently vs. streaming it serially; compare.
+
+    The ``serial`` arm pushes the tensors through one warm session's
+    ``run_many``; the ``serve`` arm submits the same tensors to a
+    :class:`~repro.serve.TuckerServer` with ``workers`` worker sessions
+    and waits for every ticket. Both report ``seconds``,
+    ``items_per_second`` and ``n_items``; the serve arm adds ``speedup``
+    (serve throughput over serial), ``affinity_hit_rate`` and
+    ``max_core_diff`` — the worst per-item core deviation from the
+    serial arm, the conformance bound that makes the speedup meaningful.
+
+    On a single-core host the serve arm's overlap buys nothing (thread
+    switching typically costs a little); the ``>= 1.5x`` acceptance
+    claim applies to multi-core machines only.
+    """
+    import numpy as np
+
+    from repro.serve import ServeRequest, TuckerServer
+
+    arrays = [np.asarray(t) for t in tensors]
+    if not arrays:
+        raise ValueError("run_serve needs at least one tensor")
+    out: dict[str, dict[str, float]] = {}
+
+    with TuckerSession(backend=backend, n_procs=n_procs) as session:
+        batch = session.run_many(
+            arrays,
+            core_dims,
+            planner=planner,
+            n_procs=n_procs,
+            max_iters=max_iters,
+            tol=tol,
+            memory_budget=memory_budget,
+        )
+    serial_cores = [r.decomposition.core for r in batch.results]
+    out["serial"] = {
+        "seconds": batch.seconds,
+        "items_per_second": batch.items_per_second,
+        "n_items": float(batch.n_items),
+    }
+
+    start = perf_counter()
+    with TuckerServer(
+        workers=workers,
+        backend=backend,
+        n_procs=n_procs,
+        planner=planner,
+        memory_budget=memory_budget,
+    ) as server:
+        tickets = [
+            server.submit(ServeRequest(
+                array=a,
+                core=tuple(core_dims),
+                id=f"bench-{i}",
+                max_iters=max_iters,
+                tol=tol,
+            ))
+            for i, a in enumerate(arrays)
+        ]
+        results = [t.result() for t in tickets]
+        snap = server.stats_snapshot()
+    seconds = perf_counter() - start
+    failures = [r for r in results if not r.ok]
+    if failures:
+        raise RuntimeError(
+            f"serve bench arm failed: {failures[0].error}"
+        )
+    from repro.obs import safe_rate
+
+    serve_rate = safe_rate(len(results), seconds)
+    serial_rate = out["serial"]["items_per_second"]
+    out["serve"] = {
+        "seconds": seconds,
+        "items_per_second": serve_rate,
+        "n_items": float(len(results)),
+        "workers": float(workers),
+        "speedup": serve_rate / serial_rate if serial_rate else 0.0,
+        "affinity_hit_rate": float(snap["affinity"]["hit_rate"]),
+        "max_core_diff": float(
+            max(
+                np.max(np.abs(r.value.decomposition.core - ref))
+                for r, ref in zip(results, serial_cores)
+            )
+        ),
+    }
+    return out
+
+
 def normalize_against(
     records: list[dict], metric: str, baseline: str
 ) -> dict[str, list[float]]:

@@ -352,6 +352,45 @@ def cmd_batch(args) -> int:
     return 1 if batch.failures else 0
 
 
+def cmd_serve(args) -> int:
+    from repro.serve import TuckerServer, serve_socket, serve_stdio
+
+    try:
+        server = TuckerServer(
+            workers=args.workers,
+            backend=args.backend,
+            n_procs=args.procs,
+            planner=args.planner,
+            memory_budget=args.memory_budget,
+            max_queue=args.max_queue,
+            storage=args.storage,
+            spill_dir=args.spill_dir,
+            prefetch=not args.no_prefetch,
+            deadline=args.deadline,
+            trace=bool(args.trace),
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    try:
+        if args.socket:
+            stats = serve_socket(server, args.socket)
+        else:
+            stats = serve_stdio(server)
+    except KeyboardInterrupt:
+        server.drain()
+        stats = server.stats_snapshot()
+    if args.trace:
+        trace = server.merged_trace()
+        if trace is not None:
+            trace.save(args.trace)
+    if args.stats_out:
+        with open(args.stats_out, "w", encoding="utf-8") as fh:
+            json.dump(stats, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    failed = float(stats.get("failed", 0)) if stats else 0.0
+    return 1 if failed else 0
+
+
 def cmd_calibrate(args) -> int:
     try:
         profile = backend_select.calibrate(
@@ -636,6 +675,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_batch.add_argument("--json", action="store_true")
     p_batch.set_defaults(func=cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve decompositions over newline-delimited JSON "
+        "(stdio by default, --socket for a local AF_UNIX listener)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker threads, each owning a private session with its "
+        "own plan cache and warm pools (default 2)",
+    )
+    p_serve.add_argument(
+        "--backend",
+        default=AUTO_BACKEND,
+        choices=BACKEND_NAMES + (AUTO_BACKEND,),
+        help="execution backend per worker session (default auto)",
+    )
+    p_serve.add_argument(
+        "-p", "--procs", type=int, default=None,
+        help="processor count per worker session (total parallelism is "
+        "workers x procs; default: natural)",
+    )
+    p_serve.add_argument(
+        "--planner", default="portfolio",
+        help="'portfolio' or a tree kind (optimal, chain-k, ...)",
+    )
+    p_serve.add_argument(
+        "--max-queue", type=int, default=64, metavar="N",
+        help="bound on queued+running requests before submissions are "
+        "shed with an admission error (default 64)",
+    )
+    p_serve.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="default per-request deadline; requests still waiting when "
+        "it elapses fail instead of running (requests may override)",
+    )
+    p_serve.add_argument(
+        "--no-prefetch", action="store_true",
+        help="disable background page-warming of the next request's "
+        ".npy input",
+    )
+    p_serve.add_argument(
+        "--socket", metavar="PATH", default=None,
+        help="listen on a local AF_UNIX socket instead of stdio",
+    )
+    _add_storage_args(p_serve)
+    p_serve.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="trace every worker session and write the merged span "
+        "trace here on drain",
+    )
+    p_serve.add_argument(
+        "--stats-out", metavar="PATH", default=None,
+        help="write the final stats snapshot JSON here on drain",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     p_cal = sub.add_parser(
         "calibrate",

@@ -9,6 +9,7 @@ aggregates volumes and modeled times per *tag* — tags follow a
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
@@ -54,18 +55,28 @@ class StatsLedger:
     mirror ledger events as spans without touching any recording call
     site. Observers see live appends only: :meth:`merge` copies records
     that were already observed (or deliberately not) at their origin.
+
+    Appends, :meth:`mark` and :meth:`since` are thread-safe: concurrent
+    serving workers share warm backends, and per-run scoping relies on
+    mark/slice positions staying consistent under concurrent appends.
+    (Scoping one run's records still requires the runs themselves not to
+    interleave on one ledger — the session serializes execution per
+    backend; the lock keeps the bookkeeping itself uncorrupted.)
     """
 
     def __init__(self) -> None:
         self._records: list[Record] = []
+        self._lock = threading.Lock()
         self.observer: Callable[[Record], None] | None = None
 
     # -- recording ------------------------------------------------------ #
 
     def add(self, record: Record) -> None:
-        self._records.append(record)
-        if self.observer is not None:
-            self.observer(record)
+        with self._lock:
+            self._records.append(record)
+            observer = self.observer
+        if observer is not None:
+            observer(record)
 
     def add_comm(
         self, op: str, tag: str, group_size: int, elements: float, seconds: float
@@ -90,21 +101,27 @@ class StatsLedger:
 
     @property
     def records(self) -> tuple[Record, ...]:
-        return tuple(self._records)
+        with self._lock:
+            return tuple(self._records)
 
     def __len__(self) -> int:
-        return len(self._records)
+        with self._lock:
+            return len(self._records)
 
     def clear(self) -> None:
-        self._records.clear()
+        with self._lock:
+            self._records.clear()
 
     def merge(self, other: "StatsLedger") -> None:
         """Append all records of ``other`` (used when composing phases)."""
-        self._records.extend(other.records)
+        records = other.records  # snapshot outside our lock (no deadlock)
+        with self._lock:
+            self._records.extend(records)
 
     def mark(self) -> int:
         """Opaque position marker for :meth:`since` (the current length)."""
-        return len(self._records)
+        with self._lock:
+            return len(self._records)
 
     def since(self, mark: int) -> "StatsLedger":
         """A new ledger holding only the records appended after ``mark``.
@@ -114,7 +131,8 @@ class StatsLedger:
         shared (they are immutable), the list is not.
         """
         out = StatsLedger()
-        out._records.extend(self._records[mark:])
+        with self._lock:
+            out._records.extend(self._records[mark:])
         return out
 
     # -- aggregation ----------------------------------------------------- #
@@ -125,7 +143,7 @@ class StatsLedger:
         op: str | None = None,
         tag_prefix: str | None = None,
     ) -> Iterable[Record]:
-        for r in self._records:
+        for r in self.records:  # snapshot: aggregation under live appends
             if category is not None and r.category != category:
                 continue
             if op is not None and r.op != op:
@@ -171,7 +189,7 @@ class StatsLedger:
         Default key takes the component part of ``component:detail`` tags.
         """
         out: dict[str, dict[str, float]] = {}
-        for r in self._records:
+        for r in self.records:
             slot = out.setdefault(
                 key(r.tag),
                 {"volume": 0.0, "flops": 0.0, "comm_seconds": 0.0, "compute_seconds": 0.0},

@@ -27,7 +27,13 @@ from repro.obs.export import (
     write_chrome,
     write_jsonl,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    safe_rate,
+)
 from repro.obs.summarize import (
     canonical_tag,
     format_summary,
@@ -60,6 +66,7 @@ __all__ = [
     "load_trace",
     "modeled_step_volumes",
     "read_jsonl",
+    "safe_rate",
     "summarize",
     "to_chrome",
     "to_jsonl",

@@ -19,12 +19,32 @@ concurrently with the main thread.
 
 from __future__ import annotations
 
+import math
 import threading
 from typing import Any, Sequence
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "safe_rate"]
 
 DEFAULT_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+def safe_rate(count: float, seconds: float) -> float:
+    """``count / seconds`` that can never raise or report ``inf``/``nan``.
+
+    Throughput reports divide by wall seconds derived from root spans;
+    a zero-duration span (sub-tick run) or a crash-truncated trace
+    (seconds 0, negative, or non-finite) must degrade to a 0.0 rate in
+    the JSON payload, not poison it. Used by batch and serving stats.
+    """
+    try:
+        count = float(count)
+        seconds = float(seconds)
+    except (TypeError, ValueError):
+        return 0.0
+    if not math.isfinite(count) or not math.isfinite(seconds) or seconds <= 0.0:
+        return 0.0
+    rate = count / seconds
+    return rate if math.isfinite(rate) else 0.0
 
 
 class Counter:

@@ -1,0 +1,75 @@
+"""repro.serve — a concurrent Tucker decomposition service.
+
+The batch layer (PR 4) made one session stream many tensors; this
+package makes many *clients* stream tensors through many sessions at
+once, on one machine, without giving up the guarantees the stack
+already earns:
+
+* **Worker-private sessions.** Each of N workers owns a full
+  :class:`~repro.session.TuckerSession` — plan LRU, warm backend pools,
+  tracer. Concurrency comes from worker parallelism; within a session
+  execution stays serialized, so per-run ledgers and traces remain
+  exact (see the session's ``_run_lock`` notes).
+* **Plan-key affinity** (:class:`~repro.serve.router.AffinityRouter`):
+  requests agreeing on ``(dims, core, dtype)`` ride the same worker's
+  compiled plan and warm pool, with backlog-aware spillover.
+* **Admission control**
+  (:class:`~repro.serve.admission.AdmissionController`): a global
+  ``memory_budget`` charged per request through a
+  :class:`~repro.storage.store.ResidentGauge`; oversized requests run
+  alone via the out-of-core path instead of being shed; a full bounded
+  queue sheds fast with a typed
+  :class:`~repro.serve.admission.AdmissionError`.
+* **Pipelined prefetch**: while a worker computes, its
+  :class:`~repro.session.Prefetcher` faults the next request's ``.npy``
+  pages in from disk.
+* **Deadlines, cancellation, graceful drain** on
+  :class:`~repro.serve.server.TuckerServer`, with
+  :class:`~repro.serve.stats.ServerStats` reporting through the PR-6
+  metrics registry.
+
+Wire clients speak newline-delimited JSON via
+:mod:`repro.serve.protocol` (``repro serve`` on the CLI)::
+
+    with TuckerServer(workers=2, memory_budget="256M") as srv:
+        t = srv.submit({"id": "r1", "random": {"dims": [24, 24, 24]},
+                        "core": [6, 6, 6]})
+        print(t.result().seconds)
+"""
+
+from repro.serve.admission import AdmissionController, AdmissionError
+from repro.serve.protocol import serve_lines, serve_socket, serve_stdio
+from repro.serve.request import (
+    DeadlineExceeded,
+    RequestCancelled,
+    RequestResult,
+    ServeError,
+    ServeRequest,
+    Ticket,
+    parse_request,
+    plan_key,
+)
+from repro.serve.router import AffinityRouter
+from repro.serve.server import TuckerServer
+from repro.serve.stats import ServerStats
+from repro.serve.worker import ServeWorker
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "AffinityRouter",
+    "DeadlineExceeded",
+    "RequestCancelled",
+    "RequestResult",
+    "ServeError",
+    "ServeRequest",
+    "ServeWorker",
+    "ServerStats",
+    "Ticket",
+    "TuckerServer",
+    "parse_request",
+    "plan_key",
+    "serve_lines",
+    "serve_socket",
+    "serve_stdio",
+]

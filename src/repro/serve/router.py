@@ -1,0 +1,71 @@
+"""Plan-key affinity routing.
+
+A worker that has already served a ``(dims, core, dtype)`` key holds its
+compiled plan in the session LRU and — decisive for the shared-memory
+backends — a warm worker pool sized by that key's auto-selection.
+Routing an equal-keyed request anywhere else repays both startup costs,
+so the router keeps keys sticky, spilling to the least-loaded worker
+only when the sticky owner's backlog outruns the cheapest queue by more
+than ``spill_threshold`` items (affinity should pipeline, not starve).
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["AffinityRouter"]
+
+
+class AffinityRouter:
+    """Sticky ``plan_key -> worker`` assignment with backlog spillover."""
+
+    def __init__(self, n_workers: int, *, spill_threshold: int = 4) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if spill_threshold < 0:
+            raise ValueError("spill_threshold must be >= 0")
+        self.n_workers = n_workers
+        self.spill_threshold = spill_threshold
+        self._owner: dict[tuple, int] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def route(self, key: tuple, loads: list[int]) -> tuple[int, bool]:
+        """Pick a worker for ``key`` given per-worker backlogs.
+
+        Returns ``(worker_index, affinity_hit)``. A hit re-uses the
+        sticky owner; a miss assigns (or re-assigns, after spillover)
+        the least-loaded worker and records the new ownership.
+        """
+        if len(loads) != self.n_workers:
+            raise ValueError(
+                f"expected {self.n_workers} loads, got {len(loads)}"
+            )
+        with self._lock:
+            coldest = min(range(self.n_workers), key=lambda i: loads[i])
+            owner = self._owner.get(key)
+            if (
+                owner is not None
+                and loads[owner] - loads[coldest] <= self.spill_threshold
+            ):
+                self.hits += 1
+                return owner, True
+            # First sighting, or the owner is too far behind: move the
+            # key to the coldest queue and make that the new home.
+            self._owner[key] = coldest
+            self.misses += 1
+            return coldest, False
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "keys": len(self._owner),
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hit_rate(),
+            }

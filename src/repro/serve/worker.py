@@ -1,0 +1,211 @@
+"""One serving worker: a private session, an inbox, a prefetch loader.
+
+Workers own their :class:`~repro.session.TuckerSession` outright — the
+session's ledger scoping and tracer marks are positional, so overlap
+across requests comes from *worker parallelism*, never from sharing one
+session between threads. The inbox is the affinity target: the router
+sends every request with a given plan key here, so this session's LRU
+plan cache and warm backend pools hit run after run.
+
+The pipelined half: before executing a request, the worker hands the
+*next* queued request's file mapping to its
+:class:`~repro.session.Prefetcher`, which faults the pages in from disk
+while the current decomposition computes.
+"""
+
+from __future__ import annotations
+
+import logging
+import queue as queue_mod
+import threading
+import time
+
+import numpy as np
+
+from repro.serve.admission import AdmissionController, AdmissionError
+from repro.serve.request import RequestResult, ServeRequest, Ticket
+from repro.serve.stats import ServerStats
+from repro.session import Prefetcher, TuckerSession
+
+__all__ = ["ServeWorker"]
+
+logger = logging.getLogger(__name__)
+
+
+def _failure(
+    req: ServeRequest, worker: int, ticket: Ticket, error: str, kind: str
+) -> RequestResult:
+    return RequestResult(
+        id=req.id,
+        ok=False,
+        source=req.source(),
+        error=error,
+        error_kind=kind,
+        worker=worker,
+        affinity_hit=ticket.affinity_hit,
+    )
+
+
+class ServeWorker:
+    """A daemon thread draining one inbox through one private session."""
+
+    def __init__(
+        self,
+        index: int,
+        *,
+        session: TuckerSession,
+        admission: AdmissionController,
+        stats: ServerStats,
+        on_finished,
+        prefetch: bool = True,
+    ) -> None:
+        self.index = index
+        self.session = session
+        self.admission = admission
+        self.stats = stats
+        self._on_finished = on_finished
+        self.inbox: queue_mod.Queue = queue_mod.Queue()
+        self.inflight = 0
+        #: per-run traces, collected when the session traces (CLI --trace)
+        self.traces: list = []
+        self.prefetcher = (
+            Prefetcher(max_bytes=admission.budget) if prefetch else None
+        )
+        self.thread = threading.Thread(
+            target=self._loop, name=f"repro-serve-w{index}", daemon=True
+        )
+        self.thread.start()
+
+    def load(self) -> int:
+        """Backlog the router balances on: queued plus executing."""
+        return self.inbox.qsize() + self.inflight
+
+    def submit(self, ticket: Ticket) -> None:
+        self.inbox.put(ticket)
+
+    # -- execution --------------------------------------------------------- #
+
+    def _loop(self) -> None:
+        while True:
+            ticket = self.inbox.get()
+            if ticket is None:
+                return
+            self.inflight = 1
+            try:
+                self._execute(ticket)
+            finally:
+                self.inflight = 0
+                self._on_finished(ticket)
+
+    def _execute(self, ticket: Ticket) -> None:
+        req = ticket.request
+        if not ticket._start():
+            # Cancelled while queued; cancel() already published the
+            # result — only the accounting is left to do.
+            self.stats.cancelled()
+            return
+        remaining = ticket.deadline_remaining()
+        if remaining is not None and remaining <= 0:
+            self.stats.deadline_missed()
+            self.stats.failed("DeadlineExceeded")
+            ticket._finish(_failure(
+                req, self.index, ticket,
+                f"deadline ({req.deadline}s) elapsed while queued",
+                "DeadlineExceeded",
+            ))
+            return
+        charge = None
+        try:
+            arr = req.materialize()
+            charge = self.admission.acquire(req.nbytes(), timeout=remaining)
+            self._prefetch_next()
+            if req.method == "sthosvd":
+                result = self.session.sthosvd(
+                    arr, req.core, dtype=req.dtype
+                )
+            else:
+                result = self.session.run(
+                    arr,
+                    req.core,
+                    dtype=req.dtype,
+                    max_iters=req.max_iters,
+                    tol=req.tol,
+                )
+        except AdmissionError as exc:
+            if exc.reason == "budget_timeout" and remaining is not None:
+                self.stats.deadline_missed()
+                self.stats.failed("DeadlineExceeded")
+                ticket._finish(_failure(
+                    req, self.index, ticket,
+                    f"deadline ({req.deadline}s) elapsed waiting for "
+                    f"memory budget: {exc}",
+                    "DeadlineExceeded",
+                ))
+            else:
+                self.stats.failed(type(exc).__name__)
+                ticket._finish(_failure(
+                    req, self.index, ticket, str(exc), type(exc).__name__
+                ))
+            return
+        except Exception as exc:
+            logger.warning("request %r failed: %s", req.id, exc)
+            self.stats.failed(type(exc).__name__)
+            ticket._finish(_failure(
+                req, self.index, ticket, str(exc), type(exc).__name__
+            ))
+            return
+        finally:
+            if charge is not None:
+                self.admission.release(charge)
+        if result.trace is not None:
+            self.traces.append(result.trace)
+        saved = None
+        if req.save:
+            dec = result.decomposition
+            np.savez(
+                req.save,
+                core=dec.core,
+                **{f"factor{m}": f for m, f in enumerate(dec.factors)},
+            )
+            saved = req.save
+        wall = time.monotonic() - ticket.submitted_at
+        ticket._finish(RequestResult(
+            id=req.id,
+            ok=True,
+            source=req.source(),
+            seconds=result.seconds,
+            worker=self.index,
+            affinity_hit=ticket.affinity_hit,
+            storage=result.storage,
+            backend=result.backend,
+            from_cache=result.from_cache,
+            saved=saved,
+            value=result,
+        ))
+        self.stats.completed(seconds=result.seconds, wall_seconds=wall)
+
+    def _prefetch_next(self) -> None:
+        """Warm the next queued file-backed input while this one runs."""
+        if self.prefetcher is None:
+            return
+        with self.inbox.mutex:
+            nxt = self.inbox.queue[0] if self.inbox.queue else None
+        if not isinstance(nxt, Ticket) or nxt.request.path is None:
+            return
+        try:
+            arr = np.load(nxt.request.path, mmap_mode="r")
+        except Exception:
+            return  # advisory: the real load will surface the error
+        if isinstance(arr, np.ndarray):
+            self.prefetcher.schedule(arr)
+
+    # -- shutdown ---------------------------------------------------------- #
+
+    def stop(self, *, timeout: float | None = None) -> None:
+        """Finish everything queued, then stop the thread and session."""
+        self.inbox.put(None)
+        self.thread.join(timeout)
+        if self.prefetcher is not None:
+            self.prefetcher.close()
+            self.stats.prefetched(self.prefetcher.bytes_warmed)
+        self.session.close()

@@ -31,6 +31,8 @@ from __future__ import annotations
 import logging
 import math
 import os
+import queue as queue_mod
+import threading
 from collections import OrderedDict, deque
 from collections.abc import Callable, Iterable, Sequence
 from contextlib import contextmanager
@@ -59,12 +61,17 @@ from repro.backends import (
 )
 from repro.backends.blockpar import OC_LEASE_FACTOR
 from repro.backends.schedule import Step
-from repro.storage import DEFAULT_CHUNK_BYTES, MmapStore, parse_bytes
+from repro.storage import (
+    DEFAULT_CHUNK_BYTES,
+    MmapStore,
+    parse_bytes,
+    warm_pages,
+)
 from repro.core.meta import TensorMeta
 from repro.core.ordering import optimal_chain_ordering
 from repro.core.planner import Plan, Planner
 from repro.mpi.stats import StatsLedger
-from repro.obs import MetricsRegistry, Trace, Tracer, canonical_tag
+from repro.obs import MetricsRegistry, Trace, Tracer, canonical_tag, safe_rate
 from repro.obs.trace import NULL_TRACER
 from repro.util import serial
 from repro.util.dtypes import resolve_dtype
@@ -217,8 +224,13 @@ class BatchResult:
 
     @property
     def items_per_second(self) -> float:
-        """Batch throughput (completed items over total wall seconds)."""
-        return len(self.items) / self.seconds if self.seconds > 0 else 0.0
+        """Batch throughput (completed items over total wall seconds).
+
+        The wall seconds come from the batch root span; a zero-duration
+        or crash-truncated root degrades to a 0.0 rate — never a raise,
+        never ``inf`` in a JSON payload (see :func:`repro.obs.safe_rate`).
+        """
+        return safe_rate(len(self.items), self.seconds)
 
     def stats(self) -> dict[str, float]:
         """Aggregate report: merged ledger summary + throughput counters."""
@@ -309,6 +321,71 @@ def _materialize_item(raw, index: int, core_dims, dtype) -> _PendingItem:
     return _PendingItem(
         index=index, source=source, array=array, core=core, group_key=key
     )
+
+
+class Prefetcher:
+    """One background loader double-buffering item load against compute.
+
+    While item *k* executes, :meth:`schedule` hands item *k+1*'s array to
+    a daemon thread that faults its backing pages in through
+    :func:`repro.storage.warm_pages` (memory-mapped ``.npy`` inputs and
+    spill blocks; resident arrays are skipped for free). The executing
+    run then finds hot pages instead of stalling on disk — the pipelined
+    half of ``run_many`` and of every ``repro.serve`` worker.
+
+    Prefetch is strictly advisory: warming failures are swallowed, and a
+    ``max_bytes`` cap (a serving memory budget) bounds how much of a
+    large item is pulled ahead. ``bytes_warmed`` is only read after
+    :meth:`close` joins the thread.
+    """
+
+    def __init__(
+        self,
+        *,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        max_bytes: int | None = None,
+    ) -> None:
+        self._chunk_bytes = int(chunk_bytes)
+        self._max_bytes = max_bytes
+        self._queue: queue_mod.Queue = queue_mod.Queue()
+        self._thread: threading.Thread | None = None
+        self.bytes_warmed = 0
+        self.items_warmed = 0
+
+    def schedule(self, array: np.ndarray | None) -> None:
+        """Warm ``array``'s pages in the background (no-op when resident)."""
+        if array is None or not isinstance(array, np.memmap):
+            return
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-prefetch", daemon=True
+            )
+            self._thread.start()
+        self._queue.put(array)
+
+    def _loop(self) -> None:
+        while True:
+            array = self._queue.get()
+            if array is None:
+                return
+            try:
+                warmed = warm_pages(
+                    array,
+                    chunk_bytes=self._chunk_bytes,
+                    max_bytes=self._max_bytes,
+                )
+            except Exception:  # advisory: a failed warm is a cold read
+                continue
+            self.bytes_warmed += warmed
+            if warmed:
+                self.items_warmed += 1
+
+    def close(self) -> None:
+        """Stop the loader (drains the pending warm first)."""
+        if self._thread is not None:
+            self._queue.put(None)
+            self._thread.join(timeout=30.0)
+            self._thread = None
 
 
 # --------------------------------------------------------------------- #
@@ -518,6 +595,16 @@ class TuckerSession:
         self._cache_size = check_positive_int(cache_size, "cache_size")
         self._hits = 0
         self._misses = 0
+        # Concurrency: the cache lock keeps LRU get/put/evict (and the
+        # hit/miss counters) consistent under concurrent compiles; the
+        # run lock serializes execution — per-run ledger scoping and
+        # tracer mark/drain are positional, so two interleaved runs on
+        # one backend would attribute each other's records. Serving
+        # layers that want true overlap give each worker its own session
+        # (see repro.serve); sharing one session across threads is then
+        # *correct*, just serialized.
+        self._cache_lock = threading.RLock()
+        self._run_lock = threading.RLock()
         if storage not in STORAGE_MODES:
             raise ValueError(
                 f"storage must be one of {STORAGE_MODES}, got {storage!r}"
@@ -590,17 +677,32 @@ class TuckerSession:
     # -- adaptive backend selection --------------------------------------- #
 
     def _auto_select(
-        self, meta: TensorMeta, n_procs: int | None, dtype
+        self,
+        meta: TensorMeta,
+        n_procs: int | None,
+        dtype,
+        storage: str | None = None,
+        memory_budget: int | str | None = None,
     ) -> None:
         """Pick and install the backend for this input (auto mode only).
 
         Backend instances are cached per name so their ledgers persist
         across runs; ``self.backend`` always points at the last selection.
+        ``storage``/``memory_budget`` are the per-run overrides: whether
+        this input will spill changes the scores (spill I/O charged,
+        staging copies dropped), so the selector is told up front.
         """
         if not self._auto:
             return
         from repro.backends.select import resolve_auto_procs
 
+        work_dtype = (
+            resolve_dtype(np.float64, dtype)
+            if dtype is not None
+            else np.dtype(np.float64)
+        )
+        nbytes = int(np.prod([int(d) for d in meta.dims])) * work_dtype.itemsize
+        spilled = self._select_storage(nbytes, storage, memory_budget).spilled
         procs = n_procs if n_procs is not None else self._auto_procs
         effective_procs = resolve_auto_procs(procs)
         selection = select_backend(
@@ -609,6 +711,7 @@ class TuckerSession:
             n_procs=procs,
             dtype=dtype,
             profile=self._profile,
+            spilled=spilled,
             # Instances cached at exactly this worker count have already
             # paid their startup (pool spin-up); don't charge it again. A
             # same-name pool at a *different* count must be rebuilt, so
@@ -683,12 +786,13 @@ class TuckerSession:
         The session stays usable: pool backends reopen on next use, and
         auto mode simply builds fresh instances.
         """
-        if self._auto:
-            for backend in self._backends.values():
-                backend.close()
-            self._backends.clear()
-        if self.backend is not None:
-            self.backend.close()
+        with self._run_lock:
+            if self._auto:
+                for backend in self._backends.values():
+                    backend.close()
+                self._backends.clear()
+            if self.backend is not None:
+                self.backend.close()
 
     def __enter__(self) -> "TuckerSession":
         return self
@@ -799,17 +903,19 @@ class TuckerSession:
     # -- plan cache ------------------------------------------------------- #
 
     def cache_info(self) -> dict[str, int]:
-        return {
-            "hits": self._hits,
-            "misses": self._misses,
-            "size": len(self._cache),
-            "maxsize": self._cache_size,
-        }
+        with self._cache_lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "size": len(self._cache),
+                "maxsize": self._cache_size,
+            }
 
     def clear_cache(self) -> None:
-        self._cache.clear()
-        self._hits = 0
-        self._misses = 0
+        with self._cache_lock:
+            self._cache.clear()
+            self._hits = 0
+            self._misses = 0
 
     def _resolve_procs(
         self,
@@ -848,6 +954,8 @@ class TuckerSession:
         n_procs: int | None,
         planner: str | Planner,
         dtype,
+        storage: str | None = None,
+        memory_budget: int | str | None = None,
     ) -> tuple[CompiledPlan, bool]:
         """Compile (or fetch from cache); returns ``(plan, from_cache)``."""
         from repro.hooi.portfolio import select_plan
@@ -856,6 +964,8 @@ class TuckerSession:
             meta,
             planner.n_procs if isinstance(planner, Planner) else n_procs,
             dtype,
+            storage,
+            memory_budget,
         )
         procs = self._resolve_procs(planner, n_procs, meta)
         if (
@@ -875,18 +985,22 @@ class TuckerSession:
             planner_key = str(planner)
         dtype = resolve_dtype(np.float64, dtype) if dtype is not None else np.dtype(np.float64)
         key = plan_cache_key(meta, procs, planner_key, dtype)
-        cached = self._cache.get(key)
-        if cached is not None:
-            self._cache.move_to_end(key)
-            self._hits += 1
-            self.metrics.counter("plan_cache_hits").inc()
-            return cached, True
-        self._misses += 1
+        with self._cache_lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self._hits += 1
+                self.metrics.counter("plan_cache_hits").inc()
+                return cached, True
+            self._misses += 1
         self.metrics.counter("plan_cache_misses").inc()
         logger.info(
             "compiling plan: dims=%s core=%s n_procs=%d planner=%s",
             meta.dims, meta.core, procs, planner_key,
         )
+        # Planning runs unlocked (it can be slow); two threads racing the
+        # same key both compile, last-put wins — wasted work, never a
+        # corrupted cache.
         if isinstance(planner, Planner):
             plan = planner.plan(meta)
         elif planner == "portfolio":
@@ -894,9 +1008,10 @@ class TuckerSession:
         else:
             plan = Planner(procs, tree=planner, grid="dynamic").plan(meta)
         compiled = compile_plan(plan, dtype=dtype, planner_key=planner_key)
-        self._cache[key] = compiled
-        while len(self._cache) > self._cache_size:
-            self._cache.popitem(last=False)
+        with self._cache_lock:
+            self._cache[key] = compiled
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
         return compiled, False
 
     def compile(
@@ -935,6 +1050,8 @@ class TuckerSession:
         planner: str | Planner,
         n_procs: int | None,
         dtype,
+        storage: str | None = None,
+        memory_budget: int | str | None = None,
     ) -> tuple[np.ndarray, CompiledPlan, bool]:
         """Resolve dtype, validate shapes, compile-or-fetch the plan."""
         # Keep ndarray subclasses (np.memmap in particular): a lazily
@@ -943,7 +1060,9 @@ class TuckerSession:
         arr = tensor if isinstance(tensor, np.ndarray) else np.asarray(tensor)
         if isinstance(plan, Plan):
             work_dtype = resolve_dtype(arr, dtype)
-            self._auto_select(plan.meta, plan.n_procs, work_dtype)
+            self._auto_select(
+                plan.meta, plan.n_procs, work_dtype, storage, memory_budget
+            )
             if plan.meta.dims != arr.shape:
                 raise ValueError(
                     f"tensor shape {arr.shape} != plan dims {plan.meta.dims}"
@@ -952,24 +1071,28 @@ class TuckerSession:
             # unhashable parts); the cached CompiledPlan retains the plan,
             # so the id cannot be recycled while the entry lives.
             key = ("explicit", id(plan), work_dtype.name)
-            cached = self._cache.get(key)
-            if cached is not None and cached.plan is plan:
-                self._cache.move_to_end(key)
-                self._hits += 1
-                return _maybe_cast(arr, work_dtype), cached, True
-            self._misses += 1
+            with self._cache_lock:
+                cached = self._cache.get(key)
+                if cached is not None and cached.plan is plan:
+                    self._cache.move_to_end(key)
+                    self._hits += 1
+                    return _maybe_cast(arr, work_dtype), cached, True
+                self._misses += 1
             compiled = compile_plan(
                 plan,
                 dtype=work_dtype,
                 planner_key=f"{plan.tree_kind}:{plan.grid_kind}",
             )
-            self._cache[key] = compiled
-            while len(self._cache) > self._cache_size:
-                self._cache.popitem(last=False)
+            with self._cache_lock:
+                self._cache[key] = compiled
+                while len(self._cache) > self._cache_size:
+                    self._cache.popitem(last=False)
             return _maybe_cast(arr, work_dtype), compiled, False
         if isinstance(plan, CompiledPlan):
             work_dtype = resolve_dtype(arr, dtype) if dtype is not None else plan.dtype
-            self._auto_select(plan.meta, plan.n_procs, work_dtype)
+            self._auto_select(
+                plan.meta, plan.n_procs, work_dtype, storage, memory_budget
+            )
             if plan.meta.dims != arr.shape:
                 raise ValueError(
                     f"tensor shape {arr.shape} != plan dims {plan.meta.dims}"
@@ -985,7 +1108,9 @@ class TuckerSession:
         arr = _maybe_cast(arr, work_dtype)
         core = check_core_dims(core_dims, arr.shape)
         meta = TensorMeta(dims=arr.shape, core=core)
-        compiled, from_cache = self._compile(meta, n_procs, planner, work_dtype)
+        compiled, from_cache = self._compile(
+            meta, n_procs, planner, work_dtype, storage, memory_budget
+        )
         return arr, compiled, from_cache
 
     # -- algorithms ------------------------------------------------------- #
@@ -1080,21 +1205,22 @@ class TuckerSession:
         distributed backend. ``storage`` / ``memory_budget`` /
         ``spill_dir`` override the session's storage policy for this run.
         """
-        tmark = self.tracer.mark()
-        try:
-            with self.tracer.span("run", kind="phase", method="hooi") as root:
-                result = self._hooi_impl(
-                    tensor, init, plan=plan, planner=planner,
-                    n_procs=n_procs, dtype=dtype, max_iters=max_iters,
-                    tol=tol, storage=storage, memory_budget=memory_budget,
-                    spill_dir=spill_dir, root=root,
-                )
-        except BaseException:
-            self._stash_error_trace(tmark)
-            raise
-        result.seconds = root.seconds
-        result.trace = self._finish_trace(root, tmark)
-        return result
+        with self._run_lock:
+            tmark = self.tracer.mark()
+            try:
+                with self.tracer.span("run", kind="phase", method="hooi") as root:
+                    result = self._hooi_impl(
+                        tensor, init, plan=plan, planner=planner,
+                        n_procs=n_procs, dtype=dtype, max_iters=max_iters,
+                        tol=tol, storage=storage, memory_budget=memory_budget,
+                        spill_dir=spill_dir, root=root,
+                    )
+            except BaseException:
+                self._stash_error_trace(tmark)
+                raise
+            result.seconds = root.seconds
+            result.trace = self._finish_trace(root, tmark)
+            return result
 
     def _hooi_impl(
         self, tensor, init, *, plan, planner, n_procs, dtype, max_iters,
@@ -1105,7 +1231,8 @@ class TuckerSession:
         tr = self._tr()
         with tr.span("compile", kind="phase"):
             arr, compiled, from_cache = self._prepare(
-                tensor, core_dims, plan, planner, n_procs, dtype
+                tensor, core_dims, plan, planner, n_procs, dtype,
+                storage, memory_budget,
             )
         # Policy sees the *working* bytes: a float32 file run at float64
         # occupies twice its on-disk size once cast.
@@ -1222,21 +1349,22 @@ class TuckerSession:
         spill_dir: str | None = None,
     ) -> TuckerResult:
         """One STHOSVD pass on the backend (static grid, optimal order)."""
-        tmark = self.tracer.mark()
-        try:
-            with self.tracer.span("run", kind="phase", method="sthosvd") as root:
-                result = self._sthosvd_impl(
-                    tensor, core_dims, plan=plan, planner=planner,
-                    n_procs=n_procs, dtype=dtype, storage=storage,
-                    memory_budget=memory_budget, spill_dir=spill_dir,
-                    root=root,
-                )
-        except BaseException:
-            self._stash_error_trace(tmark)
-            raise
-        result.seconds = root.seconds
-        result.trace = self._finish_trace(root, tmark)
-        return result
+        with self._run_lock:
+            tmark = self.tracer.mark()
+            try:
+                with self.tracer.span("run", kind="phase", method="sthosvd") as root:
+                    result = self._sthosvd_impl(
+                        tensor, core_dims, plan=plan, planner=planner,
+                        n_procs=n_procs, dtype=dtype, storage=storage,
+                        memory_budget=memory_budget, spill_dir=spill_dir,
+                        root=root,
+                    )
+            except BaseException:
+                self._stash_error_trace(tmark)
+                raise
+            result.seconds = root.seconds
+            result.trace = self._finish_trace(root, tmark)
+            return result
 
     def _sthosvd_impl(
         self, tensor, core_dims, *, plan, planner, n_procs, dtype,
@@ -1245,7 +1373,8 @@ class TuckerSession:
         tr = self._tr()
         with tr.span("compile", kind="phase"):
             arr, compiled, from_cache = self._prepare(
-                tensor, core_dims, plan, planner, n_procs, dtype
+                tensor, core_dims, plan, planner, n_procs, dtype,
+                storage, memory_budget,
             )
         # Policy sees the *working* bytes: a float32 file run at float64
         # occupies twice its on-disk size once cast.
@@ -1319,22 +1448,23 @@ class TuckerSession:
         the full span tree, a metrics snapshot and the plan's modeled
         per-step volumes.
         """
-        tmark = self.tracer.mark()
-        try:
-            with self.tracer.span("run", kind="phase", method="run") as root:
-                result = self._run_impl(
-                    tensor, core_dims, plan=plan, planner=planner,
-                    n_procs=n_procs, dtype=dtype, max_iters=max_iters,
-                    tol=tol, skip_hooi=skip_hooi, storage=storage,
-                    memory_budget=memory_budget, spill_dir=spill_dir,
-                    root=root,
-                )
-        except BaseException:
-            self._stash_error_trace(tmark)
-            raise
-        result.seconds = root.seconds
-        result.trace = self._finish_trace(root, tmark)
-        return result
+        with self._run_lock:
+            tmark = self.tracer.mark()
+            try:
+                with self.tracer.span("run", kind="phase", method="run") as root:
+                    result = self._run_impl(
+                        tensor, core_dims, plan=plan, planner=planner,
+                        n_procs=n_procs, dtype=dtype, max_iters=max_iters,
+                        tol=tol, skip_hooi=skip_hooi, storage=storage,
+                        memory_budget=memory_budget, spill_dir=spill_dir,
+                        root=root,
+                    )
+            except BaseException:
+                self._stash_error_trace(tmark)
+                raise
+            result.seconds = root.seconds
+            result.trace = self._finish_trace(root, tmark)
+            return result
 
     def _annotate_root(
         self, root, compiled: CompiledPlan, selection, from_cache: bool
@@ -1361,7 +1491,8 @@ class TuckerSession:
         tr = self._tr()
         with tr.span("compile", kind="phase"):
             arr, compiled, from_cache = self._prepare(
-                tensor, core_dims, plan, planner, n_procs, dtype
+                tensor, core_dims, plan, planner, n_procs, dtype,
+                storage, memory_budget,
             )
         # Policy sees the *working* bytes: a float32 file run at float64
         # occupies twice its on-disk size once cast.
@@ -1462,6 +1593,7 @@ class TuckerSession:
         storage: str | None = None,
         memory_budget: int | str | None = None,
         spill_dir: str | None = None,
+        prefetch: bool = True,
     ) -> BatchResult:
         """Decompose a stream of tensors through one warm session.
 
@@ -1491,6 +1623,14 @@ class TuckerSession:
         from its metadata, reusing already-built pools at zero startup
         charge.
 
+        ``prefetch`` (default on) double-buffers file-backed items: while
+        item *i* computes, a background thread touches one element per
+        page of item *i+1*'s memory mapping, so its pages are faulted in
+        from disk by the time execution reaches it. In-memory items are
+        skipped (nothing to fault); ``prefetch=False`` restores strictly
+        serial I/O. Warmed bytes land in the session metrics as the
+        ``prefetch_bytes`` / ``prefetch_items`` counters.
+
         ``on_error="raise"`` (default) propagates the first failure;
         ``"skip"`` records it as a :class:`BatchFailure` and keeps
         streaming. Per-item results, the merged per-run ledger and
@@ -1516,6 +1656,7 @@ class TuckerSession:
             parse_bytes(memory_budget)  # fail fast on a bad budget string
         info = self.cache_info()
         hits0, misses0 = info["hits"], info["misses"]
+        self._run_lock.acquire()  # whole-batch scope: tmark..drain is positional
         tmark = self.tracer.mark()
         item_traces: list[Trace] = []
         stream = iter(inputs)
@@ -1523,6 +1664,7 @@ class TuckerSession:
         items: list[BatchItem] = []
         failures: list[BatchFailure] = []
         ledger = StatsLedger()
+        prefetcher = Prefetcher() if prefetch else None
         seq = 0
         index = 0
         exhausted = False
@@ -1566,7 +1708,19 @@ class TuckerSession:
                     ]
                     for entry in group:
                         window.remove(entry)
-                    for entry in group:
+                    # Top the window back up *before* executing: the
+                    # prefetcher needs the next item materialized while
+                    # this group computes, not after.
+                    fill()
+                    for pos, entry in enumerate(group):
+                        if prefetcher is not None:
+                            nxt = (
+                                group[pos + 1]
+                                if pos + 1 < len(group)
+                                else (window[0] if window else None)
+                            )
+                            if nxt is not None:
+                                prefetcher.schedule(nxt.array)
                         try:
                             result = self.run(
                                 entry.array,
@@ -1615,32 +1769,50 @@ class TuckerSession:
                         seq += 1
                         if result.ledger is not None:
                             ledger.merge(result.ledger)
-                    fill()
+                # Join the loader before the metrics snapshot below so
+                # the warmed totals it reports are final.
+                if prefetcher is not None:
+                    prefetcher.close()
+                    self.metrics.counter("prefetch_bytes").inc(
+                        prefetcher.bytes_warmed
+                    )
+                    self.metrics.counter("prefetch_items").inc(
+                        prefetcher.items_warmed
+                    )
                 root.set(items=len(items), failures=len(failures))
         except BaseException:
+            try:
+                if self._trace_enabled:
+                    tail = self.tracer.drain(tmark)
+                    pieces = [tail] + item_traces
+                    if self.last_error_trace is not None:
+                        pieces.append(self.last_error_trace)
+                    self.last_error_trace = Trace.merge(pieces)
+                else:
+                    self.tracer.drain(tmark)
+            finally:
+                self._run_lock.release()
+            raise
+        finally:
+            if prefetcher is not None:
+                prefetcher.close()
+        try:
+            items.sort(key=lambda item: item.index)
+            failures.sort(key=lambda failure: failure.index)
+            info = self.cache_info()
+            self.metrics.counter("batches").inc()
+            trace = None
             if self._trace_enabled:
+                # Batch root first so its meta wins the first-wins merge.
                 tail = self.tracer.drain(tmark)
-                pieces = [tail] + item_traces
-                if self.last_error_trace is not None:
-                    pieces.append(self.last_error_trace)
-                self.last_error_trace = Trace.merge(pieces)
+                tail.meta.update(dict(root.attrs))
+                tail.meta["method"] = "batch"
+                trace = Trace.merge([tail] + item_traces)
+                trace.meta["metrics"] = self.metrics.snapshot()
             else:
                 self.tracer.drain(tmark)
-            raise
-        items.sort(key=lambda item: item.index)
-        failures.sort(key=lambda failure: failure.index)
-        info = self.cache_info()
-        self.metrics.counter("batches").inc()
-        trace = None
-        if self._trace_enabled:
-            # Batch root first so its meta wins the first-wins merge.
-            tail = self.tracer.drain(tmark)
-            tail.meta.update(dict(root.attrs))
-            tail.meta["method"] = "batch"
-            trace = Trace.merge([tail] + item_traces)
-            trace.meta["metrics"] = self.metrics.snapshot()
-        else:
-            self.tracer.drain(tmark)
+        finally:
+            self._run_lock.release()
         return BatchResult(
             items=items,
             failures=failures,

@@ -39,6 +39,7 @@ from repro.storage.store import (
     default_spill_root,
     parse_bytes,
     resident_gauge,
+    warm_pages,
 )
 
 __all__ = [
@@ -57,4 +58,5 @@ __all__ = [
     "default_spill_root",
     "parse_bytes",
     "resident_gauge",
+    "warm_pages",
 ]

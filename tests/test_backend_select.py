@@ -30,6 +30,7 @@ from repro.backends.select import (
     calibrate,
     default_profile_path,
     estimate_seconds,
+    profile_from_trace,
     sweep_flops,
 )
 from repro.session import TuckerSession
@@ -481,4 +482,181 @@ class TestProfilePersistence:
         loaded = load_profile(path)
         assert loaded["calibrated"] is True
         sel = select_backend((12, 10, 8), (3, 3, 2), profile=loaded)
+        assert sel.backend in AUTO_CANDIDATES
+
+
+class TestSpilledCostModel:
+    """The out-of-core regime: I/O charged, staging copies dropped."""
+
+    def _params(self, **over):
+        params = dict(default_profile()["backends"]["sequential"])
+        params.update(over)
+        return params
+
+    def test_spilled_adds_io_charge(self):
+        kw = dict(n_procs=1, dtype=np.float64, available_cores=1)
+        resident = estimate_seconds(
+            self._params(), (64, 64, 64), (8, 8, 8), **kw
+        )
+        spilled = estimate_seconds(
+            self._params(), (64, 64, 64), (8, 8, 8), spilled=True, **kw
+        )
+        nbytes = 64 ** 3 * 8
+        expected_io = nbytes / 8.0e8 + nbytes / 1.6e9
+        assert spilled == pytest.approx(resident + expected_io)
+
+    def test_spilled_drops_copy_charge(self):
+        # A backend with a staging-copy cost loses it under spill: the
+        # workers map the spill blocks in place.
+        kw = dict(n_procs=1, dtype=np.float64, available_cores=1)
+        slow_copy = self._params(copy_elems_per_s=1.0)  # absurdly slow
+        resident = estimate_seconds(
+            slow_copy, (32, 32, 32), (4, 4, 4), **kw
+        )
+        spilled = estimate_seconds(
+            slow_copy, (32, 32, 32), (4, 4, 4), spilled=True, **kw
+        )
+        assert spilled < resident  # the huge copy charge is gone
+
+    def test_storage_params_scale_the_io_term(self):
+        kw = dict(n_procs=1, dtype=np.float64, available_cores=1)
+        fast = estimate_seconds(
+            self._params(), (64, 64, 64), (8, 8, 8), spilled=True,
+            storage_params={
+                "spill_write_bytes_per_s": 1e12,
+                "spill_read_bytes_per_s": 1e12,
+            },
+            **kw,
+        )
+        slow = estimate_seconds(
+            self._params(), (64, 64, 64), (8, 8, 8), spilled=True,
+            storage_params={
+                "spill_write_bytes_per_s": 1e6,
+                "spill_read_bytes_per_s": 1e6,
+            },
+            **kw,
+        )
+        assert slow > fast
+
+    def test_read_passes_multiply_read_charge(self):
+        kw = dict(n_procs=1, dtype=np.float64, available_cores=1)
+        one_pass = estimate_seconds(
+            self._params(), (64, 64, 64), (8, 8, 8), spilled=True,
+            storage_params={"spill_read_passes": 1.0}, **kw,
+        )
+        three_pass = estimate_seconds(
+            self._params(), (64, 64, 64), (8, 8, 8), spilled=True,
+            storage_params={"spill_read_passes": 3.0}, **kw,
+        )
+        nbytes = 64 ** 3 * 8
+        assert three_pass - one_pass == pytest.approx(
+            2.0 * nbytes / 1.6e9
+        )
+
+    def test_select_backend_spilled_deterministic_and_flagged(self):
+        a = select_backend(
+            (48, 48, 48), (8, 8, 8), n_procs=4, available_cores=8,
+            spilled=True,
+        )
+        b = select_backend(
+            (48, 48, 48), (8, 8, 8), n_procs=4, available_cores=8,
+            spilled=True,
+        )
+        assert a.backend == b.backend
+        assert a.scores == b.scores
+        assert "spilled" in a.reason
+        resident = select_backend(
+            (48, 48, 48), (8, 8, 8), n_procs=4, available_cores=8,
+        )
+        assert "spilled" not in resident.reason
+
+
+class TestStorageProfileMerge:
+    def test_storage_section_merges_over_defaults(self):
+        profile = merge_profile(
+            {"storage": {"spill_write_bytes_per_s": 5.0e9}}
+        )
+        assert profile["storage"]["spill_write_bytes_per_s"] == 5.0e9
+        assert profile["storage"]["spill_read_bytes_per_s"] == 1.6e9
+
+    def test_invalid_storage_values_keep_defaults_and_warn(self):
+        with pytest.warns(RuntimeWarning, match="storage"):
+            profile = merge_profile({
+                "storage": {
+                    "spill_write_bytes_per_s": -1.0,
+                    "spill_read_bytes_per_s": "fast",
+                },
+            })
+        assert profile["storage"] == default_profile()["storage"]
+
+    def test_unknown_storage_keys_dropped(self):
+        profile = merge_profile({"storage": {"warp_speed": 1.0}})
+        assert "warp_speed" not in profile["storage"]
+
+
+class TestProfileFromTrace:
+    def _span(self, sid, name, kind, seconds, nbytes):
+        from repro.obs.trace import Span
+
+        return Span(
+            sid=sid, name=name, kind=kind, start=0.0, end=seconds,
+            attrs={"bytes": nbytes},
+        )
+
+    def test_io_spans_become_storage_rates(self):
+        from repro.obs.trace import Trace
+
+        trace = Trace(spans=(
+            self._span(1, "spill:write", "io", 0.5, 5.0e8),
+            self._span(2, "spill:write", "io", 0.5, 5.0e8),
+            self._span(3, "spill:read", "io", 0.25, 5.0e8),
+        ))
+        partial = profile_from_trace(trace)
+        assert partial["storage"]["spill_write_bytes_per_s"] == (
+            pytest.approx(1.0e9)
+        )
+        assert partial["storage"]["spill_read_bytes_per_s"] == (
+            pytest.approx(2.0e9)
+        )
+        merged = merge_profile(partial)
+        assert merged["storage"]["spill_write_bytes_per_s"] == (
+            pytest.approx(1.0e9)
+        )
+
+    def test_non_io_and_zero_byte_spans_ignored(self):
+        from repro.obs.trace import Trace
+
+        trace = Trace(spans=(
+            self._span(1, "spill:write", "phase", 0.5, 1e9),  # wrong kind
+            self._span(2, "spill:write", "io", 0.5, 0),       # no bytes
+            self._span(3, "other:io", "io", 0.5, 1e9),        # wrong name
+        ))
+        assert profile_from_trace(trace) == {}
+
+    def test_sub_microsecond_aggregates_discarded(self):
+        from repro.obs.trace import Trace
+
+        trace = Trace(spans=(
+            self._span(1, "spill:read", "io", 5e-7, 4096),
+        ))
+        assert profile_from_trace(trace) == {}
+
+    def test_empty_trace_is_empty_partial(self):
+        from repro.obs.trace import Trace
+
+        assert profile_from_trace(Trace(spans=())) == {}
+
+    def test_real_spilled_run_yields_mergeable_profile(self, tmp_path):
+        t = low_rank_tensor((16, 14, 12), (3, 3, 2), seed=5, noise=0.0)
+        with TuckerSession(
+            backend="sequential", trace=True,
+            storage="mmap", spill_dir=str(tmp_path),
+        ) as session:
+            result = session.run(t, (3, 3, 2), max_iters=1)
+        partial = profile_from_trace(result.trace)
+        assert "spill_write_bytes_per_s" in partial.get("storage", {})
+        merged = merge_profile(partial)
+        sel = select_backend(
+            (16, 14, 12), (3, 3, 2), profile=merged, spilled=True,
+        )
         assert sel.backend in AUTO_CANDIDATES

@@ -10,6 +10,7 @@ from repro.bench.runner import (
     normalize_against,
     run_backends,
     run_batch,
+    run_serve,
     sweep,
 )
 from repro.bench.suite import paper_subsample
@@ -199,3 +200,31 @@ class TestRunBatch:
         out = run_batch(tensors, (5, 4, 3), backends=("sequential", "threaded"))
         assert out["threaded"]["max_core_diff"] < 1e-10
         assert out["threaded"]["plans_compiled"] == 2.0
+
+
+class TestRunServe:
+    def test_serve_vs_serial_agree_and_report(self):
+        tensors = [
+            low_rank_tensor((12, 10, 8), (3, 3, 2), seed=i, noise=0.05)
+            for i in range(4)
+        ]
+        out = run_serve(
+            tensors, (3, 3, 2), workers=2, backend="sequential",
+            max_iters=2,
+        )
+        serial, serve = out["serial"], out["serve"]
+        assert serial["n_items"] == serve["n_items"] == 4.0
+        assert serial["items_per_second"] >= 0.0
+        assert serve["items_per_second"] >= 0.0
+        assert serve["workers"] == 2.0
+        assert serve["speedup"] > 0.0
+        # Same plans, same arithmetic: the serve arm must agree exactly
+        # with the warm-session serial stream.
+        assert serve["max_core_diff"] < 1e-10
+        # 4 equal-keyed requests on 2 workers: at least the repeats on
+        # the sticky owner hit.
+        assert serve["affinity_hit_rate"] > 0.0
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            run_serve([], (2, 2, 2))

@@ -1,0 +1,99 @@
+"""Tests for the ``repro serve`` subcommand (stdio ndjson transport)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.tensor.random import low_rank_tensor
+
+
+def _run_serve(monkeypatch, capsys, lines, argv=()):
+    """Drive ``repro serve`` with ndjson lines on a fake stdin."""
+    stdin = io.StringIO(
+        "\n".join(json.dumps(line) if not isinstance(line, str) else line
+                  for line in lines) + "\n"
+    )
+    monkeypatch.setattr("sys.stdin", stdin)
+    rc = main(["serve", "--workers", "2", *argv])
+    out = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+    return rc, out
+
+
+class TestServeCli:
+    def test_mixed_workload_round_trip(self, monkeypatch, capsys, tmp_path):
+        np.save(
+            tmp_path / "x.npy",
+            low_rank_tensor((10, 9, 8), (3, 3, 2), seed=1, noise=0.1),
+        )
+        rc, out = _run_serve(monkeypatch, capsys, [
+            {"id": "path", "path": str(tmp_path / "x.npy"),
+             "core": [3, 3, 2], "max_iters": 2},
+            {"id": "rand", "random": {"dims": [8, 8, 8], "seed": 2},
+             "core": [2, 2, 2]},
+            {"op": "stats"},
+            {"op": "drain"},
+        ])
+        assert rc == 0
+        assert [r.get("id") for r in out[:2]] == ["path", "rand"]
+        assert all(r["ok"] for r in out[:2])
+        assert out[2]["op"] == "stats"
+        assert out[3]["op"] == "drain" and out[3]["ok"]
+        assert out[3]["completed"] == 2.0
+
+    def test_save_and_stats_out(self, monkeypatch, capsys, tmp_path):
+        result_path = str(tmp_path / "dec.npz")
+        stats_path = str(tmp_path / "stats.json")
+        rc, out = _run_serve(
+            monkeypatch, capsys,
+            [{"id": "s", "random": {"dims": [8, 7, 6]},
+              "core": [2, 2, 2], "save": result_path}],
+            argv=["--stats-out", stats_path],
+        )
+        assert rc == 0
+        assert out[0]["saved"] == result_path
+        with np.load(result_path) as payload:
+            assert payload["core"].shape == (2, 2, 2)
+        with open(stats_path, encoding="utf-8") as fh:
+            stats = json.load(fh)
+        assert stats["completed"] == 1.0
+        assert stats["workers"] == 2
+
+    def test_failed_request_exits_nonzero(self, monkeypatch, capsys):
+        rc, out = _run_serve(
+            monkeypatch, capsys,
+            # Queued longer than a 1ms deadline can survive.
+            [{"id": "doomed", "random": {"dims": [8, 8, 8]},
+              "core": [2, 2, 2], "deadline": 0.001},
+             {"id": "fine", "random": {"dims": [8, 8, 8]},
+              "core": [2, 2, 2]}],
+        )
+        by_id = {r.get("id"): r for r in out if "id" in r}
+        if not by_id["doomed"]["ok"]:  # lost the race to the worker
+            assert by_id["doomed"]["error_kind"] == "DeadlineExceeded"
+            assert rc == 1
+        assert by_id["fine"]["ok"]
+
+    def test_trace_saved_on_drain(self, monkeypatch, capsys, tmp_path):
+        trace_path = str(tmp_path / "serve.trace.json")
+        rc, _ = _run_serve(
+            monkeypatch, capsys,
+            [{"id": "t", "random": {"dims": [8, 7, 6]},
+              "core": [2, 2, 2]}],
+            argv=["--trace", trace_path],
+        )
+        assert rc == 0
+        from repro.obs import Trace
+
+        trace = Trace.load(trace_path)
+        assert len(trace.spans) > 0
+
+    def test_bad_budget_is_a_clean_error(self, monkeypatch, capsys):
+        stdin = io.StringIO("")
+        monkeypatch.setattr("sys.stdin", stdin)
+        with pytest.raises(SystemExit):
+            main(["serve", "--memory-budget", "minus-five"])

@@ -1,0 +1,669 @@
+"""The serving subsystem: requests, admission, routing, server, protocol.
+
+The server tests drive a real in-process :class:`TuckerServer` (worker
+threads, private sessions) on small tensors; blocking scenarios pin the
+shared admission budget from the test thread so queue/deadline/cancel
+states are reached deterministically instead of by racing timers.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    AdmissionController,
+    AdmissionError,
+    AffinityRouter,
+    ServeRequest,
+    ServerStats,
+    Ticket,
+    TuckerServer,
+    parse_request,
+    plan_key,
+    serve_lines,
+)
+from repro.session import TuckerSession
+
+
+def _random(dims, seed=0):
+    from repro.tensor.random import random_tensor
+
+    return random_tensor(dims, seed=seed)
+
+
+# --------------------------------------------------------------------- #
+# requests and parsing
+# --------------------------------------------------------------------- #
+
+
+class TestServeRequest:
+    def test_exactly_one_source_required(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            ServeRequest(core=(2, 2))
+        with pytest.raises(ValueError, match="exactly one"):
+            ServeRequest(
+                core=(2, 2), array=np.zeros((4, 4)), dims=(4, 4)
+            )
+
+    def test_random_spec_materializes_deterministically(self):
+        req = ServeRequest(core=(2, 2, 2), dims=(5, 4, 3), seed=7)
+        a = req.materialize()
+        b = req.materialize()
+        assert a.shape == (5, 4, 3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_path_source_header_peek(self, tmp_path):
+        path = str(tmp_path / "x.npy")
+        np.save(path, np.zeros((6, 5, 4), dtype=np.float32))
+        req = ServeRequest(core=(2, 2, 2), path=path)
+        assert req.input_shape() == (6, 5, 4)
+        assert req.input_dtype_name() == "float32"
+        assert req.nbytes() == 6 * 5 * 4 * 4
+
+    def test_non_float32_runs_float64(self):
+        req = ServeRequest(
+            core=(2, 2), array=np.zeros((3, 3), dtype=np.int32)
+        )
+        assert req.input_dtype_name() == "float64"
+
+    def test_bad_method_and_deadline_rejected(self):
+        with pytest.raises(ValueError, match="method"):
+            ServeRequest(core=(2, 2), dims=(4, 4), method="hooi!")
+        with pytest.raises(ValueError, match="deadline"):
+            ServeRequest(core=(2, 2), dims=(4, 4), deadline=0.0)
+
+    def test_plan_key_matches_session_grouping(self):
+        a = ServeRequest(core=(2, 2, 2), dims=(6, 5, 4))
+        b = ServeRequest(core=(2, 2, 2), dims=(6, 5, 4), seed=99)
+        c = ServeRequest(core=(3, 2, 2), dims=(6, 5, 4))
+        assert plan_key(a) == plan_key(b)
+        assert plan_key(a) != plan_key(c)
+        assert plan_key(a) == ((6, 5, 4), (2, 2, 2), "float64")
+
+    def test_plan_key_validates_core(self):
+        req = ServeRequest(core=(9, 9, 9), dims=(4, 4, 4))
+        with pytest.raises(ValueError):
+            plan_key(req)
+
+
+class TestParseRequest:
+    def test_minimal_random_payload(self):
+        req = parse_request(
+            {"core": [2, 2], "random": {"dims": [5, 5], "seed": 3}},
+            index=4,
+        )
+        assert req.dims == (5, 5)
+        assert req.seed == 3
+        assert req.id == "req4"
+        assert req.method == "run"
+
+    def test_inline_data(self):
+        req = parse_request(
+            {"core": [1, 1], "data": [[1.0, 2.0], [3.0, 4.0]], "id": "d"}
+        )
+        np.testing.assert_array_equal(
+            req.array, np.array([[1.0, 2.0], [3.0, 4.0]])
+        )
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown request fields"):
+            parse_request({"core": [2, 2], "dims": [4, 4]})
+
+    def test_core_required(self):
+        with pytest.raises(ValueError, match="core"):
+            parse_request({"random": {"dims": [4, 4]}})
+
+    def test_bad_random_spec(self):
+        with pytest.raises(ValueError, match="random"):
+            parse_request({"core": [2, 2], "random": [4, 4]})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            parse_request([1, 2, 3])
+
+
+# --------------------------------------------------------------------- #
+# admission control
+# --------------------------------------------------------------------- #
+
+
+class TestAdmission:
+    def test_charge_is_capped_at_budget(self):
+        ctl = AdmissionController(1000)
+        assert ctl.charge_for(400) == 400
+        assert ctl.charge_for(5000) == 1000  # oversized runs alone, spilled
+
+    def test_unbudgeted_never_blocks(self):
+        ctl = AdmissionController(None)
+        charge = ctl.acquire(10**12, timeout=0.0)
+        assert charge == 10**12
+        assert ctl.gauge.current == 10**12
+        ctl.release(charge)
+        assert ctl.gauge.current == 0
+
+    def test_budget_serializes_oversubscription(self):
+        ctl = AdmissionController(1000)
+        first = ctl.acquire(800)
+        acquired = threading.Event()
+        charges = []
+
+        def second():
+            charges.append(ctl.acquire(800, timeout=5.0))
+            acquired.set()
+
+        t = threading.Thread(target=second, daemon=True)
+        t.start()
+        assert not acquired.wait(0.05)  # must be blocked, 1600 > 1000
+        ctl.release(first)
+        assert acquired.wait(5.0)
+        t.join(5.0)
+        assert charges == [800]
+        ctl.release(800)
+        assert ctl.waits == 1
+
+    def test_timeout_raises_typed_error(self):
+        ctl = AdmissionController(1000)
+        ctl.acquire(1000)
+        with pytest.raises(AdmissionError) as exc:
+            ctl.acquire(500, timeout=0.01)
+        assert exc.value.reason == "budget_timeout"
+        ctl.release(1000)
+
+    def test_string_budget_and_validation(self):
+        assert AdmissionController("1K").budget == 1024
+        with pytest.raises(ValueError):
+            AdmissionController(0)
+
+    def test_snapshot_shape(self):
+        ctl = AdmissionController(2048)
+        ctl.acquire(100)
+        snap = ctl.snapshot()
+        assert snap["budget"] == 2048
+        assert snap["charged"] == 100
+        assert snap["charged_peak"] == 100
+        assert snap["waits"] == 0
+
+
+# --------------------------------------------------------------------- #
+# affinity routing
+# --------------------------------------------------------------------- #
+
+
+class TestAffinityRouter:
+    def test_sticky_owner_hits(self):
+        router = AffinityRouter(3)
+        first, hit = router.route(("k",), [0, 0, 0])
+        assert not hit
+        again, hit = router.route(("k",), [2, 2, 2])
+        assert again == first
+        assert hit
+
+    def test_spillover_moves_to_coldest(self):
+        router = AffinityRouter(2, spill_threshold=2)
+        owner, _ = router.route(("k",), [0, 0])
+        loads = [0, 0]
+        loads[owner] = 5  # owner 5 items behind the other queue
+        moved, hit = router.route(("k",), loads)
+        assert moved != owner
+        assert not hit
+        # ...and the key's new home is sticky from here on.
+        again, hit = router.route(("k",), [1, 1])
+        assert again == moved
+        assert hit
+
+    def test_within_threshold_stays_home(self):
+        router = AffinityRouter(2, spill_threshold=4)
+        owner, _ = router.route(("k",), [0, 0])
+        loads = [0, 0]
+        loads[owner] = 4  # exactly at threshold: stay
+        again, hit = router.route(("k",), loads)
+        assert again == owner
+        assert hit
+
+    def test_distinct_keys_spread_to_coldest(self):
+        router = AffinityRouter(2)
+        a, _ = router.route(("a",), [0, 0])
+        b, _ = router.route(("b",), [1 if i == a else 0 for i in range(2)])
+        assert b != a
+
+    def test_hit_rate_and_snapshot(self):
+        router = AffinityRouter(1)
+        assert router.hit_rate() == 0.0
+        router.route(("k",), [0])
+        router.route(("k",), [0])
+        snap = router.snapshot()
+        assert snap == {"keys": 1, "hits": 1, "misses": 1, "hit_rate": 0.5}
+
+    def test_load_count_validated(self):
+        with pytest.raises(ValueError):
+            AffinityRouter(2).route(("k",), [0])
+        with pytest.raises(ValueError):
+            AffinityRouter(0)
+
+
+# --------------------------------------------------------------------- #
+# tickets
+# --------------------------------------------------------------------- #
+
+
+class TestTicket:
+    def _ticket(self):
+        return Ticket(
+            ServeRequest(core=(2, 2), dims=(4, 4), id="t"), 0, False
+        )
+
+    def test_cancel_publishes_result_immediately(self):
+        ticket = self._ticket()
+        assert ticket.cancel()
+        assert ticket.done()
+        res = ticket.result(timeout=0)
+        assert not res.ok
+        assert res.error_kind == "RequestCancelled"
+        assert ticket.state == "cancelled"
+
+    def test_cancel_loses_to_start(self):
+        ticket = self._ticket()
+        assert ticket._start()
+        assert not ticket.cancel()
+        assert ticket.state == "running"
+
+    def test_start_loses_to_cancel(self):
+        ticket = self._ticket()
+        assert ticket.cancel()
+        assert not ticket._start()
+
+    def test_result_timeout(self):
+        with pytest.raises(TimeoutError):
+            self._ticket().result(timeout=0.01)
+
+    def test_deadline_remaining(self):
+        assert self._ticket().deadline_remaining() is None
+        bounded = Ticket(
+            ServeRequest(core=(2, 2), dims=(4, 4), deadline=60.0), 0, False
+        )
+        remaining = bounded.deadline_remaining()
+        assert 0 < remaining <= 60.0
+
+
+# --------------------------------------------------------------------- #
+# the server
+# --------------------------------------------------------------------- #
+
+
+class TestServer:
+    def test_results_match_sequential_session(self):
+        shapes = [(10, 8, 6), (10, 8, 6), (7, 7, 7)]
+        tensors = [_random(s, seed=i) for i, s in enumerate(shapes)]
+        with TuckerSession(backend="sequential") as session:
+            expected = [
+                session.run(t, (3, 3, 2), max_iters=2) for t in tensors
+            ]
+        with TuckerServer(workers=2, backend="sequential") as server:
+            tickets = [
+                server.submit(ServeRequest(
+                    array=t, core=(3, 3, 2), id=f"r{i}", max_iters=2
+                ))
+                for i, t in enumerate(tensors)
+            ]
+            results = [t.result(timeout=60) for t in tickets]
+        for res, ref in zip(results, expected):
+            assert res.ok, res.error
+            np.testing.assert_allclose(
+                res.value.decomposition.core,
+                ref.decomposition.core,
+                atol=1e-10,
+            )
+
+    def test_affinity_routes_equal_keys_to_one_worker(self):
+        with TuckerServer(workers=2, backend="sequential") as server:
+            tickets = [
+                server.submit(ServeRequest(
+                    dims=(8, 8, 8), seed=i, core=(2, 2, 2),
+                    id=f"r{i}", max_iters=1,
+                ))
+                for i in range(6)
+            ]
+            results = [t.result(timeout=60) for t in tickets]
+            snap = server.stats_snapshot()
+        assert all(r.ok for r in results)
+        assert snap["affinity"]["hit_rate"] > 0
+        # Affinity means later requests find the compiled plan in the
+        # owning worker's session cache.
+        assert any(r.from_cache for r in results)
+
+    def test_dict_submission_and_stats(self):
+        with TuckerServer(workers=1, backend="sequential") as server:
+            ticket = server.submit({
+                "core": [2, 2, 2],
+                "random": {"dims": [6, 6, 6], "seed": 1},
+                "id": "via-dict",
+            })
+            res = ticket.result(timeout=60)
+            snap = server.stats_snapshot()
+        assert res.ok
+        assert res.id == "via-dict"
+        assert snap["submitted"] == 1.0
+        assert snap["completed"] == 1.0
+        assert snap["items_per_second"] >= 0.0
+        assert snap["latency_p99"] >= snap["latency_p50"] >= 0.0
+
+    def test_queue_full_sheds_with_typed_error(self):
+        budget = 8 * 8 * 8 * 8  # exactly one (8,8,8) float64 request
+        server = TuckerServer(
+            workers=1, backend="sequential",
+            memory_budget=budget, max_queue=2,
+        )
+        try:
+            # Pin the whole budget so the worker blocks in admission and
+            # the queue backs up deterministically.
+            hold = server.admission.acquire(budget)
+            req = {"core": [2, 2, 2], "random": {"dims": [8, 8, 8]}}
+            t1 = server.submit(dict(req, id="a"))
+            t2 = server.submit(dict(req, id="b"))
+            with pytest.raises(AdmissionError) as exc:
+                server.submit(dict(req, id="overflow"))
+            assert exc.value.reason == "queue_full"
+            server.admission.release(hold)
+            assert t1.result(timeout=60).ok
+            assert t2.result(timeout=60).ok
+            snap = server.stats_snapshot()
+            assert snap["shed"] == 1.0
+        finally:
+            server.close()
+
+    def test_draining_sheds_new_submissions(self):
+        server = TuckerServer(workers=1, backend="sequential")
+        drained = server.drain()
+        assert drained
+        with pytest.raises(AdmissionError) as exc:
+            server.submit({
+                "core": [2, 2], "random": {"dims": [4, 4]},
+            })
+        assert exc.value.reason == "draining"
+        assert server.stats_snapshot()["shed"] == 1.0
+
+    def test_deadline_missed_while_queued(self):
+        budget = 8 * 8 * 8 * 8
+        server = TuckerServer(
+            workers=1, backend="sequential", memory_budget=budget,
+        )
+        try:
+            hold = server.admission.acquire(budget)
+            req = {"core": [2, 2, 2], "random": {"dims": [8, 8, 8]}}
+            # The first request spends its whole deadline blocked on the
+            # pinned budget; by the time the worker reaches the second,
+            # its (shorter) deadline is long gone -> the queued path.
+            first = server.submit(dict(req, id="first", deadline=0.3))
+            doomed = server.submit(dict(req, id="doomed", deadline=0.05))
+            res1 = first.result(timeout=60)
+            res2 = doomed.result(timeout=60)
+            server.admission.release(hold)
+            assert not res1.ok
+            assert res1.error_kind == "DeadlineExceeded"
+            assert not res2.ok
+            assert res2.error_kind == "DeadlineExceeded"
+            assert "queued" in res2.error
+            snap = server.stats_snapshot()
+            assert snap["deadline_missed"] == 2.0
+            assert snap["failed"] == 2.0
+        finally:
+            server.close()
+
+    def test_default_deadline_applies_to_bare_requests(self):
+        server = TuckerServer(
+            workers=1, backend="sequential", deadline=123.0,
+        )
+        try:
+            ticket = server.submit({
+                "core": [2, 2], "random": {"dims": [4, 4]},
+            })
+            assert ticket.request.deadline == 123.0
+            explicit = server.submit({
+                "core": [2, 2], "random": {"dims": [4, 4]},
+                "deadline": 5.0,
+            })
+            assert explicit.request.deadline == 5.0
+        finally:
+            server.close()
+        with pytest.raises(ValueError):
+            TuckerServer(workers=1, deadline=-1.0)
+
+    def test_cancel_queued_request(self):
+        budget = 8 * 8 * 8 * 8
+        server = TuckerServer(
+            workers=1, backend="sequential", memory_budget=budget,
+        )
+        try:
+            hold = server.admission.acquire(budget)
+            req = {"core": [2, 2, 2], "random": {"dims": [8, 8, 8]}}
+            running = server.submit(dict(req, id="runs"))
+            queued = server.submit(dict(req, id="cancelled"))
+            assert queued.cancel()
+            res = queued.result(timeout=1)
+            assert not res.ok
+            assert res.error_kind == "RequestCancelled"
+            server.admission.release(hold)
+            assert running.result(timeout=60).ok
+            # drain() below flushes the dead ticket through the worker,
+            # which records the cancellation.
+            server.close()
+            assert server.stats_snapshot()["cancelled"] == 1.0
+        finally:
+            server.close()
+
+    def test_missing_path_rejected_at_submission(self):
+        with TuckerServer(workers=1, backend="sequential") as server:
+            with pytest.raises(FileNotFoundError):
+                server.submit(ServeRequest(
+                    core=(2, 2, 2), path="/nonexistent/input.npy", id="bad",
+                ))
+
+    def test_execution_failure_does_not_kill_worker(self, tmp_path):
+        path = tmp_path / "vanishes.npy"
+        np.save(path, _random((6, 6, 6)))
+        budget = 6 * 6 * 6 * 8
+        server = TuckerServer(
+            workers=1, backend="sequential", memory_budget=budget,
+        )
+        try:
+            # Valid at submission; gone by the time the worker reaches
+            # it. The first request holds the worker at the pinned
+            # budget so the path request is still queued when unlinked.
+            hold = server.admission.acquire(budget)
+            blocker = server.submit(ServeRequest(
+                core=(2, 2, 2), dims=(6, 6, 6), id="blocker",
+            ))
+            bad = server.submit(ServeRequest(
+                core=(2, 2, 2), path=str(path), id="bad",
+            ))
+            path.unlink()
+            server.admission.release(hold)
+            assert blocker.result(timeout=60).ok
+            res = bad.result(timeout=60)
+            assert not res.ok
+            assert res.error_kind == "FileNotFoundError"
+            # The worker survives and serves the next request.
+            good = server.submit({
+                "core": [2, 2], "random": {"dims": [5, 5]}, "id": "good",
+            })
+            assert good.result(timeout=60).ok
+            assert server.stats_snapshot()["failed"] == 1.0
+        finally:
+            server.close()
+
+    def test_save_writes_npz(self, tmp_path):
+        out = str(tmp_path / "result.npz")
+        with TuckerServer(workers=1, backend="sequential") as server:
+            ticket = server.submit(ServeRequest(
+                dims=(6, 5, 4), core=(2, 2, 2), id="s",
+                max_iters=1, save=out,
+            ))
+            res = ticket.result(timeout=60)
+        assert res.ok and res.saved == out
+        with np.load(out) as payload:
+            dec = res.value.decomposition
+            np.testing.assert_array_equal(payload["core"], dec.core)
+            for m, factor in enumerate(dec.factors):
+                np.testing.assert_array_equal(
+                    payload[f"factor{m}"], factor
+                )
+
+    def test_drain_is_clean_and_idempotent(self):
+        server = TuckerServer(workers=2, backend="sequential")
+        tickets = [
+            server.submit({
+                "core": [2, 2, 2], "random": {"dims": [7, 6, 5], "seed": i},
+                "id": f"r{i}",
+            })
+            for i in range(4)
+        ]
+        assert server.drain(timeout=60)
+        assert all(t.result(timeout=0).ok for t in tickets)
+        assert all(not w.thread.is_alive() for w in server.workers)
+        assert server.pending == 0
+        assert server.drain(timeout=60)  # idempotent
+        snap = server.stats_snapshot()
+        assert snap["draining"] is True
+        assert snap["completed"] == 4.0
+
+    def test_oversized_request_runs_spilled_not_shed(self):
+        # 4KB budget << the 8000-byte 10x10x10 float64 input: admission
+        # charges min(nbytes, budget) and the session runs it out of core.
+        with TuckerServer(
+            workers=1, backend="sequential", memory_budget=4096,
+        ) as server:
+            ticket = server.submit({
+                "core": [2, 2, 2], "random": {"dims": [10, 10, 10]},
+                "id": "big",
+            })
+            res = ticket.result(timeout=60)
+        assert res.ok, res.error
+        assert res.storage == "mmap"
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            TuckerServer(workers=0)
+        with pytest.raises(ValueError):
+            TuckerServer(workers=1, max_queue=0)
+
+
+# --------------------------------------------------------------------- #
+# the ndjson protocol
+# --------------------------------------------------------------------- #
+
+
+def _run_protocol(lines, **server_kw):
+    """Feed ``lines`` (dicts/strings) through serve_lines; return outputs."""
+    server_kw.setdefault("workers", 2)
+    server_kw.setdefault("backend", "sequential")
+    inputs = [
+        line if isinstance(line, str) else json.dumps(line)
+        for line in lines
+    ]
+    it = iter(inputs)
+    out: list[str] = []
+    server = TuckerServer(**server_kw)
+    stats = serve_lines(server, lambda: next(it, ""), out.append)
+    return [json.loads(line) for line in out], stats
+
+
+class TestProtocol:
+    def test_responses_in_submission_order(self):
+        reqs = [
+            {"core": [2, 2, 2], "random": {"dims": [8, 7, 6], "seed": i},
+             "id": f"r{i}"}
+            for i in range(5)
+        ]
+        responses, stats = _run_protocol(reqs)
+        body, final = responses[:-1], responses[-1]
+        assert [r["id"] for r in body] == [f"r{i}" for i in range(5)]
+        assert all(r["ok"] for r in body)
+        assert final["op"] == "drain" and final["ok"]
+        assert stats["completed"] == 5.0
+
+    def test_instant_rejection_does_not_overtake(self):
+        # A malformed line right after a real request must still answer
+        # *after* it — FIFO framing is the protocol's contract.
+        reqs = [
+            {"core": [2, 2, 2], "random": {"dims": [8, 7, 6]}, "id": "work"},
+            {"core": [2, 2], "mystery_field": 1, "id": "broken"},
+        ]
+        responses, _ = _run_protocol(reqs)
+        assert responses[0]["id"] == "work" and responses[0]["ok"]
+        assert responses[1]["ok"] is False
+        assert responses[1]["error_kind"] == "ValueError"
+
+    def test_stats_and_drain_ops(self):
+        responses, _ = _run_protocol([
+            {"op": "stats"},
+            {"op": "drain"},
+            {"core": [2, 2], "random": {"dims": [4, 4]}, "id": "late"},
+        ])
+        assert responses[0]["op"] == "stats"
+        assert responses[1]["op"] == "drain"
+        # Nothing after the drain line: the late request was never read.
+        assert len(responses) == 2
+
+    def test_bad_json_line_answered_not_fatal(self):
+        responses, stats = _run_protocol([
+            "{not json",
+            {"core": [2, 2], "random": {"dims": [4, 4]}, "id": "fine"},
+        ])
+        assert responses[0]["ok"] is False
+        assert responses[0]["error_kind"] == "JSONDecodeError"
+        assert responses[1]["id"] == "fine" and responses[1]["ok"]
+        assert stats["completed"] == 1.0
+
+    def test_eof_means_drain(self):
+        responses, stats = _run_protocol([
+            {"core": [2, 2], "random": {"dims": [4, 4]}, "id": "only"},
+        ])
+        assert responses[-1]["op"] == "drain" and responses[-1]["ok"]
+        assert stats["completed"] == 1.0
+
+    def test_blank_lines_skipped(self):
+        # Whitespace-only lines (an empty string is EOF) are ignored.
+        responses, _ = _run_protocol([
+            " ", "   ",
+            {"core": [2, 2], "random": {"dims": [4, 4]}, "id": "x"},
+        ])
+        assert responses[0]["id"] == "x"
+
+
+# --------------------------------------------------------------------- #
+# server stats
+# --------------------------------------------------------------------- #
+
+
+class TestServerStats:
+    def test_empty_snapshot_is_all_zero(self):
+        snap = ServerStats().snapshot()
+        assert snap["submitted"] == 0.0
+        assert snap["completed"] == 0.0
+        assert snap["items_per_second"] == 0.0
+        assert snap["latency_p50"] == 0.0
+
+    def test_percentiles_ordered(self):
+        stats = ServerStats()
+        for ms in range(1, 101):
+            stats.completed(seconds=ms / 1000.0, wall_seconds=ms / 1000.0)
+        snap = stats.snapshot()
+        assert snap["completed"] == 100.0
+        assert (
+            0 < snap["latency_p50"] <= snap["latency_p90"]
+            <= snap["latency_p99"]
+        )
+
+    def test_shed_and_failed_reasons_counted(self):
+        stats = ServerStats()
+        stats.shed("queue_full")
+        stats.shed("draining")
+        stats.failed("DeadlineExceeded")
+        counters = stats.registry.snapshot()["counters"]
+        assert counters["serve_shed"] == 2.0
+        assert counters["serve_shed:queue_full"] == 1.0
+        assert counters["serve_failed:DeadlineExceeded"] == 1.0
