@@ -2,15 +2,17 @@
 
 A backend is the thing a :class:`~repro.session.CompiledPlan` runs on. It
 exposes exactly the capabilities the paper's execution layer needs — TTM,
-Gram/leading-factor extraction, regridding, and the two reductions
-(Frobenius norm, gather) — over an opaque *handle* type of its choosing
+Gram/leading-factor extraction, randomized sketching (single-pass, with
+its power-iteration companion ``cross_gram``), regridding, and the two
+reductions (Frobenius norm, gather) — over an opaque *handle* type of its
+choosing
 (a plain ndarray for the shared-memory backends, a
 :class:`~repro.dist.dtensor.DistTensor` for the virtual cluster). Every
 backend also carries a :class:`~repro.mpi.stats.StatsLedger` so callers can
 read volumes/FLOPs/seconds uniformly via :meth:`ExecutionBackend.stats`.
 
 The schedule executor (:mod:`repro.backends.schedule`) is written purely
-against this interface; adding a backend means implementing these seven
+against this interface; adding a backend means implementing these nine
 primitives, nothing more.
 """
 
@@ -100,6 +102,34 @@ class ExecutionBackend(abc.ABC):
         deterministic sign convention. ``out``, when given and compatible,
         is scratch for the Gram accumulation (a preallocated workspace from
         a compiled plan); backends may ignore it.
+        """
+
+    @abc.abstractmethod
+    def sketch(
+        self, handle: Any, specs, *, tag: str = "sketch"
+    ) -> tuple[list[np.ndarray], float]:
+        """All randomized sketches of ``handle`` in **one pass**, plus norm.
+
+        ``specs`` is a sequence of :class:`~repro.backends.sketch
+        .SketchSpec`; the return is ``(sketches, norm_sq)`` where
+        ``sketches[i]`` is spec ``i``'s replicated (plain ndarray)
+        sketch tensor and ``norm_sq`` is the input's squared Frobenius
+        norm, accumulated in the same pass. The single-pass contract is
+        load-bearing: a spilled input's blocks are each read exactly
+        once no matter how many specs are given, and the virtual
+        cluster reduces each small sketch instead of the input.
+        """
+
+    @abc.abstractmethod
+    def cross_gram(
+        self, handle: Any, other: Any, mode: int, *, tag: str = "xgram"
+    ) -> np.ndarray:
+        """``unfold(A, mode) @ unfold(B, mode).T`` as a replicated ndarray.
+
+        ``other`` must come from the same backend and agree with
+        ``handle`` on every mode length except ``mode``. This is the
+        power-iteration primitive: with ``B = A x_mode Q^T`` it yields
+        ``A_(mode) A_(mode)^T Q`` without ever forming the Gram matrix.
         """
 
     @abc.abstractmethod

@@ -30,6 +30,7 @@ from repro.backends.blockpar import (
     reduce_partials,
     split_mode,
 )
+from repro.backends.sketch import add_block_contribution, out_shape
 from repro.storage import BlockStore, StoredTensor
 from repro.tensor.ttm import ttm
 from repro.tensor.unfold import unfold
@@ -198,10 +199,134 @@ def oc_norm_sq(handle: StoredTensor, n_workers: int, map_fn) -> float:
         del src
 
 
+def oc_sketch(
+    handle: StoredTensor,
+    specs,
+    n_workers: int,
+    map_fn,
+) -> tuple[list[np.ndarray], float]:
+    """All sketches plus the squared norm in **one read pass** over blocks.
+
+    This is the out-of-core payoff of sketching: every spec's
+    contribution and the norm partial are computed from a block while it
+    is resident under its lease, so a spilled input is read exactly once
+    no matter how many sketches are requested. Partials are summed in
+    ascending block order, the usual determinism discipline.
+    """
+    store = handle.store
+    full = tuple((0, int(d)) for d in handle.shape)
+    src = handle.open()
+    try:
+        split = split_mode(handle.shape, avoid=None)
+        if split is None:
+            with store.gauge.lease(OC_LEASE_FACTOR * handle.nbytes):
+                block = np.ascontiguousarray(src)
+                outs = []
+                for spec in specs:
+                    out = np.zeros(
+                        out_shape(handle.shape, spec), dtype=handle.dtype
+                    )
+                    add_block_contribution(out, block, spec, full)
+                    outs.append(out)
+                flat = block.reshape(-1)
+                return outs, float(np.dot(flat, flat))
+        slab = _slab_bytes(handle, split)
+        slices = oc_block_slices(
+            handle.shape,
+            split,
+            handle.dtype.itemsize,
+            store.per_block_bytes(n_workers),
+            n_workers,
+        )
+
+        def partial(sl: slice):
+            index = _block_index(handle.ndim, split, sl)
+            ranges = tuple(
+                (sl.start, sl.stop) if m == split else full[m]
+                for m in range(handle.ndim)
+            )
+            with store.gauge.lease(
+                OC_LEASE_FACTOR * (sl.stop - sl.start) * slab
+            ):
+                block = np.ascontiguousarray(src[index])
+                contribs = []
+                for spec in specs:
+                    out = np.zeros(
+                        out_shape(handle.shape, spec), dtype=handle.dtype
+                    )
+                    add_block_contribution(out, block, spec, ranges)
+                    contribs.append(out)
+                flat = block.reshape(-1)
+                return contribs, float(np.dot(flat, flat))
+
+        results = map_fn(partial, slices)
+        outs = [
+            np.zeros(out_shape(handle.shape, spec), dtype=handle.dtype)
+            for spec in specs
+        ]
+        norm_sq = 0.0
+        for contribs, part in results:  # ascending block order
+            for out, contrib in zip(outs, contribs):
+                out += contrib
+            norm_sq += part
+        return outs, float(norm_sq)
+    finally:
+        del src
+
+
+def oc_cross_gram(
+    a: StoredTensor,
+    b: StoredTensor,
+    mode: int,
+    n_workers: int,
+    map_fn,
+) -> np.ndarray:
+    """``unfold(A, mode) @ unfold(B, mode).T`` accumulated block-wise.
+
+    Both tensors are cut along the same (non-``mode``) axis so each
+    block pair restricts the unfoldings to identical column sets; block
+    products then simply add, in ascending block order.
+    """
+    store = a.store
+    length = a.shape[mode]
+    src_a = a.open()
+    src_b = b.open()
+    try:
+        split = split_mode(a.shape, avoid=mode)
+        if split is None:
+            with store.gauge.lease(OC_LEASE_FACTOR * (a.nbytes + b.nbytes)):
+                ua = unfold(np.ascontiguousarray(src_a), mode)
+                ub = unfold(np.ascontiguousarray(src_b), mode)
+                return ua @ ub.T
+        slab = _slab_bytes(a, split) + _slab_bytes(b, split)
+        slices = oc_block_slices(
+            a.shape,
+            split,
+            a.dtype.itemsize,
+            store.per_block_bytes(n_workers),
+            n_workers,
+        )
+
+        def partial(sl: slice) -> np.ndarray:
+            index = _block_index(a.ndim, split, sl)
+            with store.gauge.lease(
+                OC_LEASE_FACTOR * (sl.stop - sl.start) * slab
+            ):
+                ua = unfold(np.ascontiguousarray(src_a[index]), mode)
+                ub = unfold(np.ascontiguousarray(src_b[index]), mode)
+                return ua @ ub.T
+
+        partials = map_fn(partial, slices)
+        return reduce_partials(partials, length)
+    finally:
+        del src_a, src_b
+
+
 __all__ = [
+    "oc_cross_gram",
     "oc_distribute",
     "oc_gram",
     "oc_norm_sq",
-    "oc_ttm",
+    "oc_sketch",
     "serial_map",
 ]

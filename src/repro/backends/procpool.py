@@ -60,11 +60,18 @@ from repro.backends.blockpar import (
 )
 from repro.backends.errors import BackendUnavailableError
 from repro.backends.ockernels import (
+    oc_cross_gram,
     oc_distribute,
     oc_gram,
     oc_norm_sq,
+    oc_sketch,
     oc_ttm,
     serial_map,
+)
+from repro.backends.sketch import (
+    add_block_contribution,
+    out_shape as sketch_out_shape,
+    sketch_flops,
 )
 from repro.storage import StoredTensor
 from repro.tensor.linalg import leading_eigvecs
@@ -227,6 +234,62 @@ def _gram_block(name, shape, dtype, mode, split, lo, hi):
     return g
 
 
+def _sketch_partials(dims, specs, split, lo, hi, block):
+    """One block's full-size sketch partials plus its norm partial.
+
+    Shared by the shm and file task functions (and the serial fallback),
+    so every transport computes bit-identical per-block contributions.
+    ``split=-1`` means the block is the whole tensor.
+    """
+    ranges = tuple(
+        (lo, hi) if m == split else (0, int(dims[m]))
+        for m in range(len(dims))
+    )
+    contribs = []
+    for spec in specs:
+        out = np.zeros(sketch_out_shape(dims, spec), dtype=block.dtype)
+        add_block_contribution(out, block, spec, ranges)
+        contribs.append(out)
+    flat = block.reshape(-1)
+    return contribs, float(np.dot(flat, flat))
+
+
+def _sketch_block(name, shape, dtype, specs, split, lo, hi):
+    """One block's contributions to every sketch plus its norm partial."""
+    shm = _attach(name)
+    try:
+        x = _view(shm, shape, dtype)
+        index = _block_index(len(shape), split, lo, hi)
+        result = _sketch_partials(
+            tuple(shape), specs, split, lo, hi,
+            np.ascontiguousarray(x[index]),
+        )
+        del x
+    finally:
+        _release(shm)
+    return result
+
+
+def _xgram_block(
+    a_name, a_shape, a_dtype, b_name, b_shape, b_dtype, mode, split, lo, hi
+):
+    """One cross-Gram partial ``unfold(A)[cols] @ unfold(B)[cols].T``."""
+    sa = _attach(a_name)
+    sb = _attach(b_name)
+    try:
+        a = _view(sa, a_shape, a_dtype)
+        b = _view(sb, b_shape, b_dtype)
+        index = _block_index(len(a_shape), split, lo, hi)
+        ua = unfold(a[index], mode)
+        ub = unfold(b[index], mode)
+        g = ua @ ub.T
+        del a, b
+    finally:
+        _release(sa)
+        _release(sb)
+    return g
+
+
 def _norm_block(name, shape, dtype, lo, hi):
     """Partial squared norm of the flat range ``[lo, hi)``."""
     shm = _attach(name)
@@ -283,6 +346,36 @@ def _gram_block_file(path, offset, shape, dtype, mode, split, lo, hi):
         return u @ u.T
     finally:
         del src
+
+
+def _sketch_block_file(path, offset, shape, dtype, specs, split, lo, hi):
+    """Sketch partials of one block read straight off the mapped file."""
+    src = _map_file(path, offset, shape, dtype, "r")
+    try:
+        index = _block_index(len(shape), split, lo, hi)
+        return _sketch_partials(
+            tuple(shape), specs, split, lo, hi,
+            np.ascontiguousarray(src[index]),
+        )
+    finally:
+        del src
+
+
+def _xgram_block_file(
+    a_path, a_offset, a_shape, a_dtype,
+    b_path, b_offset, b_shape, b_dtype,
+    mode, split, lo, hi,
+):
+    """One cross-Gram partial off two mapped files."""
+    sa = _map_file(a_path, a_offset, a_shape, a_dtype, "r")
+    sb = _map_file(b_path, b_offset, b_shape, b_dtype, "r")
+    try:
+        index = _block_index(len(a_shape), split, lo, hi)
+        ua = unfold(np.ascontiguousarray(sa[index]), mode)
+        ub = unfold(np.ascontiguousarray(sb[index]), mode)
+        return ua @ ub.T
+    finally:
+        del sa, sb
 
 
 def _norm_block_file(path, offset, shape, dtype, lo, hi):
@@ -627,6 +720,129 @@ class ProcessPoolBackend(ExecutionBackend):
             seconds=perf_counter() - start,
         )
         return factor
+
+    def _accumulate_sketches(self, dims, specs, results):
+        """Ascending-block accumulation shared by both sketch transports."""
+        outs = [
+            np.zeros(sketch_out_shape(dims, spec), dtype=np.dtype(
+                results[0][0][i].dtype if results else np.float64
+            ))
+            for i, spec in enumerate(specs)
+        ]
+        norm_sq = 0.0
+        for contribs, part in results:  # ascending block order
+            for out, contrib in zip(outs, contribs):
+                out += contrib
+            norm_sq += part
+        return outs, float(norm_sq)
+
+    def _sketch_stored(self, handle: StoredTensor, specs):
+        split = split_mode(handle.shape, avoid=None)
+        if split is None or not self._parallel() or handle.path is None:
+            return oc_sketch(handle, specs, 1, serial_map)
+        slices = self._stored_slices(handle, split)
+        with self._worker_lease(handle, slices):
+            futures = [
+                self._submit(
+                    _sketch_block_file,
+                    handle.path, handle.offset, handle.shape,
+                    handle.dtype.str, specs, split, sl.start, sl.stop,
+                )
+                for sl in slices
+            ]
+            results = self._collect("sketch", futures)
+        return self._accumulate_sketches(tuple(handle.shape), specs, results)
+
+    def sketch(self, handle, specs, *, tag="sketch"):
+        start = perf_counter()
+        specs = list(specs)
+        if isinstance(handle, StoredTensor):
+            sketches, norm_sq = self._sketch_stored(handle, specs)
+        else:
+            dims = tuple(handle.shape)
+            split = split_mode(dims, avoid=None)
+            if split is None or not self._parallel():
+                sketches, norm_sq = _sketch_partials(
+                    dims, specs, -1, 0, 0,
+                    np.ascontiguousarray(handle.array),
+                )
+            else:
+                futures = [
+                    self._submit(
+                        _sketch_block,
+                        handle.name, handle.shape, handle.dtype.str,
+                        specs, split, sl.start, sl.stop,
+                    )
+                    for sl in block_slices(dims[split], self.n_workers)
+                ]
+                results = self._collect("sketch", futures)
+                sketches, norm_sq = self._accumulate_sketches(
+                    dims, specs, results
+                )
+        size = int(np.prod(handle.shape))
+        flops = sum(sketch_flops(handle.shape, spec) for spec in specs)
+        self.ledger.add_compute(
+            op="gemm",
+            tag=tag,
+            flops=float(flops) + float(size),
+            seconds=perf_counter() - start,
+        )
+        return sketches, norm_sq
+
+    def _xgram_stored(self, a: StoredTensor, b: StoredTensor, mode: int):
+        split = split_mode(a.shape, avoid=mode)
+        if (
+            split is None
+            or not self._parallel()
+            or a.path is None
+            or b.path is None
+        ):
+            return oc_cross_gram(a, b, mode, 1, serial_map)
+        slices = self._stored_slices(a, split)
+        with self._worker_lease(a, slices), self._worker_lease(b, slices):
+            futures = [
+                self._submit(
+                    _xgram_block_file,
+                    a.path, a.offset, a.shape, a.dtype.str,
+                    b.path, b.offset, b.shape, b.dtype.str,
+                    mode, split, sl.start, sl.stop,
+                )
+                for sl in slices
+            ]
+            partials = self._collect("xgram", futures)
+        # Fixed ascending-block reduction order (determinism).
+        return reduce_partials(partials, a.shape[mode])
+
+    def cross_gram(self, handle, other, mode: int, *, tag="xgram"):
+        start = perf_counter()
+        if isinstance(handle, StoredTensor):
+            g = self._xgram_stored(handle, other, mode)
+        else:
+            split = split_mode(handle.shape, avoid=mode)
+            if split is None or not self._parallel():
+                g = unfold(handle.array, mode) @ unfold(other.array, mode).T
+            else:
+                futures = [
+                    self._submit(
+                        _xgram_block,
+                        handle.name, handle.shape, handle.dtype.str,
+                        other.name, other.shape, other.dtype.str,
+                        mode, split, sl.start, sl.stop,
+                    )
+                    for sl in block_slices(
+                        handle.shape[split], self.n_workers
+                    )
+                ]
+                partials = self._collect("xgram", futures)
+                # Fixed ascending-block reduction order (determinism).
+                g = reduce_partials(partials, handle.shape[mode])
+        self.ledger.add_compute(
+            op="gemm",
+            tag=tag,
+            flops=float(other.shape[mode]) * float(np.prod(handle.shape)),
+            seconds=perf_counter() - start,
+        )
+        return g
 
     def regrid(self, handle, grid, *, tag="regrid"):
         return handle

@@ -18,13 +18,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backends import sketch as rsk
 from repro.backends.base import ExecutionBackend
 from repro.core.meta import TensorMeta
 from repro.core.trees import Node, TTMTree
+from repro.tensor.unfold import unfold
 from repro.util.dtypes import as_float
 
 #: slot name of the schedule's input tensor.
 ROOT_SLOT = "root"
+
+#: the randomized methods the schedule layer can compile.
+RAND_METHODS = ("rsthosvd", "sp-rsthosvd")
 
 
 @dataclass(frozen=True)
@@ -33,8 +38,11 @@ class Step:
 
     ``op`` is one of ``"regrid"`` (src -> dst on ``grid``), ``"ttm"``
     (src -> dst along ``mode`` by the mode's factor transpose), ``"svd"``
-    (read src, emit the mode-``mode`` rank-``k`` factor) or ``"free"``
-    (drop src). ``tag`` is the ledger tag suffix.
+    (read src, emit the mode-``mode`` rank-``k`` factor), ``"sketch"``
+    (randomized range-finder for ``mode`` with oversampling ``p`` and
+    ``q`` power iterations), ``"spsketch"`` (every single-pass sketch in
+    one step) or ``"free"`` (drop src). ``tag`` is the ledger tag
+    suffix.
     """
 
     op: str
@@ -44,6 +52,8 @@ class Step:
     k: int = 0
     grid: tuple[int, ...] = ()
     tag: str = ""
+    p: int = 0
+    q: int = 0
 
 
 def check_factors(
@@ -163,6 +173,62 @@ def compile_core_steps(
     return tuple(steps)
 
 
+def compile_rand_steps(
+    order: Sequence[int],
+    meta: TensorMeta,
+    *,
+    method: str,
+    oversample: int = 5,
+    power_iters: int = 0,
+) -> tuple[Step, ...]:
+    """Compile a randomized initialization into Step ops.
+
+    ``rsthosvd`` is sequentially truncated: per mode (in STHOSVD order)
+    one ``sketch`` step finds the range, then a ``ttm`` truncates the
+    working tensor before the next mode is sketched — so later sketches
+    run on already-shrunk data, the same win the exact path gets.
+    ``sp-rsthosvd`` is one ``spsketch`` step: every mode sketch plus the
+    core sketch accumulate in a single pass over the input, which is
+    never modified (HOSVD-style, no sequential truncation).
+    """
+    if method not in RAND_METHODS:
+        raise ValueError(
+            f"method must be one of {RAND_METHODS}, got {method!r}"
+        )
+    oversample = int(oversample)
+    power_iters = int(power_iters)
+    if oversample < 0:
+        raise ValueError(f"oversample must be >= 0, got {oversample}")
+    if power_iters < 0:
+        raise ValueError(f"power_iters must be >= 0, got {power_iters}")
+    if method == "sp-rsthosvd":
+        return (
+            Step(op="spsketch", src=ROOT_SLOT, p=oversample, tag="sketch"),
+        )
+    steps: list[Step] = []
+    slot = ROOT_SLOT
+    for i, mode in enumerate(order):
+        steps.append(
+            Step(
+                op="sketch",
+                src=slot,
+                mode=mode,
+                k=meta.core[mode],
+                p=oversample,
+                q=power_iters,
+                tag=f"sketch:m{mode}",
+            )
+        )
+        out = f"rand:{i}"
+        steps.append(
+            Step(op="ttm", src=slot, dst=out, mode=mode, tag=f"ttm{mode}")
+        )
+        if slot != ROOT_SLOT:
+            steps.append(Step(op="free", src=slot))
+        slot = out
+    return tuple(steps)
+
+
 # --------------------------------------------------------------------- #
 # interpretation
 # --------------------------------------------------------------------- #
@@ -211,6 +277,87 @@ def run_tree_steps(
         else:  # pragma: no cover - compile emits only the four ops
             raise AssertionError(f"unknown step op {step.op!r}")
     return new_factors
+
+
+def run_rand_steps(
+    backend: ExecutionBackend,
+    handle,
+    steps: Sequence[Step],
+    meta: TensorMeta,
+    *,
+    rng: np.random.Generator,
+    dtype,
+    tag: str = "sketch",
+):
+    """Replay a randomized schedule against any backend.
+
+    Returns ``(factors, final_handle, t_norm_sq, core)`` where
+    ``factors`` maps modes to extracted factor matrices, ``final_handle``
+    is the working tensor after all truncations (for ``rsthosvd`` it
+    *is* the core), ``t_norm_sq`` is the input's squared Frobenius norm
+    (a free by-product of the first sketch pass), and ``core`` is the
+    host-side solved core for ``sp-rsthosvd`` (``None`` otherwise).
+
+    Test matrices are drawn from ``rng`` host-side at each step's
+    then-current dims, so every backend contracts identical Gaussians
+    and seed-determinism holds per backend.
+    """
+    slots = {ROOT_SLOT: handle}
+    factors: dict[int, np.ndarray] = {}
+    t_norm_sq: float | None = None
+    current = handle
+    core: np.ndarray | None = None
+    for step in steps:
+        full_tag = f"{tag}:{step.tag}" if step.tag else tag
+        if step.op == "sketch":
+            src = slots[step.src]
+            dims = backend.shape(src)
+            spec = rsk.mode_sketch_spec(
+                rng, dims, step.mode, step.k, step.p, dtype
+            )
+            (w,), norm_sq = backend.sketch(src, [spec], tag=full_tag)
+            if t_norm_sq is None:
+                t_norm_sq = norm_sq
+            w_mat = unfold(w, step.mode)
+            for j in range(step.q):
+                q_mat = rsk.orthonormal_cols(w_mat)
+                z = backend.ttm(
+                    src,
+                    np.ascontiguousarray(q_mat.T),
+                    step.mode,
+                    tag=f"{full_tag}:power{j}",
+                )
+                w_mat = backend.cross_gram(
+                    src, z, step.mode, tag=f"{full_tag}:power{j}:xgram"
+                )
+                del z
+            factors[step.mode] = rsk.factor_from_matrix(w_mat, step.k)
+        elif step.op == "spsketch":
+            src = slots[step.src]
+            dims = backend.shape(src)
+            specs = rsk.single_pass_specs(rng, dims, meta.core, step.p, dtype)
+            sketches, t_norm_sq = backend.sketch(src, specs, tag=full_tag)
+            for n in range(len(dims)):
+                factors[n] = rsk.factor_from_matrix(
+                    unfold(sketches[n], n), meta.core[n]
+                )
+            core = rsk.solve_core(
+                sketches[-1],
+                specs[-1],
+                [factors[n] for n in range(len(dims))],
+            )
+        elif step.op == "ttm":
+            current = backend.ttm(
+                slots[step.src], factors[step.mode].T, step.mode, tag=full_tag
+            )
+            slots[step.dst] = current
+        elif step.op == "free":
+            slots.pop(step.src, None)
+        else:  # pragma: no cover - compile emits only these ops
+            raise AssertionError(
+                f"unexpected step op {step.op!r} in randomized schedule"
+            )
+    return factors, current, float(t_norm_sq), core
 
 
 def run_core_steps(

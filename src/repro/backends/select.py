@@ -62,14 +62,19 @@ STORAGE_MODES = ("auto", "memory", "mmap")
 PROFILE_VERSION = 1
 
 #: conservative built-in cost-model parameters. ``rate`` is sustained
-#: float64 multiply-adds per second per core; ``startup`` is the one-off
-#: cost of bringing the backend up (process pools fork + import);
-#: ``per_task`` is the dispatch overhead per block task; ``efficiency``
-#: discounts parallel scaling; ``copy_elems_per_s`` charges moving the
-#: tensor into backend-owned storage (shared-memory segments), 0 = free.
+#: float64 multiply-adds per second per core; ``sketch_rate`` is the
+#: same quantity for the randomized methods' sketch contractions (tall
+#: skinny gemms stream differently than square ones, and calibration /
+#: :func:`profile_from_trace` can measure them apart); ``startup`` is
+#: the one-off cost of bringing the backend up (process pools fork +
+#: import); ``per_task`` is the dispatch overhead per block task;
+#: ``efficiency`` discounts parallel scaling; ``copy_elems_per_s``
+#: charges moving the tensor into backend-owned storage (shared-memory
+#: segments), 0 = free.
 _DEFAULT_BACKENDS = {
     "sequential": {
         "rate": 2.0e9,
+        "sketch_rate": 2.0e9,
         "startup": 0.0,
         "per_task": 0.0,
         "efficiency": 1.0,
@@ -78,6 +83,7 @@ _DEFAULT_BACKENDS = {
     },
     "threaded": {
         "rate": 2.0e9,
+        "sketch_rate": 2.0e9,
         "startup": 2.0e-3,
         "per_task": 1.0e-4,
         "efficiency": 0.85,
@@ -86,6 +92,7 @@ _DEFAULT_BACKENDS = {
     },
     "procpool": {
         "rate": 2.0e9,
+        "sketch_rate": 2.0e9,
         "startup": 1.5e-1,
         "per_task": 2.0e-3,
         "efficiency": 0.90,
@@ -93,6 +100,9 @@ _DEFAULT_BACKENDS = {
         "max_cores": 0.0,
     },
 }
+
+#: initialization methods the cost model knows how to charge.
+_METHODS = ("exact", "rsthosvd", "sp-rsthosvd")
 
 #: machine-level spill-storage parameters (backend-independent: the
 #: spill directory's device doesn't care which backend reads it).
@@ -278,6 +288,44 @@ def sweep_flops(dims: tuple[int, ...], core: tuple[int, ...]) -> float:
     return ttm + gram
 
 
+def init_flops(
+    dims: tuple[int, ...],
+    core: tuple[int, ...],
+    method: str = "exact",
+    oversample: int = 5,
+    power_iters: int = 0,
+) -> float:
+    """Modeled multiply-adds of one initialization pass, per method.
+
+    ``"exact"`` is a HOOI-shaped sweep (:func:`sweep_flops`, whose Gram
+    term charges ``(d+1)/2 * card`` per mode). The randomized methods
+    replace each mode's Gram with a sketch contraction of width ``s =
+    min(k + oversample, d)`` — the whole point of sketching is ``s <<
+    d``. ``rsthosvd`` keeps the sequential-truncation TTM term and adds
+    one TTM-plus-cross-Gram round per power iteration; ``sp-rsthosvd``
+    drops the TTMs (the input is never modified) but adds the core
+    sketch's dominant first contraction. Like :func:`sweep_flops`, a
+    deliberate over-approximation monotone in tensor size.
+    """
+    if method not in _METHODS:
+        raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
+    if method == "exact":
+        return sweep_flops(dims, core)
+    card = float(np.prod([float(d) for d in dims]))
+    widths = [
+        float(max(1, min(int(k) + int(oversample), int(d))))
+        for d, k in zip(dims, core)
+    ]
+    sketch = sum(s * card for s in widths)
+    if method == "rsthosvd":
+        ttm = sum(float(k) * card for k in core)
+        return sketch * (1.0 + 2.0 * float(power_iters)) + ttm
+    t_max = max(
+        float(min(2 * int(s) + 1, int(d))) for s, d in zip(widths, dims)
+    )
+    return sketch + t_max * card
+
+
 def estimate_seconds(
     params: dict,
     dims: tuple[int, ...],
@@ -288,6 +336,9 @@ def estimate_seconds(
     available_cores: int,
     spilled: bool = False,
     storage_params: dict | None = None,
+    method: str = "exact",
+    oversample: int = 5,
+    power_iters: int = 0,
 ) -> float:
     """Modeled wall seconds of one sweep under one backend's parameters.
 
@@ -297,8 +348,13 @@ def estimate_seconds(
     I/O term is *added* — one full write pass to stage the tensor plus
     ``spill_read_passes`` read passes at the machine's measured (or
     default) spill bandwidths from ``storage_params``.
+
+    ``method`` charges the pass method-aware: the randomized methods'
+    flops come from :func:`init_flops` (sketch widths instead of Gram
+    halves) at the backend's ``sketch_rate`` throughput — so a
+    randomized run is no longer mispriced as an exact sweep.
     """
-    flops = sweep_flops(dims, core)
+    flops = init_flops(dims, core, method, oversample, power_iters)
     itemsize = float(np.dtype(dtype).itemsize)
     dtype_speedup = 8.0 / itemsize  # float32 streams twice the elements
     cores_used = max(1, min(int(n_procs), int(available_cores)))
@@ -309,7 +365,12 @@ def estimate_seconds(
         efficiency = 1.0
     else:
         efficiency = float(params["efficiency"])
-    throughput = float(params["rate"]) * dtype_speedup * efficiency * cores_used
+    rate = (
+        float(params["rate"])
+        if method == "exact"
+        else float(params.get("sketch_rate", params["rate"]))
+    )
+    throughput = rate * dtype_speedup * efficiency * cores_used
     seconds = float(params["startup"]) + flops / throughput
     # ~2 kernels per mode per sweep, each fanning out one task per worker.
     n_tasks = 2.0 * len(dims) * cores_used if cores_used > 1 else 0.0
@@ -369,6 +430,9 @@ def select_backend(
     profile: dict | None = None,
     warm=(),
     spilled: bool = False,
+    method: str = "exact",
+    oversample: int = 5,
+    power_iters: int = 0,
 ) -> Selection:
     """Pick the cheapest auto-eligible backend for this input.
 
@@ -413,6 +477,9 @@ def select_backend(
             available_cores=available_cores,
             spilled=spilled,
             storage_params=profile.get("storage"),
+            method=method,
+            oversample=oversample,
+            power_iters=power_iters,
         )
     if not scores:
         raise ValueError(
@@ -424,10 +491,11 @@ def select_backend(
         f"{name} {scores[name]:.3g}s" for name in sorted(scores, key=scores.get)
     )
     regime = " (spilled: I/O charged, staging copies dropped)" if spilled else ""
+    algo = f" method={method}" if method != "exact" else ""
     reason = (
         f"modeled fastest for dims={'x'.join(map(str, dims))} "
         f"core={'x'.join(map(str, core))} on {available_cores} core(s) "
-        f"with {n_procs} proc(s){regime}: {ranked}"
+        f"with {n_procs} proc(s){algo}{regime}: {ranked}"
     )
     logger.debug("select_backend: %s (%s)", best, ranked)
     return Selection(
@@ -531,10 +599,24 @@ def profile_from_trace(trace) -> dict:
     so sub-millisecond aggregates are discarded rather than reported as
     an absurd bandwidth; with enough read spans the syscall overhead
     itself is the honest per-pass cost.
+
+    Randomized runs contribute a second measurement: a ``rsthosvd`` /
+    ``sp-rsthosvd`` phase span times the whole sketch pipeline, and with
+    the trace meta's dims/core/backend the modeled :func:`init_flops`
+    yield the executing backend's observed ``sketch_rate`` — returned as
+    ``{"backends": {name: {"sketch_rate": ...}}}`` alongside (or instead
+    of) the storage term.
     """
     totals = {"spill:write": [0.0, 0.0], "spill:read": [0.0, 0.0]}
+    sketch_spans: list[tuple[str, dict, float]] = []
     for span in getattr(trace, "spans", ()) or ():
-        if getattr(span, "kind", None) != "io":
+        kind = getattr(span, "kind", None)
+        if kind == "phase" and span.name in ("rsthosvd", "sp-rsthosvd"):
+            sketch_spans.append(
+                (span.name, dict(span.attrs or {}), float(span.seconds))
+            )
+            continue
+        if kind != "io":
             continue
         slot = totals.get(span.name)
         if slot is None:
@@ -554,7 +636,56 @@ def profile_from_trace(trace) -> dict:
     read, r_seconds = totals["spill:read"]
     if read > 0 and r_seconds > 1e-6:
         storage["spill_read_bytes_per_s"] = read / r_seconds
-    return {"storage": storage} if storage else {}
+    profile: dict = {}
+    if storage:
+        profile["storage"] = storage
+    rate = _sketch_rate_from_spans(
+        getattr(trace, "meta", None) or {}, sketch_spans
+    )
+    if rate is not None:
+        backend, value = rate
+        profile["backends"] = {backend: {"sketch_rate": value}}
+    return profile
+
+
+def _sketch_rate_from_spans(
+    meta: dict, sketch_spans: list[tuple[str, dict, float]]
+) -> tuple[str, float] | None:
+    """Observed per-core sketch throughput, or ``None`` without evidence.
+
+    The rate is normalized exactly the way :func:`estimate_seconds`
+    consumes it — divided by cores, efficiency and the dtype speedup —
+    so a round trip through the profile reprices the very run that was
+    measured.
+    """
+    backend = meta.get("backend")
+    dims = tuple(int(d) for d in meta.get("dims") or ())
+    core = tuple(int(k) for k in meta.get("core") or ())
+    if backend not in _DEFAULT_BACKENDS or not dims or len(core) != len(dims):
+        return None
+    flops = 0.0
+    seconds = 0.0
+    for name, attrs, span_seconds in sketch_spans:
+        if not math.isfinite(span_seconds) or span_seconds <= 0:
+            continue
+        try:
+            oversample = int(attrs.get("oversample", 5))
+            power_iters = int(attrs.get("power_iters", 0))
+        except (TypeError, ValueError):
+            continue
+        flops += init_flops(dims, core, name, oversample, power_iters)
+        seconds += span_seconds
+    if flops <= 0 or seconds <= 1e-6:
+        return None
+    params = _DEFAULT_BACKENDS[backend]
+    cores = max(1, int(meta.get("n_procs", 1) or 1))
+    max_cores = int(params["max_cores"])
+    if max_cores > 0:
+        cores = min(cores, max_cores)
+    efficiency = float(params["efficiency"]) if cores > 1 else 1.0
+    itemsize = float(meta.get("itemsize", 8) or 8)
+    dtype_speedup = 8.0 / itemsize
+    return backend, flops / seconds / (cores * efficiency * dtype_speedup)
 
 
 # --------------------------------------------------------------------- #
@@ -638,6 +769,7 @@ __all__ = [
     "default_profile",
     "default_profile_path",
     "estimate_seconds",
+    "init_flops",
     "load_profile",
     "merge_profile",
     "profile_from_trace",

@@ -20,12 +20,15 @@ import numpy as np
 
 from repro.backends.base import ExecutionBackend
 from repro.backends.ockernels import (
+    oc_cross_gram,
     oc_distribute,
     oc_gram,
     oc_norm_sq,
+    oc_sketch,
     oc_ttm,
     serial_map,
 )
+from repro.backends.sketch import sketch_arrays, sketch_flops
 from repro.storage import StoredTensor
 from repro.tensor.linalg import (
     leading_eigvecs,
@@ -121,6 +124,37 @@ class SequentialBackend(ExecutionBackend):
             seconds=perf_counter() - start,
         )
         return factor
+
+    def sketch(self, handle, specs, *, tag="sketch"):
+        start = perf_counter()
+        if isinstance(handle, StoredTensor):
+            sketches, norm_sq = oc_sketch(handle, specs, 1, serial_map)
+        else:
+            sketches, norm_sq = sketch_arrays(handle, specs)
+        flops = sum(sketch_flops(handle.shape, spec) for spec in specs)
+        self.ledger.add_compute(
+            op="gemm",
+            tag=tag,
+            flops=float(flops) + float(handle.size),
+            seconds=perf_counter() - start,
+        )
+        return sketches, norm_sq
+
+    def cross_gram(self, handle, other, mode: int, *, tag="xgram"):
+        start = perf_counter()
+        if isinstance(handle, StoredTensor):
+            g = oc_cross_gram(handle, other, mode, 1, serial_map)
+        else:
+            ua = unfold(handle, mode)
+            ub = unfold(other, mode)
+            g = ua @ ub.T
+        self.ledger.add_compute(
+            op="gemm",
+            tag=tag,
+            flops=float(other.shape[mode]) * float(handle.size),
+            seconds=perf_counter() - start,
+        )
+        return g
 
     def regrid(self, handle, grid, *, tag="regrid"):
         return handle

@@ -16,6 +16,7 @@ from repro.backends.errors import BackendUnavailableError
 from repro.dist.dtensor import DistTensor
 from repro.dist.gram import dist_leading_factor
 from repro.dist.regrid import regrid as dist_regrid
+from repro.dist.sketch import dist_cross_gram, dist_sketch
 from repro.dist.ttm import dist_ttm
 from repro.mpi.comm import SimCluster
 from repro.mpi.machine import MachineModel
@@ -109,6 +110,14 @@ class SimClusterBackend(ExecutionBackend):
                 f"got method={method!r}"
             )
         return dist_leading_factor(handle, mode, k, tag=tag)
+
+    def sketch(self, handle: DistTensor, specs, *, tag="sketch"):
+        return dist_sketch(handle, specs, tag=tag)
+
+    def cross_gram(
+        self, handle: DistTensor, other: DistTensor, mode: int, *, tag="xgram"
+    ) -> np.ndarray:
+        return dist_cross_gram(handle, other, mode, tag=tag)
 
     def regrid(self, handle: DistTensor, grid, *, tag="regrid") -> DistTensor:
         return dist_regrid(handle, self._check_grid(grid), tag=tag)

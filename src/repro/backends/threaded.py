@@ -31,10 +31,17 @@ from repro.backends.blockpar import (
     split_mode,
 )
 from repro.backends.ockernels import (
+    oc_cross_gram,
     oc_distribute,
     oc_gram,
     oc_norm_sq,
+    oc_sketch,
     oc_ttm,
+)
+from repro.backends.sketch import (
+    add_block_contribution,
+    out_shape as sketch_out_shape,
+    sketch_flops,
 )
 from repro.storage import StoredTensor
 from repro.tensor.linalg import leading_eigvecs
@@ -206,6 +213,95 @@ class ThreadedBackend(ExecutionBackend):
             seconds=perf_counter() - start,
         )
         return factor
+
+    def sketch(self, handle, specs, *, tag="sketch"):
+        start = perf_counter()
+        if isinstance(handle, StoredTensor):
+            sketches, norm_sq = oc_sketch(
+                handle, specs, self.n_workers, self._oc_map
+            )
+        else:
+            sketches, norm_sq = self._sketch_memory(handle, specs)
+        flops = sum(sketch_flops(handle.shape, spec) for spec in specs)
+        self.ledger.add_compute(
+            op="gemm",
+            tag=tag,
+            flops=float(flops) + float(handle.size),
+            seconds=perf_counter() - start,
+        )
+        return sketches, norm_sq
+
+    def _sketch_memory(self, handle, specs):
+        """In-memory blocked sketch: per-block partials, ascending sum."""
+        dims = tuple(handle.shape)
+        full = tuple((0, int(d)) for d in dims)
+        split = split_mode(dims, avoid=None)
+        if split is None:
+            return self._sketch_block(handle, specs, dims, full)
+        slices = block_slices(dims[split], self.n_workers)
+
+        def partial(sl: slice):
+            index: list[slice] = [slice(None)] * handle.ndim
+            index[split] = sl
+            ranges = tuple(
+                (sl.start, sl.stop) if m == split else full[m]
+                for m in range(handle.ndim)
+            )
+            return self._sketch_block(handle[tuple(index)], specs, dims, ranges)
+
+        results = list(self._executor().map(partial, slices))
+        outs = [
+            np.zeros(sketch_out_shape(handle.shape, spec), dtype=handle.dtype)
+            for spec in specs
+        ]
+        norm_sq = 0.0
+        for contribs, part in results:  # ascending block order
+            for out, contrib in zip(outs, contribs):
+                out += contrib
+            norm_sq += part
+        return outs, float(norm_sq)
+
+    @staticmethod
+    def _sketch_block(block, specs, dims, ranges):
+        """One block's full-size sketch partials plus its norm partial."""
+        block = np.ascontiguousarray(block)
+        contribs = []
+        for spec in specs:
+            out = np.zeros(sketch_out_shape(dims, spec), dtype=block.dtype)
+            add_block_contribution(out, block, spec, ranges)
+            contribs.append(out)
+        flat = block.reshape(-1)
+        return contribs, float(np.dot(flat, flat))
+
+    def cross_gram(self, handle, other, mode: int, *, tag="xgram"):
+        start = perf_counter()
+        if isinstance(handle, StoredTensor):
+            g = oc_cross_gram(
+                handle, other, mode, self.n_workers, self._oc_map
+            )
+        else:
+            split = split_mode(handle.shape, avoid=mode)
+            if split is None:
+                g = unfold(handle, mode) @ unfold(other, mode).T
+            else:
+                slices = block_slices(handle.shape[split], self.n_workers)
+
+                def partial(sl: slice) -> np.ndarray:
+                    index: list[slice] = [slice(None)] * handle.ndim
+                    index[split] = sl
+                    ua = unfold(handle[tuple(index)], mode)
+                    ub = unfold(other[tuple(index)], mode)
+                    return ua @ ub.T
+
+                partials = list(self._executor().map(partial, slices))
+                g = reduce_partials(partials, handle.shape[mode])
+        self.ledger.add_compute(
+            op="gemm",
+            tag=tag,
+            flops=float(other.shape[mode]) * float(handle.size),
+            seconds=perf_counter() - start,
+        )
+        return g
 
     def regrid(self, handle, grid, *, tag="regrid"):
         return handle

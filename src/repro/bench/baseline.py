@@ -85,10 +85,16 @@ def _bench_cases():
         session.run(x, core, max_iters=2, storage="mmap")
         return 1
 
+    def rsthosvd_single() -> int:
+        session = TuckerSession(backend="sequential")
+        session.run(x, core, method="rsthosvd", seed=0, skip_hooi=True)
+        return 1
+
     return {
         "sequential-single": sequential_single,
         "threaded-batch": threaded_batch,
         "mmap-spill": mmap_spill,
+        "rsthosvd-single": rsthosvd_single,
     }
 
 

@@ -155,6 +155,10 @@ def cmd_decompose(args) -> int:
         max_iters=args.max_iters,
         tol=args.tol,
         skip_hooi=args.skip_hooi,
+        method=args.method,
+        oversample=args.oversample,
+        power_iters=args.power_iters,
+        seed=args.seed,
         storage=args.storage,
         memory_budget=args.memory_budget,
         spill_dir=args.spill_dir,
@@ -172,9 +176,12 @@ def cmd_decompose(args) -> int:
         "tree_kind": plan.tree_kind,
         "grid_kind": plan.grid_kind,
         "n_procs": plan.n_procs,
+        "method": result.method,
         "sthosvd_error": result.sthosvd_error,
         "error": result.error,
         "n_iters": result.n_iters,
+        "converged": result.converged,
+        "stopped_reason": result.stopped_reason,
         "compression_ratio": result.compression_ratio,
         "from_cache": result.from_cache,
         "auto_selected": result.auto_selected,
@@ -200,8 +207,11 @@ def cmd_decompose(args) -> int:
               f"({result.storage_reason})")
     print(f"plan:               tree={plan.tree_kind}, grid={plan.grid_kind}, "
           f"P={plan.n_procs} (cache {'hit' if result.from_cache else 'miss'})")
-    print(f"sthosvd error:      {result.sthosvd_error:.6e}")
-    print(f"final error:        {result.error:.6e} ({result.n_iters} HOOI iters)")
+    init_name = "sthosvd" if result.method == "exact" else result.method
+    print(f"{init_name} error:".ljust(20) + f"{result.sthosvd_error:.6e}")
+    stop = f", {result.stopped_reason}" if result.stopped_reason else ""
+    print(f"final error:        {result.error:.6e} "
+          f"({result.n_iters} HOOI iters{stop})")
     print(f"compression ratio:  {result.compression_ratio:.2f}x")
     print(f"ledger volume:      {stats['comm_volume']:,.0f} elements")
     print(f"ledger flops:       {stats['flops']:,.0f} multiply-adds")
@@ -611,7 +621,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_dec.add_argument("--max-iters", type=int, default=10)
     p_dec.add_argument("--tol", type=float, default=1e-8)
     p_dec.add_argument("--skip-hooi", action="store_true")
-    p_dec.add_argument("--seed", type=int, default=0)
+    p_dec.add_argument(
+        "--method",
+        choices=("exact", "rsthosvd", "sp-rsthosvd"),
+        default="exact",
+        help="initialization: exact STHOSVD (default), randomized "
+             "range-finder STHOSVD, or single-pass sketched STHOSVD",
+    )
+    p_dec.add_argument(
+        "--oversample", type=int, default=5,
+        help="extra sketch columns beyond the target rank (randomized "
+             "methods)",
+    )
+    p_dec.add_argument(
+        "--power-iters", type=int, default=0,
+        help="power iterations sharpening each randomized range finder",
+    )
+    p_dec.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for --random inputs and for the randomized methods' "
+             "test matrices",
+    )
     _add_storage_args(p_dec)
     p_dec.add_argument(
         "--trace", metavar="PATH", default=None,

@@ -35,7 +35,7 @@ __all__ = [
     "plan_key",
 ]
 
-_METHODS = ("run", "sthosvd")
+_METHODS = ("run", "sthosvd", "rsthosvd", "sp-rsthosvd")
 
 
 class ServeError(Exception):
@@ -314,7 +314,17 @@ def parse_request(payload: dict, *, index: int = 0) -> ServeRequest:
         if not isinstance(random_spec, dict) or "dims" not in random_spec:
             raise ValueError('random= must be {"dims": [...], "seed": n}')
         dims = tuple(int(d) for d in random_spec["dims"])
-        seed = int(random_spec.get("seed", seed))
+        if "seed" in random_spec:
+            inner = int(random_spec["seed"])
+            if "seed" in payload and inner != seed:
+                # The inner seed used to silently win; with the seed now
+                # also steering randomized decomposition, a conflicting
+                # pair is ambiguous and must be rejected, not resolved.
+                raise ValueError(
+                    f"conflicting seeds: seed={seed} vs "
+                    f"random.seed={inner}; give one (or the same value)"
+                )
+            seed = inner
     array = None
     if payload.get("data") is not None:
         array = np.asarray(payload["data"], dtype=np.float64)

@@ -123,6 +123,19 @@ class ServeWorker:
                 result = self.session.sthosvd(
                     arr, req.core, dtype=req.dtype
                 )
+            elif req.method in ("rsthosvd", "sp-rsthosvd"):
+                # Init-only, like "sthosvd" — these exist for raw speed.
+                # The request seed doubles as the sketch seed, so a
+                # replayed request reproduces its decomposition bit for
+                # bit — not just its input.
+                result = self.session.run(
+                    arr,
+                    req.core,
+                    dtype=req.dtype,
+                    skip_hooi=True,
+                    method=req.method,
+                    seed=req.seed,
+                )
             else:
                 result = self.session.run(
                     arr,

@@ -60,7 +60,12 @@ from repro.backends import (
     select_storage,
 )
 from repro.backends.blockpar import OC_LEASE_FACTOR
-from repro.backends.schedule import Step
+from repro.backends.schedule import (
+    RAND_METHODS,
+    Step,
+    compile_rand_steps,
+    run_rand_steps,
+)
 from repro.storage import (
     DEFAULT_CHUNK_BYTES,
     MmapStore,
@@ -116,6 +121,15 @@ class TuckerResult:
     and traces cannot disagree. ``trace`` holds the run's drained
     :class:`~repro.obs.Trace` when the session was built with
     ``trace=True`` (``None`` otherwise).
+
+    ``method`` names the initialization algorithm (``"exact"``,
+    ``"rsthosvd"`` or ``"sp-rsthosvd"``). ``converged`` /
+    ``stopped_reason`` report how the HOOI loop ended:
+    ``"converged"`` (error delta within tolerance), ``"max_iters"``
+    (iteration budget exhausted) or ``"non-monotone"`` (the error
+    *increased* by more than the tolerance — the sweep is reported, not
+    silently treated as converged). Runs without a HOOI phase keep the
+    defaults.
     """
 
     decomposition: "TuckerDecomposition"  # noqa: F821 - hooi import is lazy
@@ -123,6 +137,9 @@ class TuckerResult:
     errors: list[float]
     sthosvd_error: float
     n_iters: int = 0
+    method: str = "exact"
+    converged: bool = True
+    stopped_reason: str = ""
     backend: str = ""
     from_cache: bool = False
     auto_selected: bool = False
@@ -1125,7 +1142,7 @@ class TuckerSession:
         store=None,
         handle=None,
         t_norm_sq: float | None = None,
-    ) -> tuple["TuckerDecomposition", list[float]]:  # noqa: F821
+    ) -> tuple["TuckerDecomposition", list[float], bool, str]:  # noqa: F821
         from repro.hooi.decomposition import TuckerDecomposition
 
         backend = self.backend
@@ -1145,6 +1162,8 @@ class TuckerSession:
         workspace = compiled.gram_workspace()
         errors: list[float] = []
         core_handle = None
+        converged = False
+        stopped_reason = "max_iters"
         with tr.span("hooi", kind="phase"):
             for it in range(max_iters):
                 tag = f"hooi:it{it}"
@@ -1173,14 +1192,28 @@ class TuckerSession:
                 errors.append(
                     0.0 if t_norm_sq == 0 else float(math.sqrt(err_sq / t_norm_sq))
                 )
-                if it > 0 and errors[-2] - errors[-1] < tol:
-                    break
+                if it > 0:
+                    delta = errors[-2] - errors[-1]
+                    # ``delta < tol`` also fires on *rising* error (delta
+                    # very negative); that sweep used to be reported as
+                    # converged. Keep the stopping set identical (so
+                    # ``tol=-inf`` still means "never stop early", and
+                    # 1-ulp float32 jitter never ends a run a different
+                    # backend would continue) but label the two cases
+                    # apart.
+                    if delta < tol:
+                        if abs(delta) < tol:
+                            converged = True
+                            stopped_reason = "converged"
+                        else:
+                            stopped_reason = "non-monotone"
+                        break
         # Copy: shared-memory cores may alias reusable workspace/output
         # buffers that the next run would overwrite.
         with tr.span("gather", kind="phase"):
             core = np.array(backend.gather(core_handle), copy=True)
         dec = TuckerDecomposition(core=core, factors=list(factors))
-        return dec, errors
+        return dec, errors, converged, stopped_reason
 
     def hooi(
         self,
@@ -1268,7 +1301,7 @@ class TuckerSession:
         try:
             with self._observed(run_store):
                 arr = _cast_for_run(arr, compiled.dtype, run_store)
-                dec, errors = self._hooi_loop(
+                dec, errors, converged, stopped_reason = self._hooi_loop(
                     arr, factors, compiled, max_iters, tol, store=run_store
                 )
         finally:
@@ -1281,6 +1314,8 @@ class TuckerSession:
             errors=errors,
             sthosvd_error=float("nan"),
             n_iters=len(errors),
+            converged=converged,
+            stopped_reason=stopped_reason,
             from_cache=from_cache,
             ledger=self.backend.ledger_since(mark),
             storage=selection.mode,
@@ -1334,6 +1369,62 @@ class TuckerSession:
             error,
             t_norm_sq,
         )
+
+    def _rand_pass(
+        self,
+        compiled: CompiledPlan,
+        handle,
+        *,
+        method: str,
+        oversample: int,
+        power_iters: int,
+        seed: int,
+    ) -> tuple["TuckerDecomposition", float, float]:  # noqa: F821
+        """One randomized pass; ``(decomposition, error, input_norm_sq)``.
+
+        ``handle`` is the already distributed input. The input's squared
+        norm is a free by-product of the first sketch pass — no separate
+        norm reduction over the input ever runs. For ``rsthosvd`` the
+        final truncated handle *is* the core (a projection of the
+        input), so the norm identity gives the exact relative error; for
+        ``sp-rsthosvd`` the core is solved host-side from the sketches
+        and the identity only yields a clamped estimate.
+        """
+        from repro.hooi.decomposition import TuckerDecomposition
+
+        backend = self.backend
+        tr = self._tr()
+        meta = compiled.meta
+        rng = np.random.default_rng(seed)
+        steps = compile_rand_steps(
+            compiled.sthosvd_order,
+            meta,
+            method=method,
+            oversample=oversample,
+            power_iters=power_iters,
+        )
+        with tr.span(
+            method, kind="phase", seed=int(seed),
+            oversample=int(oversample), power_iters=int(power_iters),
+        ):
+            factors, current, t_norm_sq, core = run_rand_steps(
+                backend, handle, steps, meta,
+                rng=rng, dtype=compiled.dtype, tag=method,
+            )
+            if core is None:
+                g_norm_sq = backend.fro_norm_sq(current, tag="norm:core")
+                with tr.span("gather", kind="phase"):
+                    # Copy: shared-memory cores may alias reusable
+                    # buffers the next run would overwrite.
+                    core = np.array(backend.gather(current), copy=True)
+            else:
+                g_norm_sq = float(np.dot(core.ravel(), core.ravel()))
+        err_sq = max(t_norm_sq - g_norm_sq, 0.0)
+        error = 0.0 if t_norm_sq == 0 else float(math.sqrt(err_sq / t_norm_sq))
+        dec = TuckerDecomposition(
+            core=core, factors=[factors[m] for m in range(meta.ndim)]
+        )
+        return dec, error, float(t_norm_sq)
 
     def sthosvd(
         self,
@@ -1422,6 +1513,10 @@ class TuckerSession:
         max_iters: int = 10,
         tol: float = 1e-8,
         skip_hooi: bool = False,
+        method: str = "exact",
+        oversample: int = 5,
+        power_iters: int = 0,
+        seed: int = 0,
         storage: str | None = None,
         memory_budget: int | str | None = None,
         spill_dir: str | None = None,
@@ -1432,6 +1527,22 @@ class TuckerSession:
         (``result.from_cache``). ``dtype`` overrides the working precision;
         by default float32 inputs stay float32, everything else runs in
         float64.
+
+        ``method`` picks the initialization algorithm. ``"exact"`` (the
+        default) is the Gram+EVD STHOSVD. ``"rsthosvd"`` replaces each
+        mode's Gram step with a randomized range finder — the mode-``n``
+        basis comes from a small sketch ``W = Y x_{m != n} Omega_m``
+        with Gaussian test matrices of width ``core[n] + oversample``
+        (clamped to the mode length), optionally sharpened by
+        ``power_iters`` power iterations — and still truncates
+        sequentially. ``"sp-rsthosvd"`` accumulates every mode sketch
+        plus a core sketch in one single pass over the input and solves
+        the core from the sketches alone; its reported error is a
+        clamped norm-identity *estimate* (the sketched core is not a
+        projection). Both are deterministic given ``seed``
+        (``numpy.random.default_rng``). Randomized runs execute on the
+        configured backend — including ``simcluster``, whose ledger then
+        charges the sketch's reduced communication volumes.
 
         ``storage`` / ``memory_budget`` / ``spill_dir`` override the
         session's storage policy for this run: a spilled run
@@ -1451,11 +1562,15 @@ class TuckerSession:
         with self._run_lock:
             tmark = self.tracer.mark()
             try:
-                with self.tracer.span("run", kind="phase", method="run") as root:
+                with self.tracer.span(
+                    "run", kind="phase", method="run", algorithm=method
+                ) as root:
                     result = self._run_impl(
                         tensor, core_dims, plan=plan, planner=planner,
                         n_procs=n_procs, dtype=dtype, max_iters=max_iters,
-                        tol=tol, skip_hooi=skip_hooi, storage=storage,
+                        tol=tol, skip_hooi=skip_hooi, method=method,
+                        oversample=oversample, power_iters=power_iters,
+                        seed=seed, storage=storage,
                         memory_budget=memory_budget, spill_dir=spill_dir,
                         root=root,
                     )
@@ -1486,8 +1601,14 @@ class TuckerSession:
 
     def _run_impl(
         self, tensor, core_dims, *, plan, planner, n_procs, dtype,
-        max_iters, tol, skip_hooi, storage, memory_budget, spill_dir, root,
+        max_iters, tol, skip_hooi, method, oversample, power_iters, seed,
+        storage, memory_budget, spill_dir, root,
     ) -> TuckerResult:
+        if method != "exact" and method not in RAND_METHODS:
+            raise ValueError(
+                f"method must be 'exact' or one of {RAND_METHODS}, "
+                f"got {method!r}"
+            )
         tr = self._tr()
         with tr.span("compile", kind="phase"):
             arr, compiled, from_cache = self._prepare(
@@ -1512,7 +1633,21 @@ class TuckerSession:
                 arr = _cast_for_run(arr, compiled.dtype, run_store)
                 handle = None
                 t_norm_sq = None
-                if isinstance(self.backend, SimClusterBackend):
+                if method in RAND_METHODS:
+                    # Randomized init runs through the backend on EVERY
+                    # backend — on simcluster that is the point: the
+                    # ledger charges the sketches' reduced volumes
+                    # instead of the exact path's Gram traffic.
+                    with tr.span("distribute", kind="phase"):
+                        handle = self.backend.distribute(
+                            arr, compiled.initial_grid, store=run_store
+                        )
+                    init, init_error, t_norm_sq = self._rand_pass(
+                        compiled, handle, method=method,
+                        oversample=oversample, power_iters=power_iters,
+                        seed=seed,
+                    )
+                elif isinstance(self.backend, SimClusterBackend):
                     # Sequential init on the cluster backend: the paper
                     # does not charge the initial decomposition, and the
                     # HOOI initial grid need not be STHOSVD-feasible (a
@@ -1550,13 +1685,14 @@ class TuckerSession:
                         errors=[],
                         sthosvd_error=init_error,
                         n_iters=0,
+                        method=method,
                         from_cache=from_cache,
                         ledger=self.backend.ledger_since(mark),
                         storage=selection.mode,
                         storage_reason=selection.reason,
                         **self._result_meta(),
                     )
-                dec, errors = self._hooi_loop(
+                dec, errors, converged, stopped_reason = self._hooi_loop(
                     arr, init.factors, compiled, max_iters, tol,
                     store=run_store, handle=handle, t_norm_sq=t_norm_sq,
                 )
@@ -1570,6 +1706,9 @@ class TuckerSession:
             errors=errors,
             sthosvd_error=init_error,
             n_iters=len(errors),
+            method=method,
+            converged=converged,
+            stopped_reason=stopped_reason,
             from_cache=from_cache,
             ledger=self.backend.ledger_since(mark),
             storage=selection.mode,
@@ -1588,6 +1727,10 @@ class TuckerSession:
         max_iters: int = 10,
         tol: float = 1e-8,
         skip_hooi: bool = False,
+        method: str = "exact",
+        oversample: int = 5,
+        power_iters: int = 0,
+        seed: int = 0,
         max_in_flight: int = 1,
         on_error: str = "raise",
         storage: str | None = None,
@@ -1731,6 +1874,10 @@ class TuckerSession:
                                 max_iters=max_iters,
                                 tol=tol,
                                 skip_hooi=skip_hooi,
+                                method=method,
+                                oversample=oversample,
+                                power_iters=power_iters,
+                                seed=seed,
                                 storage=storage,
                                 memory_budget=memory_budget,
                                 spill_dir=spill_dir,
