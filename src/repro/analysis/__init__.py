@@ -1,0 +1,200 @@
+"""``repro.analysis`` — the repo's own static analyzer.
+
+Zero-dependency (stdlib ``ast`` only) lint layer that encodes the
+invariants the runtime cannot cheaply check: seeded-RNG determinism
+(R001), shared-memory segment ownership (R002), lock-order acyclicity
+(R003), ``ExecutionBackend`` protocol conformance (R004), the canonical
+ledger/span tag vocabulary (R005), and exception hygiene (R006).
+
+Entry points:
+
+* :func:`run_lint` — analyze a set of paths, return a
+  :class:`LintReport` (active findings, suppressed findings, counts);
+* ``repro lint [paths]`` — the CLI wrapper (text or ``--json``).
+
+Suppression is layered and *reported*: inline
+``# repro-lint: disable=R001`` pragmas and ``pyproject.toml``
+``[tool.repro.lint]`` per-file ignores move findings into
+``report.suppressed`` rather than discarding them, so the JSON artifact
+always shows what the gate chose to ignore.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.analysis.config import LintConfig
+from repro.analysis.core import FileContext, Finding, Project, Rule
+from repro.analysis.rules import ALL_RULES, rule_by_id
+
+__all__ = [
+    "LintConfig",
+    "LintReport",
+    "Finding",
+    "ALL_RULES",
+    "rule_by_id",
+    "collect_files",
+    "run_lint",
+]
+
+#: pseudo-rule id for files the analyzer cannot parse.
+PARSE_ERROR_RULE = "E000"
+
+
+@dataclass
+class LintReport:
+    """The outcome of one analyzer run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for finding in self.findings:
+            out[finding.rule] = out.get(finding.rule, 0) + 1
+        return dict(sorted(out.items()))
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "version": 1,
+            "files": self.files,
+            "ok": self.ok,
+            "counts": self.counts(),
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "LintReport":
+        findings = [
+            Finding.from_dict(item)  # type: ignore[arg-type]
+            for item in data.get("findings", [])  # type: ignore[union-attr]
+        ]
+        suppressed = [
+            Finding.from_dict(item)  # type: ignore[arg-type]
+            for item in data.get("suppressed", [])  # type: ignore[union-attr]
+        ]
+        return cls(
+            findings=findings,
+            suppressed=suppressed,
+            files=int(data.get("files", 0)),  # type: ignore[arg-type]
+        )
+
+
+def collect_files(
+    paths: Sequence[str], config: LintConfig
+) -> tuple[list[str], list[str]]:
+    """Expand ``paths`` into ``.py`` files, honoring ``config.exclude``.
+
+    Returns ``(selected, excluded)`` — both sorted, both relative to the
+    caller's working directory when the inputs were relative.
+    """
+    selected: set[str] = set()
+    excluded: set[str] = set()
+
+    def consider(path: str) -> None:
+        normalized = path.replace(os.sep, "/")
+        if config.excluded(normalized):
+            excluded.add(normalized)
+        else:
+            selected.add(normalized)
+
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                consider(path)
+            continue
+        for root, dirs, names in os.walk(path):
+            dirs[:] = sorted(
+                d for d in dirs
+                if d not in ("__pycache__",) and not d.startswith(".")
+            )
+            for name in sorted(names):
+                if name.endswith(".py"):
+                    consider(os.path.join(root, name))
+    return sorted(selected), sorted(excluded)
+
+
+def _parse(path: str) -> tuple[FileContext | None, Finding | None]:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            source = fh.read()
+        tree = ast.parse(source, filename=path)
+    except (OSError, SyntaxError, ValueError) as exc:
+        return None, Finding(
+            path=path,
+            line=getattr(exc, "lineno", None) or 1,
+            rule=PARSE_ERROR_RULE,
+            message=f"cannot analyze: {exc}",
+            severity="error",
+        )
+    return FileContext(path, source, tree), None
+
+
+def run_lint(
+    paths: Sequence[str],
+    *,
+    config: LintConfig | None = None,
+    rules: Iterable[str] | None = None,
+) -> LintReport:
+    """Analyze ``paths`` and return the :class:`LintReport`.
+
+    ``rules`` restricts the run to the given rule ids (unknown ids raise
+    ``ValueError`` — a typo must not silently pass the gate). ``config``
+    defaults to the nearest ``pyproject.toml``'s ``[tool.repro.lint]``.
+    """
+    if config is None:
+        anchor = paths[0] if paths else os.getcwd()
+        config = LintConfig.load(anchor)
+
+    selected_rules: list[Rule] = []
+    if rules is None:
+        selected_rules = [cls() for cls in ALL_RULES]
+    else:
+        for rule_id in rules:
+            cls = rule_by_id(rule_id)
+            if cls is None:
+                known = ", ".join(r.id for r in ALL_RULES)
+                raise ValueError(
+                    f"unknown rule id {rule_id!r} (known: {known})"
+                )
+            selected_rules.append(cls())
+
+    report = LintReport()
+    contexts: list[FileContext] = []
+    files, _ = collect_files(paths, config)
+    for path in files:
+        ctx, error = _parse(path)
+        if error is not None:
+            report.findings.append(error)
+        if ctx is not None:
+            contexts.append(ctx)
+    report.files = len(contexts)
+
+    project = Project(contexts, config)
+    by_path = {ctx.path: ctx for ctx in project.files}
+    raw: list[Finding] = []
+    for rule in selected_rules:
+        raw.extend(rule.check(project))
+
+    for finding in sorted(raw):
+        ctx = by_path.get(finding.path)
+        inline = ctx is not None and ctx.suppressed(
+            finding.rule, finding.line
+        )
+        configured = config.ignored(finding.path, finding.rule)
+        if inline or configured:
+            report.suppressed.append(finding)
+        else:
+            report.findings.append(finding)
+    report.findings.sort()
+    report.suppressed.sort()
+    return report

@@ -1,0 +1,233 @@
+"""Core of the static analyzer: findings, pragmas, files, projects.
+
+The analyzer is deliberately zero-dependency: everything is built on the
+stdlib ``ast`` module. A :class:`Project` is a parsed snapshot of the
+files under analysis; each :class:`Rule` walks it and yields
+:class:`Finding` records. Suppression happens *after* rules run — rules
+stay oblivious to pragmas and configuration, which keeps every rule
+testable in isolation and lets the driver report suppressed findings
+(they are counted, not silently dropped).
+
+Inline pragmas use the ``# repro-lint:`` marker::
+
+    x = np.random.rand(3)  # repro-lint: disable=R001
+    shm = SharedMemory(create=True, size=n)  # repro-lint: shm-transfer=returned to caller
+
+``disable`` without rule ids suppresses every rule on that line;
+``shm-transfer`` is the ownership-transfer annotation rule R002 honors.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import re
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.analysis.config import LintConfig
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Pragma",
+    "Project",
+    "Rule",
+    "FileRule",
+    "parse_pragmas",
+    "match_path",
+]
+
+#: rule id shape: one capital letter, three digits (R001, E000, ...).
+RULE_ID_RE = re.compile(r"^[A-Z]\d{3}$")
+
+_PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*(?P<body>[^#]*)")
+_DIRECTIVE_RE = re.compile(
+    r"(?P<key>[a-z][a-z-]*)(?:=(?P<value>[^;]*))?"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a file and line."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    severity: str = "error"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "Finding":
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            rule=str(data["rule"]),
+            message=str(data["message"]),
+            severity=str(data.get("severity", "error")),
+        )
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}: {self.rule} "
+            f"[{self.severity}] {self.message}"
+        )
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed ``# repro-lint:`` directive on one line."""
+
+    directive: str
+    #: for ``disable``: the suppressed rule ids (empty = all rules).
+    rules: frozenset[str]
+    value: str = ""
+
+
+def parse_pragmas(source: str) -> dict[int, tuple[Pragma, ...]]:
+    """Extract ``# repro-lint:`` directives, keyed by 1-based line.
+
+    Directives are comma/semicolon tolerant: ``disable=R001,R002`` names
+    two rules, ``disable`` alone suppresses everything on the line, and
+    multiple directives may share a line separated by ``;``.
+    """
+    out: dict[int, tuple[Pragma, ...]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        pragmas: list[Pragma] = []
+        for part in match.group("body").split(";"):
+            part = part.strip()
+            if not part:
+                continue
+            dmatch = _DIRECTIVE_RE.match(part)
+            if dmatch is None:
+                continue
+            key = dmatch.group("key")
+            value = (dmatch.group("value") or "").strip()
+            rules = frozenset(
+                token.strip()
+                for token in value.split(",")
+                if RULE_ID_RE.match(token.strip())
+            )
+            pragmas.append(Pragma(directive=key, rules=rules, value=value))
+        if pragmas:
+            out[lineno] = tuple(pragmas)
+    return out
+
+
+def match_path(path: str, pattern: str) -> bool:
+    """fnmatch with a repo-friendly twist: patterns match full relative
+    paths or any path suffix (``backends/*.py`` matches
+    ``src/repro/backends/base.py``)."""
+    normalized = path.replace("\\", "/")
+    return fnmatch.fnmatch(normalized, pattern) or fnmatch.fnmatch(
+        normalized, "*/" + pattern
+    )
+
+
+class FileContext:
+    """One parsed source file: path, text, AST, pragmas."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self.pragmas = parse_pragmas(source)
+
+    def pragmas_on(self, line: int) -> tuple[Pragma, ...]:
+        return self.pragmas.get(line, ())
+
+    def has_directive(self, line: int, directive: str) -> bool:
+        return any(
+            p.directive == directive for p in self.pragmas_on(line)
+        )
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        """Does an inline pragma suppress ``rule_id`` on ``line``?"""
+        for pragma in self.pragmas_on(line):
+            if pragma.directive != "disable":
+                continue
+            if not pragma.rules or rule_id in pragma.rules:
+                return True
+        return False
+
+    def matches(self, *patterns: str) -> bool:
+        return any(match_path(self.path, p) for p in patterns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FileContext(path={self.path!r})"
+
+
+class Project:
+    """Every file under analysis plus the active configuration."""
+
+    def __init__(
+        self, files: Iterable[FileContext], config: LintConfig
+    ) -> None:
+        self.files = sorted(files, key=lambda ctx: ctx.path)
+        self.config = config
+
+    def find_file(self, *patterns: str) -> FileContext | None:
+        """First file whose path matches any of ``patterns``."""
+        for ctx in self.files:
+            if ctx.matches(*patterns):
+                return ctx
+        return None
+
+    def __iter__(self) -> Iterator[FileContext]:
+        return iter(self.files)
+
+
+class Rule:
+    """A lint rule: an id, a severity, and a :meth:`check` visitor.
+
+    Subclasses override :meth:`check` (project-wide rules) or derive from
+    :class:`FileRule` and override :meth:`check_file` (per-file rules).
+    Rules read options via ``project.config.option(self.id, key, default)``
+    so every knob is overridable from ``[tool.repro.lint.rules.<id>]``.
+    """
+
+    id: str = ""
+    name: str = ""
+    severity: str = "error"
+    description: str = ""
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: FileContext, node: ast.AST | int, message: str
+    ) -> Finding:
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        return Finding(
+            path=ctx.path,
+            line=int(line),
+            rule=self.id,
+            message=message,
+            severity=self.severity,
+        )
+
+
+class FileRule(Rule):
+    """A rule that inspects each file independently."""
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for ctx in project.files:
+            yield from self.check_file(ctx, project)
+
+    def check_file(
+        self, ctx: FileContext, project: Project
+    ) -> Iterator[Finding]:
+        raise NotImplementedError

@@ -1,0 +1,67 @@
+"""Import-aware dotted-name resolution for rule visitors.
+
+Rules need to know that ``np.random.seed`` *is* ``numpy.random.seed`` and
+that ``from multiprocessing import shared_memory as shm`` makes
+``shm.SharedMemory`` the shared-memory constructor. :class:`ImportMap`
+builds the alias table for one module; :func:`dotted_name` flattens an
+attribute chain; :meth:`ImportMap.resolve` combines the two.
+
+Resolution is purely lexical — no imports are executed — so it cannot see
+through reassignment (``r = np.random; r.seed(0)`` resolves to nothing).
+That keeps the analyzer sound for the patterns the repo actually uses and
+silent (never wrong) for the ones it does not.
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["ImportMap", "dotted_name"]
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, ``None`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class ImportMap:
+    """Local-name -> absolute dotted-path table for one module."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        self.aliases[alias.asname] = alias.name
+                    else:
+                        # ``import a.b`` binds ``a`` (to package a).
+                        root = alias.name.split(".", 1)[0]
+                        self.aliases.setdefault(root, root)
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports: outside our vocabulary
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Absolute dotted path of an expression, if statically known."""
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        return self.resolve_str(dotted)
+
+    def resolve_str(self, dotted: str) -> str:
+        head, _, rest = dotted.partition(".")
+        target = self.aliases.get(head)
+        if target is None:
+            return dotted
+        return f"{target}.{rest}" if rest else target

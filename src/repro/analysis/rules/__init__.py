@@ -1,0 +1,29 @@
+"""The rule registry: every shipped rule, in id order."""
+
+from __future__ import annotations
+
+from repro.analysis.core import Rule
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.exceptions import ExceptionHygieneRule
+from repro.analysis.rules.ledgertags import LedgerTagRule
+from repro.analysis.rules.lockorder import LockOrderRule
+from repro.analysis.rules.protocol import ProtocolDriftRule
+from repro.analysis.rules.shm import ShmLifetimeRule
+
+__all__ = ["ALL_RULES", "rule_by_id"]
+
+ALL_RULES: tuple[type[Rule], ...] = (
+    DeterminismRule,
+    ShmLifetimeRule,
+    LockOrderRule,
+    ProtocolDriftRule,
+    LedgerTagRule,
+    ExceptionHygieneRule,
+)
+
+
+def rule_by_id(rule_id: str) -> type[Rule] | None:
+    for rule in ALL_RULES:
+        if rule.id == rule_id:
+            return rule
+    return None

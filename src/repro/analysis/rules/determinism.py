@@ -1,0 +1,129 @@
+"""R001 — determinism: no hidden global randomness, no wall-clock math.
+
+The repo's bit-for-bit reproducibility contract (same seed, same backend,
+same bytes) dies the moment any execution-path code consults process-global
+random state or the wall clock. Three sub-checks:
+
+* legacy ``numpy.random.*`` module-state APIs (``seed``, ``rand``,
+  ``shuffle``, ``RandomState``, ...) are banned everywhere — all
+  randomness flows through explicitly seeded ``default_rng`` generators;
+* ``time.time()`` / ``datetime.now()``-style wall-clock reads are banned
+  in kernel/schedule/backend code (``perf_counter`` durations are fine —
+  they are measurements, not inputs); option ``time-globs`` names the
+  scoped paths;
+* ``numpy.random.default_rng()`` *without a seed argument* is banned
+  outside the one designated entropy module (option ``rng-globs``,
+  default ``*/tensor/random.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.core import FileContext, FileRule, Finding, Project
+from repro.analysis.names import ImportMap
+
+__all__ = ["DeterminismRule"]
+
+#: numpy.random module-state APIs (operate on the hidden global
+#: RandomState). ``default_rng`` / ``Generator`` / ``SeedSequence`` are
+#: deliberately absent — they are the sanctioned replacements.
+LEGACY_NP_RANDOM = frozenset({
+    "seed", "random", "rand", "randn", "randint", "random_integers",
+    "random_sample", "ranf", "sample", "choice", "bytes", "shuffle",
+    "permutation", "beta", "binomial", "chisquare", "dirichlet",
+    "exponential", "f", "gamma", "geometric", "get_state", "gumbel",
+    "hypergeometric", "laplace", "logistic", "lognormal", "logseries",
+    "multinomial", "multivariate_normal", "negative_binomial",
+    "noncentral_chisquare", "noncentral_f", "normal", "pareto", "poisson",
+    "power", "rayleigh", "set_state", "standard_cauchy",
+    "standard_exponential", "standard_gamma", "standard_normal",
+    "standard_t", "triangular", "uniform", "vonmises", "wald", "weibull",
+    "zipf", "RandomState",
+})
+
+#: wall-clock reads that leak nondeterminism into computed values.
+WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "datetime.datetime.now",
+    "datetime.datetime.utcnow", "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+DEFAULT_TIME_GLOBS = ("*/backends/*.py", "*/dist/*.py", "*/tensor/*.py")
+DEFAULT_RNG_GLOBS = ("*/tensor/random.py",)
+
+
+class DeterminismRule(FileRule):
+    id = "R001"
+    name = "determinism"
+    description = (
+        "ban legacy numpy.random module-state APIs, wall-clock reads in "
+        "kernel/backend code, and unseeded default_rng() outside the "
+        "designated entropy module"
+    )
+
+    def check_file(
+        self, ctx: FileContext, project: Project
+    ) -> Iterator[Finding]:
+        imports = ImportMap(ctx.tree)
+        time_globs = project.config.str_list_option(
+            self.id, "time-globs", DEFAULT_TIME_GLOBS
+        )
+        rng_globs = project.config.str_list_option(
+            self.id, "rng-globs", DEFAULT_RNG_GLOBS
+        )
+        time_scoped = ctx.matches(*time_globs)
+        rng_exempt = ctx.matches(*rng_globs)
+        called_funcs = {
+            id(node.func) for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.Call)
+        }
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute) or (
+                isinstance(node, ast.Name)
+            ):
+                resolved = imports.resolve(node)
+                if resolved is None:
+                    continue
+                if resolved.startswith("numpy.random."):
+                    # Sub-chains resolve to "numpy.random" (no legacy
+                    # leaf), so each legacy access is reported once.
+                    leaf = resolved.rsplit(".", 1)[1]
+                    if leaf in LEGACY_NP_RANDOM:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"legacy numpy.random.{leaf} uses hidden "
+                            "module state; draw from an explicitly "
+                            "seeded numpy.random.default_rng(seed) "
+                            "generator instead",
+                        )
+                if (
+                    time_scoped
+                    and resolved in WALL_CLOCK_CALLS
+                    and id(node) in called_funcs
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"wall-clock read {resolved}() in kernel/backend "
+                        "code breaks reproducibility; use "
+                        "time.perf_counter() for durations or thread a "
+                        "timestamp in from the caller",
+                    )
+            if isinstance(node, ast.Call):
+                resolved = imports.resolve(node.func)
+                if (
+                    resolved == "numpy.random.default_rng"
+                    and not node.args
+                    and not node.keywords
+                    and not rng_exempt
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "unseeded default_rng() draws OS entropy; pass an "
+                        "explicit seed (only the designated entropy "
+                        "module may omit it)",
+                    )

@@ -1,0 +1,100 @@
+"""R006 — exception-hygiene: no silent swallows of broad exceptions.
+
+A ``bare except:`` or an ``except Exception:`` whose handler neither
+re-raises nor logs turns every future bug into a silent no-op — the
+serving layer's shed/failed requests and the batch layer's skipped items
+must always leave a trail. The rule flags:
+
+* ``except:`` (always — it also catches ``KeyboardInterrupt``);
+* ``except Exception`` / ``except BaseException`` (alone or in a tuple)
+  whose body contains neither a ``raise`` nor a call to a logger method
+  (an attribute call like ``logger.warning(...)`` on a receiver whose
+  dotted name contains ``log``).
+
+Handlers that *narrow* the catch (``except (OSError, ValueError):``) are
+out of scope — naming the expected failure set is exactly the fix this
+rule pushes toward.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.core import FileContext, FileRule, Finding, Project
+from repro.analysis.names import dotted_name
+
+__all__ = ["ExceptionHygieneRule"]
+
+BROAD = frozenset({"Exception", "BaseException"})
+LOG_METHODS = frozenset({
+    "debug", "info", "warning", "warn", "error", "exception", "critical",
+    "log",
+})
+
+
+def _broad_names(node: ast.expr | None) -> list[str]:
+    """The broad exception names caught by this handler's type expr."""
+    if node is None:
+        return []
+    exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+    out: list[str] = []
+    for expr in exprs:
+        name: str | None = None
+        if isinstance(expr, ast.Name):
+            name = expr.id
+        elif isinstance(expr, ast.Attribute):
+            name = expr.attr
+        if name in BROAD:
+            out.append(name)  # type: ignore[arg-type]
+    return out
+
+
+def _leaves_a_trail(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in LOG_METHODS
+        ):
+            receiver = dotted_name(node.func.value)
+            if receiver is not None and "log" in receiver.lower():
+                return True
+    return False
+
+
+class ExceptionHygieneRule(FileRule):
+    id = "R006"
+    name = "exception-hygiene"
+    description = (
+        "bare except / broad except Exception must re-raise or log; "
+        "silent swallows hide failures"
+    )
+
+    def check_file(
+        self, ctx: FileContext, project: Project
+    ) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare 'except:' catches everything including "
+                    "KeyboardInterrupt/SystemExit; name the expected "
+                    "exception types",
+                )
+                continue
+            broad = _broad_names(node.type)
+            if broad and not _leaves_a_trail(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"broad 'except {broad[0]}' swallows without "
+                    "re-raising or logging; narrow the caught types or "
+                    "route the failure through "
+                    "logging.getLogger('repro')",
+                )

@@ -1,0 +1,629 @@
+"""R003 — lock-order: the static lock-acquisition graph has no cycles.
+
+The serving stack holds locks across calls into other locked components
+(session run lock -> plan-cache lock -> ledger lock; server lock ->
+router lock; ...). Two components that ever acquire each other's locks
+in opposite orders can deadlock under exactly the concurrent load the
+server exists to handle — and that failure is timing-dependent, so tests
+rarely see it. This rule builds the acquisition graph statically and
+reports every cycle.
+
+How the graph is built (all lexical, no execution):
+
+* **Lock identities.** ``self.X = threading.Lock()/RLock()/Condition()``
+  inside a class body defines lock ``Class.X``; ``X = threading.Lock()``
+  at module scope defines ``module.X``. ``Condition(self.Y)`` aliases to
+  ``Class.Y`` (one underlying lock, two names).
+* **Acquisitions.** ``with self.X:`` (and ``with obj.X:`` where ``obj``
+  is an attribute/local whose class is statically known) plus explicit
+  ``self.X.acquire()`` calls.
+* **Edges.** While a ``with`` block holds lock *A*, every lock *B*
+  acquired lexically inside it adds edge *A -> B*; every call made
+  inside it adds *A -> B* for each *B* in the callee's transitive
+  acquire-effect (a fixpoint over the project call graph; calls resolve
+  by receiver type — ``self.m()``, ``self.attr.m()``, ``Class()``,
+  module functions).
+* **Reentrancy.** Self-edges on ``RLock`` are dropped (reacquiring is
+  legal). Self-edges on a plain ``Lock``/``Condition`` are reported only
+  when provably the same object: lexical nesting on ``self.X``, or a
+  direct ``self.m()`` call whose body acquires ``self.X``. Cross-lock
+  cycles are reported regardless.
+
+Explicit ``.acquire()`` regions are *not* tracked as held past their
+statement (the ``with`` form is the repo idiom; acquire/release pairs
+spanning statements under-approximate to their acquisition edge only).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.analysis.core import FileContext, Finding, Project, Rule
+from repro.analysis.names import ImportMap
+
+__all__ = ["LockOrderRule"]
+
+LOCK_FACTORIES = {
+    "threading.Lock": "lock",
+    "threading.RLock": "rlock",
+    "threading.Condition": "condition",
+}
+
+
+@dataclass(frozen=True)
+class LockDef:
+    key: str
+    kind: str  # "lock" | "rlock"
+    path: str
+    line: int
+
+
+@dataclass(frozen=True)
+class Acquire:
+    lock: str
+    line: int
+    lexical: bool  # True for `with self.X:`, False for `.acquire()`
+
+
+@dataclass(frozen=True)
+class CallSite:
+    held: tuple[str, ...]
+    target: tuple[str, ...]  # ("method", T, m) | ("function", mod, f)
+    line: int
+    receiver_is_self: bool
+
+
+@dataclass
+class FuncInfo:
+    key: tuple[str, str]  # (owner, name); owner = class or f"mod:{stem}"
+    path: str
+    cls: str | None
+    acquires: list[Acquire] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    #: (outer, inner, line) edges from lexical nesting
+    nested: list[tuple[str, str, int]] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class Edge:
+    src: str
+    dst: str
+    path: str
+    line: int
+    why: str
+
+
+class _ModuleIndex:
+    """Everything R003 needs to know about one parsed module."""
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.stem = os.path.splitext(os.path.basename(ctx.path))[0]
+        self.imports = ImportMap(ctx.tree)
+        #: (class, attr) -> LockDef  /  aliases (class, attr) -> attr
+        self.locks: dict[tuple[str, str], LockDef] = {}
+        self.aliases: dict[tuple[str, str], str] = {}
+        #: (class, attr) -> type name, from `self.attr = ClassName(...)`
+        self.attr_types: dict[tuple[str, str], str] = {}
+        self.classes: list[ast.ClassDef] = []
+        self.functions: list[ast.FunctionDef] = []
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef):
+                self.classes.append(node)
+            elif isinstance(node, ast.FunctionDef):
+                self.functions.append(node)
+            elif isinstance(node, ast.Assign):
+                self._module_lock(node)
+
+    def _module_lock(self, node: ast.Assign) -> None:
+        kind = _lock_kind(node.value, self.imports)
+        if kind is None:
+            return
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self.locks[("", target.id)] = LockDef(
+                    key=f"{self.stem}.{target.id}",
+                    kind=kind,
+                    path=self.ctx.path,
+                    line=node.lineno,
+                )
+
+    def index_class(self, cls: ast.ClassDef) -> None:
+        for method in cls.body:
+            if not isinstance(method, ast.FunctionDef):
+                continue
+            param_types: dict[str, str] = {}
+            for arg in list(method.args.args) + list(
+                method.args.kwonlyargs
+            ):
+                name = _annotation_class(arg.annotation)
+                if name is not None:
+                    param_types[arg.arg] = name
+            for node in ast.walk(method):
+                if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                    continue
+                target = node.targets[0]
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                attr = target.attr
+                kind = _lock_kind(node.value, self.imports)
+                if kind is not None:
+                    cond_of = _condition_wraps(node.value, self.imports)
+                    if cond_of is not None:
+                        self.aliases[(cls.name, attr)] = cond_of
+                    else:
+                        self.locks[(cls.name, attr)] = LockDef(
+                            key=f"{cls.name}.{attr}",
+                            kind=kind,
+                            path=self.ctx.path,
+                            line=node.lineno,
+                        )
+                    continue
+                type_name = _constructed_class(node.value, self.imports)
+                if type_name is None and isinstance(node.value, ast.Name):
+                    type_name = param_types.get(node.value.id)
+                if type_name is not None:
+                    self.attr_types[(cls.name, attr)] = type_name
+
+
+def _lock_kind(expr: ast.expr, imports: ImportMap) -> str | None:
+    if not isinstance(expr, ast.Call):
+        return None
+    resolved = imports.resolve(expr.func)
+    if resolved is None:
+        return None
+    kind = LOCK_FACTORIES.get(resolved)
+    if kind == "condition":
+        # Condition() owns a fresh (non-reentrant) lock by default;
+        # Condition(existing) aliases, handled by _condition_wraps.
+        return "lock"
+    return kind
+
+
+def _condition_wraps(expr: ast.expr, imports: ImportMap) -> str | None:
+    """``self.Y`` attr name when ``expr`` is ``Condition(self.Y)``."""
+    if not isinstance(expr, ast.Call) or not expr.args:
+        return None
+    if imports.resolve(expr.func) != "threading.Condition":
+        return None
+    arg = expr.args[0]
+    if (
+        isinstance(arg, ast.Attribute)
+        and isinstance(arg.value, ast.Name)
+        and arg.value.id == "self"
+    ):
+        return arg.attr
+    return None
+
+
+def _constructed_class(expr: ast.expr, imports: ImportMap) -> str | None:
+    """Bare class name when ``expr`` is ``ClassName(...)``."""
+    if not isinstance(expr, ast.Call):
+        return None
+    func = expr.func
+    if isinstance(func, ast.Name):
+        resolved = imports.resolve_str(func.id)
+        name = resolved.rsplit(".", 1)[-1]
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    else:
+        return None
+    return name if name[:1].isupper() else None
+
+
+def _annotation_class(expr: ast.expr | None) -> str | None:
+    """Bare class name from a parameter annotation, when extractable."""
+    if expr is None:
+        return None
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return expr.value.strip('"').rsplit(".", 1)[-1]
+    return None
+
+
+class _FuncWalker:
+    """Collects acquires/calls/nesting for one function body."""
+
+    def __init__(
+        self,
+        info: FuncInfo,
+        module: _ModuleIndex,
+        lock_table: dict[tuple[str, str], LockDef],
+        alias_table: dict[tuple[str, str], str],
+        attr_types: dict[tuple[str, str], str],
+        class_names: frozenset[str],
+    ) -> None:
+        self.info = info
+        self.module = module
+        self.lock_table = lock_table
+        self.alias_table = alias_table
+        self.attr_types = attr_types
+        self.class_names = class_names
+        self.local_types: dict[str, str] = {}
+        self.held: list[str] = []
+
+    # -- resolution ------------------------------------------------------- #
+
+    def _lock_of_attr(self, owner: str, attr: str) -> LockDef | None:
+        seen: set[str] = set()
+        while attr not in seen:
+            seen.add(attr)
+            lock = self.lock_table.get((owner, attr))
+            if lock is not None:
+                return lock
+            alias = self.alias_table.get((owner, attr))
+            if alias is None:
+                return None
+            attr = alias
+        return None
+
+    def _type_of(self, expr: ast.expr) -> str | None:
+        """Statically known class of a receiver expression."""
+        if isinstance(expr, ast.Name):
+            if expr.id == "self":
+                return self.info.cls
+            return self.local_types.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            base = self._type_of(expr.value)
+            if base is None:
+                return None
+            return self.attr_types.get((base, expr.attr))
+        return None
+
+    def _lock_of(self, expr: ast.expr) -> LockDef | None:
+        if isinstance(expr, ast.Attribute):
+            base = self._type_of(expr.value)
+            if base is not None:
+                return self._lock_of_attr(base, expr.attr)
+            return None
+        if isinstance(expr, ast.Name):
+            return self.lock_table.get(("", expr.id)) and self._lock_of_attr(
+                "", expr.id
+            )
+        return None
+
+    def _call_target(
+        self, call: ast.Call
+    ) -> tuple[tuple[str, ...] | None, bool]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            resolved = self.module.imports.resolve_str(func.id)
+            name = resolved.rsplit(".", 1)[-1]
+            if name in self.class_names:
+                return ("method", name, "__init__"), False
+            return ("function", self.module.stem, func.id), False
+        if isinstance(func, ast.Attribute):
+            receiver = func.value
+            rtype = self._type_of(receiver)
+            if rtype is not None:
+                is_self = (
+                    isinstance(receiver, ast.Name) and receiver.id == "self"
+                )
+                return ("method", rtype, func.attr), is_self
+            if func.attr in self.class_names:  # module.ClassName(...)
+                return ("method", func.attr, "__init__"), False
+        return None, False
+
+    # -- walking ----------------------------------------------------------- #
+
+    def walk(self, fn: ast.FunctionDef) -> None:
+        for arg in list(fn.args.args) + list(fn.args.kwonlyargs):
+            name = _annotation_class(arg.annotation)
+            if name is not None and name in self.class_names:
+                self.local_types[arg.arg] = name
+        for stmt in fn.body:
+            self._visit(stmt)
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scope: analyzed as its own function elsewhere
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired: list[str] = []
+            for item in node.items:
+                lock = self._lock_of(item.context_expr)
+                if lock is not None:
+                    self._record_acquire(lock, item.context_expr, lexical=True)
+                    self.held.append(lock.key)
+                    acquired.append(lock.key)
+                else:
+                    self._visit(item.context_expr)
+            for stmt in node.body:
+                self._visit(stmt)
+            for _ in acquired:
+                self.held.pop()
+            return
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            cls = _constructed_class(node.value, self.module.imports)
+            if (
+                isinstance(target, ast.Name)
+                and cls is not None
+                and cls in self.class_names
+            ):
+                self.local_types[target.id] = cls
+        if isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "acquire"
+            ):
+                lock = self._lock_of(node.func.value)
+                if lock is not None:
+                    self._record_acquire(lock, node, lexical=False)
+            else:
+                target, is_self = self._call_target(node)
+                if target is not None:
+                    self.info.calls.append(
+                        CallSite(
+                            held=tuple(self.held),
+                            target=target,
+                            line=node.lineno,
+                            receiver_is_self=is_self,
+                        )
+                    )
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+    def _record_acquire(
+        self, lock: LockDef, node: ast.AST, *, lexical: bool
+    ) -> None:
+        line = getattr(node, "lineno", 1)
+        self.info.acquires.append(
+            Acquire(lock=lock.key, line=line, lexical=lexical)
+        )
+        for outer in self.held:
+            self.info.nested.append((outer, lock.key, line))
+
+
+class LockOrderRule(Rule):
+    id = "R003"
+    name = "lock-order"
+    severity = "error"
+    description = (
+        "the static lock-acquisition graph (with-blocks + call effects) "
+        "must be cycle-free; cycles are potential deadlocks"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        modules = [_ModuleIndex(ctx) for ctx in project.files]
+        lock_table: dict[tuple[str, str], LockDef] = {}
+        alias_table: dict[tuple[str, str], str] = {}
+        attr_types: dict[tuple[str, str], str] = {}
+        lock_kinds: dict[str, str] = {}
+        class_names: set[str] = set()
+        for module in modules:
+            for cls in module.classes:
+                class_names.add(cls.name)
+                module.index_class(cls)
+            lock_table.update(module.locks)
+            alias_table.update(module.aliases)
+            attr_types.update(module.attr_types)
+        for lock in lock_table.values():
+            lock_kinds[lock.key] = lock.kind
+        frozen_classes = frozenset(class_names)
+
+        funcs: dict[tuple[str, str], FuncInfo] = {}
+        for module in modules:
+            scopes: list[tuple[str | None, ast.FunctionDef]] = [
+                (None, fn) for fn in module.functions
+            ]
+            for cls in module.classes:
+                scopes.extend(
+                    (cls.name, item)
+                    for item in cls.body
+                    if isinstance(item, ast.FunctionDef)
+                )
+            for cls_name, fn in scopes:
+                owner = cls_name or f"mod:{module.stem}"
+                info = FuncInfo(
+                    key=(owner, fn.name), path=module.ctx.path, cls=cls_name
+                )
+                walker = _FuncWalker(
+                    info, module, lock_table, alias_table, attr_types,
+                    frozen_classes,
+                )
+                walker.walk(fn)
+                funcs[info.key] = info
+
+        # -- transitive acquire-effects (fixpoint) ----------------------- #
+        effects: dict[tuple[str, str], set[str]] = {
+            key: {a.lock for a in info.acquires}
+            for key, info in funcs.items()
+        }
+        direct_effects = {key: set(val) for key, val in effects.items()}
+        changed = True
+        while changed:
+            changed = False
+            for key, info in funcs.items():
+                for call in info.calls:
+                    callee = self._resolve(call.target, funcs)
+                    if callee is None:
+                        continue
+                    new = effects[callee] - effects[key]
+                    if new:
+                        effects[key].update(new)
+                        changed = True
+
+        # -- edges --------------------------------------------------------- #
+        edges: dict[tuple[str, str], Edge] = {}
+
+        def add_edge(src: str, dst: str, path: str, line: int, why: str) -> None:
+            if src == dst:
+                if lock_kinds.get(src) == "rlock":
+                    return  # reentrant: legal
+            edges.setdefault(
+                (src, dst), Edge(src=src, dst=dst, path=path, line=line, why=why)
+            )
+
+        for key in sorted(funcs):
+            info = funcs[key]
+            for outer, inner, line in info.nested:
+                add_edge(
+                    outer, inner, info.path, line,
+                    f"{key[1]} acquires {inner} while holding {outer}",
+                )
+            for call in info.calls:
+                if not call.held:
+                    continue
+                callee = self._resolve(call.target, funcs)
+                if callee is None:
+                    continue
+                for inner in sorted(effects[callee]):
+                    for outer in call.held:
+                        if inner == outer and not (
+                            call.receiver_is_self
+                            and inner in direct_effects[callee]
+                        ):
+                            # A call-mediated self-edge is only provably
+                            # the same lock object for self-calls that
+                            # acquire it directly.
+                            continue
+                        add_edge(
+                            outer, inner, info.path, call.line,
+                            f"{key[1]} holds {outer} and calls "
+                            f"{'.'.join(call.target[1:])} which acquires "
+                            f"{inner}",
+                        )
+
+        yield from self._report(edges, lock_table)
+
+    @staticmethod
+    def _resolve(
+        target: tuple[str, ...], funcs: dict[tuple[str, str], FuncInfo]
+    ) -> tuple[str, str] | None:
+        kind, owner, name = target[0], target[1], target[2]
+        if kind == "method":
+            return (owner, name) if (owner, name) in funcs else None
+        key = (f"mod:{owner}", name)
+        return key if key in funcs else None
+
+    def _report(
+        self,
+        edges: dict[tuple[str, str], Edge],
+        lock_table: dict[tuple[str, str], LockDef],
+    ) -> Iterator[Finding]:
+        graph: dict[str, list[str]] = {}
+        for src, dst in edges:
+            graph.setdefault(src, []).append(dst)
+            graph.setdefault(dst, [])
+        for node in graph:
+            graph[node].sort()
+
+        # self-loops first (same-object double acquire)
+        for (src, dst), edge in sorted(edges.items()):
+            if src == dst:
+                yield Finding(
+                    path=edge.path,
+                    line=edge.line,
+                    rule=self.id,
+                    message=(
+                        f"non-reentrant lock {src} may be acquired while "
+                        f"already held ({edge.why}); this self-deadlocks"
+                    ),
+                    severity=self.severity,
+                )
+
+        for scc in _sccs(graph):
+            if len(scc) < 2:
+                continue
+            cycle = _cycle_within(scc, graph)
+            witness = [
+                edges[(cycle[i], cycle[(i + 1) % len(cycle)])]
+                for i in range(len(cycle))
+            ]
+            first = witness[0]
+            chain = " -> ".join(cycle + [cycle[0]])
+            details = "; ".join(
+                f"{e.why} ({e.path}:{e.line})" for e in witness
+            )
+            yield Finding(
+                path=first.path,
+                line=first.line,
+                rule=self.id,
+                message=(
+                    f"lock-order cycle {chain} is a potential deadlock: "
+                    f"{details}"
+                ),
+                severity=self.severity,
+            )
+
+
+def _sccs(graph: dict[str, list[str]]) -> list[list[str]]:
+    """Tarjan SCCs, iterative, deterministic order."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    out: list[list[str]] = []
+    counter = 0
+
+    for root in sorted(graph):
+        if root in index:
+            continue
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, pos = work[-1]
+            if pos == 0:
+                index[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            successors = graph.get(node, [])
+            while pos < len(successors):
+                succ = successors[pos]
+                pos += 1
+                work[-1] = (node, pos)
+                if succ not in index:
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            if low[node] == index[node]:
+                scc: list[str] = []
+                while True:
+                    top = stack.pop()
+                    on_stack.discard(top)
+                    scc.append(top)
+                    if top == node:
+                        break
+                out.append(sorted(scc))
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return out
+
+
+def _cycle_within(scc: list[str], graph: dict[str, list[str]]) -> list[str]:
+    """A concrete cycle through an SCC (for the finding's witness)."""
+    members = set(scc)
+    start = scc[0]
+    path = [start]
+    seen = {start}
+    node = start
+    while True:
+        for succ in graph.get(node, []):
+            if succ == start and len(path) > 1:
+                return path
+            if succ in members and succ not in seen:
+                path.append(succ)
+                seen.add(succ)
+                node = succ
+                break
+        else:
+            # dead end inside the SCC (shouldn't happen); fall back
+            return path
+        continue

@@ -1,0 +1,125 @@
+"""R002 — shm-lifetime: every created shared-memory segment has an owner.
+
+``SharedMemory(create=True)`` allocates a named segment in ``/dev/shm``
+that outlives the process unless someone calls ``unlink``. The repo's
+contract (established by ``backends/procpool.py``, the reference
+consumer) is that the *creating scope* either
+
+* registers a ``weakref.finalize`` whose callback unlinks the segment
+  (``ShmTensor`` ties the finalizer to the exporting view), or
+* calls ``.unlink()`` on a path through the same scope (the probe
+  allocation pattern), or
+* carries an explicit ownership-transfer annotation
+  (``# repro-lint: shm-transfer=<who owns it now>``) on the creating
+  line, documenting that a different scope assumes the unlink duty.
+
+The check is scoped per function (nested functions are separate scopes):
+a create with none of the three in scope is a leak waiting for a crash.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.core import FileContext, FileRule, Finding, Project
+from repro.analysis.names import ImportMap
+
+__all__ = ["ShmLifetimeRule"]
+
+
+def _own_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk a scope without descending into nested function/class scopes."""
+    body = getattr(scope, "body", [])
+    stack: list[ast.AST] = list(body)
+    for extra in ("handlers", "orelse", "finalbody"):
+        stack.extend(getattr(scope, extra, []) or [])
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue  # a nested scope: analyzed on its own
+        yield node
+        for child in ast.iter_child_nodes(node):
+            stack.append(child)
+
+
+def _is_create_call(node: ast.AST, imports: ImportMap) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    resolved = imports.resolve(node.func)
+    if resolved is None or not resolved.endswith("SharedMemory"):
+        return False
+    for kw in node.keywords:
+        if (
+            kw.arg == "create"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+        ):
+            return True
+    return False
+
+
+def _releases_ownership(scope_nodes: list[ast.AST], imports: ImportMap) -> bool:
+    for node in scope_nodes:
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = imports.resolve(node.func)
+        if resolved is not None and (
+            resolved == "weakref.finalize"
+            or resolved.endswith(".finalize")
+        ):
+            return True
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("unlink", "finalize")
+        ):
+            return True
+    return False
+
+
+class ShmLifetimeRule(FileRule):
+    id = "R002"
+    name = "shm-lifetime"
+    description = (
+        "SharedMemory(create=True) must pair with weakref.finalize or "
+        "unlink in the creating scope, or carry an ownership-transfer "
+        "annotation"
+    )
+
+    def check_file(
+        self, ctx: FileContext, project: Project
+    ) -> Iterator[Finding]:
+        imports = ImportMap(ctx.tree)
+        scopes: list[ast.AST] = [ctx.tree]
+        scopes.extend(
+            node
+            for node in ast.walk(ctx.tree)
+            if isinstance(
+                node,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            )
+        )
+        for scope in scopes:
+            nodes = list(_own_nodes(scope))
+            creates = [
+                node for node in nodes if _is_create_call(node, imports)
+            ]
+            if not creates:
+                continue
+            released = _releases_ownership(nodes, imports)
+            for create in creates:
+                line = getattr(create, "lineno", 1)
+                if released or ctx.has_directive(line, "shm-transfer"):
+                    continue
+                where = getattr(scope, "name", "<module>")
+                yield self.finding(
+                    ctx,
+                    create,
+                    f"SharedMemory(create=True) in {where}() has no "
+                    "weakref.finalize or unlink in the creating scope; "
+                    "the segment leaks in /dev/shm on any non-happy path "
+                    "(annotate '# repro-lint: shm-transfer=<owner>' if "
+                    "ownership moves elsewhere)",
+                )

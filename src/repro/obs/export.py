@@ -48,7 +48,7 @@ def _jsonable(value: Any) -> Any:
     if hasattr(value, "item") and callable(value.item):
         try:
             return value.item()
-        except Exception:
+        except (TypeError, ValueError):
             return str(value)
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value

@@ -76,7 +76,9 @@ class _Responder:
             try:
                 payload = item if isinstance(item, dict) else item.result().to_dict()
                 self.emit(payload)
-            except Exception:  # a broken pipe must not wedge the drain
+            except (OSError, ValueError, TypeError):
+                # a broken pipe / unencodable payload must not wedge the
+                # drain; later tickets still flush in order
                 logger.exception("responder failed to write a result")
 
     def close(self) -> None:
@@ -147,7 +149,7 @@ def _drain_and_report(server: TuckerServer, write_line) -> dict:
     try:
         write_line(json.dumps({"op": "drain", "ok": drained, **stats},
                               sort_keys=True))
-    except Exception:
+    except (OSError, ValueError, TypeError):
         logger.exception("failed to write the drain line")
     return stats
 

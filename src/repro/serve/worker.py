@@ -161,6 +161,9 @@ class ServeWorker:
                 ))
             return
         except Exception as exc:
+            # deliberately broad: this is the worker thread's fault
+            # barrier — any decomposition failure becomes a failed
+            # response instead of a dead worker (and it is logged).
             logger.warning("request %r failed: %s", req.id, exc)
             self.stats.failed(type(exc).__name__)
             ticket._finish(_failure(
@@ -207,8 +210,10 @@ class ServeWorker:
             return
         try:
             arr = np.load(nxt.request.path, mmap_mode="r")
-        except Exception:
-            return  # advisory: the real load will surface the error
+        except (OSError, ValueError) as exc:
+            # advisory: the real load will surface the error to the client
+            logger.debug("prefetch of %r skipped: %s", nxt.request.path, exc)
+            return
         if isinstance(arr, np.ndarray):
             self.prefetcher.schedule(arr)
 

@@ -391,7 +391,9 @@ class Prefetcher:
                     chunk_bytes=self._chunk_bytes,
                     max_bytes=self._max_bytes,
                 )
-            except Exception:  # advisory: a failed warm is a cold read
+            except (OSError, ValueError) as exc:
+                # advisory: a failed warm just means a cold first read
+                logger.debug("page warm failed: %s", exc)
                 continue
             self.bytes_warmed += warmed
             if warmed:

@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import Any
 
 
-def check_positive_int(value, name: str) -> int:
+def check_positive_int(value: Any, name: str) -> int:
     """Return ``value`` as int, raising ``ValueError`` unless it is >= 1."""
     if isinstance(value, bool) or not isinstance(value, (int,)):
         try:
