@@ -73,7 +73,7 @@ from repro.backends.sketch import (
     out_shape as sketch_out_shape,
     sketch_flops,
 )
-from repro.storage import StoredTensor
+from repro.storage import CorruptBlockError, StorageError, StoredTensor
 from repro.tensor.linalg import leading_eigvecs
 from repro.tensor.ttm import ttm
 from repro.tensor.unfold import unfold
@@ -319,6 +319,22 @@ def _map_file(path, offset, shape, dtype, mode):
         path, dtype=np.dtype(dtype), mode=mode,
         offset=int(offset), shape=tuple(shape),
     )
+
+
+def _mappable(handle: StoredTensor):
+    """``(path, offset)`` workers can map, or ``None`` for the serial path.
+
+    Codec-encoded blocks decode into a raw scratch file here (parent
+    side, chunked and gauge-leased) so the fan-out still ships nothing
+    but paths + geometry; a corrupt block surfaces through the usual
+    typed errors on the in-process fallback read instead.
+    """
+    try:
+        return handle.mappable()
+    except CorruptBlockError:
+        raise
+    except (OSError, StorageError):
+        return None
 
 
 def _ttm_block_file(
@@ -571,8 +587,10 @@ class ProcessPoolBackend(ExecutionBackend):
     ) -> StoredTensor:
         """TTM over a spilled handle: workers map the files directly."""
         split = split_mode(handle.shape, avoid=mode)
-        if split is None or not self._parallel() or handle.path is None:
+        mapped = _mappable(handle) if self._parallel() else None
+        if split is None or mapped is None:
             return oc_ttm(handle, matrix, mode, 1, serial_map)
+        in_path, in_offset = mapped
         matrix = np.asarray(matrix)
         out_shape = (
             handle.shape[:mode]
@@ -586,7 +604,7 @@ class ProcessPoolBackend(ExecutionBackend):
             futures = [
                 self._submit(
                     _ttm_block_file,
-                    handle.path, handle.offset, handle.shape,
+                    in_path, in_offset, handle.shape,
                     handle.dtype.str,
                     out.path, out_shape, out_dtype.str,
                     matrix, mode, split, sl.start, sl.stop,
@@ -648,14 +666,16 @@ class ProcessPoolBackend(ExecutionBackend):
     ) -> np.ndarray:
         """Gram accumulation over a spilled handle via file-mapped workers."""
         split = split_mode(handle.shape, avoid=mode)
-        if split is None or not self._parallel() or handle.path is None:
+        mapped = _mappable(handle) if self._parallel() else None
+        if split is None or mapped is None:
             return oc_gram(handle, mode, 1, serial_map, out)
+        path, offset = mapped
         slices = self._stored_slices(handle, split)
         with self._worker_lease(handle, slices):
             futures = [
                 self._submit(
                     _gram_block_file,
-                    handle.path, handle.offset, handle.shape,
+                    path, offset, handle.shape,
                     handle.dtype.str,
                     mode, split, sl.start, sl.stop,
                 )
@@ -738,14 +758,16 @@ class ProcessPoolBackend(ExecutionBackend):
 
     def _sketch_stored(self, handle: StoredTensor, specs):
         split = split_mode(handle.shape, avoid=None)
-        if split is None or not self._parallel() or handle.path is None:
+        mapped = _mappable(handle) if self._parallel() else None
+        if split is None or mapped is None:
             return oc_sketch(handle, specs, 1, serial_map)
+        path, offset = mapped
         slices = self._stored_slices(handle, split)
         with self._worker_lease(handle, slices):
             futures = [
                 self._submit(
                     _sketch_block_file,
-                    handle.path, handle.offset, handle.shape,
+                    path, offset, handle.shape,
                     handle.dtype.str, specs, split, sl.start, sl.stop,
                 )
                 for sl in slices
@@ -791,20 +813,19 @@ class ProcessPoolBackend(ExecutionBackend):
 
     def _xgram_stored(self, a: StoredTensor, b: StoredTensor, mode: int):
         split = split_mode(a.shape, avoid=mode)
-        if (
-            split is None
-            or not self._parallel()
-            or a.path is None
-            or b.path is None
-        ):
+        mapped_a = _mappable(a) if self._parallel() else None
+        mapped_b = _mappable(b) if self._parallel() else None
+        if split is None or mapped_a is None or mapped_b is None:
             return oc_cross_gram(a, b, mode, 1, serial_map)
+        a_path, a_offset = mapped_a
+        b_path, b_offset = mapped_b
         slices = self._stored_slices(a, split)
         with self._worker_lease(a, slices), self._worker_lease(b, slices):
             futures = [
                 self._submit(
                     _xgram_block_file,
-                    a.path, a.offset, a.shape, a.dtype.str,
-                    b.path, b.offset, b.shape, b.dtype.str,
+                    a_path, a_offset, a.shape, a.dtype.str,
+                    b_path, b_offset, b.shape, b.dtype.str,
                     mode, split, sl.start, sl.stop,
                 )
                 for sl in slices
@@ -855,15 +876,17 @@ class ProcessPoolBackend(ExecutionBackend):
             handle.store.per_block_bytes(self.n_workers),
             self.n_workers,
         )
-        if len(slices) <= 1 or not self._parallel() or handle.path is None:
+        mapped = _mappable(handle) if self._parallel() else None
+        if len(slices) <= 1 or mapped is None:
             return oc_norm_sq(handle, 1, serial_map)
+        path, offset = mapped
         # flat slices cover handle.size, so _worker_lease's slab reduces
         # to the itemsize — one formula for every fan-out
         with self._worker_lease(handle, slices):
             futures = [
                 self._submit(
                     _norm_block_file,
-                    handle.path, handle.offset, handle.shape,
+                    path, offset, handle.shape,
                     handle.dtype.str, sl.start, sl.stop,
                 )
                 for sl in slices

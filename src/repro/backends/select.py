@@ -36,7 +36,14 @@ from time import perf_counter
 
 import numpy as np
 
-from repro.storage import default_memory_budget, parse_bytes
+from repro.storage import (
+    DEFAULT_CHUNK_BYTES,
+    DEFAULT_ZLIB_LEVEL,
+    check_codec,
+    codec_kind,
+    default_memory_budget,
+    parse_bytes,
+)
 from repro.util.dtypes import resolve_dtype
 
 logger = logging.getLogger("repro.backends.select")
@@ -108,10 +115,24 @@ _METHODS = ("exact", "rsthosvd", "sp-rsthosvd")
 #: spill directory's device doesn't care which backend reads it).
 #: ``spill_read_passes`` models how many full-tensor read passes a
 #: spilled run makes over its blocks on top of the one staging write.
+#: Codec terms extend the same section: encode/decode bandwidths are
+#: *logical* bytes per second through the codec (measured by the
+#: calibrate storage probe or learned from codec-attributed
+#: ``spill:write`` / ``spill:decode`` spans); ``zlib_ratio`` is
+#: stored/logical bytes; ``spill_chunk_bytes`` is the write-through
+#: chunk size the probe found fastest. The defaults are conservative
+#: placeholders — :func:`select_storage` only prefers a codec over raw
+#: when the profile is actually calibrated.
 _DEFAULT_STORAGE = {
     "spill_write_bytes_per_s": 8.0e8,
     "spill_read_bytes_per_s": 1.6e9,
     "spill_read_passes": 1.0,
+    "zlib_encode_bytes_per_s": 1.2e8,
+    "zlib_decode_bytes_per_s": 3.0e8,
+    "zlib_ratio": 0.9,
+    "narrow_encode_bytes_per_s": 1.5e9,
+    "narrow_decode_bytes_per_s": 3.0e9,
+    "spill_chunk_bytes": float(DEFAULT_CHUNK_BYTES),
 }
 
 
@@ -336,6 +357,7 @@ def estimate_seconds(
     available_cores: int,
     spilled: bool = False,
     storage_params: dict | None = None,
+    codec: str = "raw",
     method: str = "exact",
     oversample: int = 5,
     power_iters: int = 0,
@@ -347,7 +369,10 @@ def estimate_seconds(
     there is no staging copy into backend-owned segments) and a spill
     I/O term is *added* — one full write pass to stage the tensor plus
     ``spill_read_passes`` read passes at the machine's measured (or
-    default) spill bandwidths from ``storage_params``.
+    default) spill bandwidths from ``storage_params``. ``codec`` prices
+    the spilled regime codec-aware (see :func:`spill_seconds`): an
+    encoded stage writes fewer bytes but pays encode once and decode
+    before the read passes.
 
     ``method`` charges the pass method-aware: the randomized methods'
     flops come from :func:`init_flops` (sketch widths instead of Gram
@@ -356,7 +381,11 @@ def estimate_seconds(
     """
     flops = init_flops(dims, core, method, oversample, power_iters)
     itemsize = float(np.dtype(dtype).itemsize)
-    dtype_speedup = 8.0 / itemsize  # float32 streams twice the elements
+    # Narrower dtypes stream more elements per second, but BLAS only
+    # has a real fast path down to float32 — clamping at 2x keeps
+    # float16/float8 inputs from being modeled at throughputs numpy
+    # cannot deliver (they'd otherwise auto-select on mispriced speed).
+    dtype_speedup = min(2.0, 8.0 / itemsize)
     cores_used = max(1, min(int(n_procs), int(available_cores)))
     max_cores = int(params.get("max_cores", 0.0))
     if max_cores > 0:
@@ -378,17 +407,44 @@ def estimate_seconds(
     if spilled:
         storage = {**_DEFAULT_STORAGE, **(storage_params or {})}
         nbytes = float(np.prod([float(d) for d in dims])) * itemsize
-        seconds += nbytes / float(storage["spill_write_bytes_per_s"])
-        seconds += (
-            float(storage["spill_read_passes"])
-            * nbytes
-            / float(storage["spill_read_bytes_per_s"])
-        )
+        seconds += spill_seconds(nbytes, codec, storage)
     else:
         copy_rate = float(params["copy_elems_per_s"])
         if copy_rate > 0:
             seconds += float(np.prod([float(d) for d in dims])) / copy_rate
     return seconds
+
+
+def spill_seconds(nbytes: float, codec: str, storage: dict) -> float:
+    """Modeled spill I/O seconds for one staged tensor under a codec.
+
+    ``raw`` is the historical charge: one full write plus
+    ``spill_read_passes`` reads. An encoded stage replaces the write
+    with encode + writing the (smaller) encoded bytes, then pays one
+    decode into a raw scratch before the read passes run at raw
+    bandwidth — exactly the storage layer's decode-to-scratch shape.
+    """
+    nbytes = float(nbytes)
+    write = float(storage["spill_write_bytes_per_s"])
+    read = float(storage["spill_read_bytes_per_s"])
+    passes = float(storage["spill_read_passes"])
+    kind = codec_kind(codec) if codec else "raw"
+    if kind == "zlib":
+        stored = float(storage["zlib_ratio"]) * nbytes
+        return (
+            nbytes / float(storage["zlib_encode_bytes_per_s"])
+            + stored / write
+            + nbytes / float(storage["zlib_decode_bytes_per_s"])
+            + passes * nbytes / read
+        )
+    if kind == "narrow":
+        return (
+            nbytes / float(storage["narrow_encode_bytes_per_s"])
+            + nbytes / 2.0 / write
+            + nbytes / float(storage["narrow_decode_bytes_per_s"])
+            + passes * nbytes / read
+        )
+    return nbytes / write + passes * nbytes / read
 
 
 def resolve_auto_procs(n_procs, available_cores: int | None = None) -> int:
@@ -407,6 +463,27 @@ def resolve_auto_procs(n_procs, available_cores: int | None = None) -> int:
     if n_procs < 1:
         raise ValueError(f"n_procs must be >= 1, got {n_procs}")
     return n_procs
+
+
+def candidate_procs(available_cores: int | None = None) -> tuple[int, ...]:
+    """The ``n_procs`` values a calibrated selection ranks.
+
+    Powers of two up to all-but-one core, the natural all-but-one count
+    itself, and the uncalibrated cap-8 default — a small, deterministic
+    ladder that covers both "fan wide" and "dispatch overhead beats
+    parallelism" regimes without an unbounded search.
+    """
+    if available_cores is None:
+        available_cores = os.cpu_count() or 1
+    cores = max(1, int(available_cores))
+    cands = {1, resolve_auto_procs(None, cores)}
+    power = 2
+    while power <= cores - 1:
+        cands.add(power)
+        power *= 2
+    if cores > 1:
+        cands.add(cores - 1)
+    return tuple(sorted(cands))
 
 
 @dataclass(frozen=True)
@@ -430,6 +507,7 @@ def select_backend(
     profile: dict | None = None,
     warm=(),
     spilled: bool = False,
+    codec: str = "raw",
     method: str = "exact",
     oversample: int = 5,
     power_iters: int = 0,
@@ -437,15 +515,23 @@ def select_backend(
     """Pick the cheapest auto-eligible backend for this input.
 
     Pure and deterministic: the same ``(dims, core, n_procs, dtype,
-    available_cores, profile, warm, spilled)`` always selects the same
-    backend. Ties break toward the earlier entry of
+    available_cores, profile, warm, spilled, codec)`` always selects
+    the same backend. Ties break toward the earlier entry of
     :data:`AUTO_CANDIDATES`. ``warm`` names backends whose instance
     already exists (a session's cached pools): their one-off startup
     cost is sunk and is not charged. ``spilled`` scores the run in the
     out-of-core regime — spill I/O charged at the profile's measured
-    storage bandwidths, staging copies dropped (see
+    storage bandwidths under ``codec``, staging copies dropped (see
     :func:`estimate_seconds`) — which notably removes procpool's copy
     handicap on runs that stream from spill files anyway.
+
+    ``n_procs``: an explicit count is honored verbatim. With
+    ``n_procs=None`` and an *uncalibrated* profile the legacy cap-8
+    natural default applies (and the clamp is spelled out in the
+    reason); with a **calibrated** profile the selector ranks every
+    :func:`candidate_procs` value per backend and the winner's cheapest
+    count becomes the selection — the cost model, not a constant,
+    chooses the pool size.
     """
     dims = _check_dims("dims", dims)
     core = _check_dims("core", core)
@@ -456,11 +542,17 @@ def select_backend(
     if available_cores is None:
         available_cores = os.cpu_count() or 1
     available_cores = max(1, int(available_cores))
+    explicit_procs = n_procs is not None
     n_procs = resolve_auto_procs(n_procs, available_cores)
     work_dtype = resolve_dtype(np.float64, dtype) if dtype is not None else np.dtype(np.float64)
     profile = profile if profile is not None else default_profile()
     backends = profile.get("backends") or {}
+    rank_procs = not explicit_procs and bool(profile.get("calibrated"))
+    candidates = (
+        candidate_procs(available_cores) if rank_procs else (n_procs,)
+    )
     scores: dict[str, float] = {}
+    chosen: dict[str, int] = {}
     warm = frozenset(warm)
     for name in AUTO_CANDIDATES:
         params = backends.get(name)
@@ -468,39 +560,70 @@ def select_backend(
             continue
         if name in warm:
             params = {**params, "startup": 0.0}
-        scores[name] = estimate_seconds(
-            params,
-            dims,
-            core,
-            n_procs=n_procs,
-            dtype=work_dtype,
-            available_cores=available_cores,
-            spilled=spilled,
-            storage_params=profile.get("storage"),
-            method=method,
-            oversample=oversample,
-            power_iters=power_iters,
+        per_candidate = {
+            procs: estimate_seconds(
+                params,
+                dims,
+                core,
+                n_procs=procs,
+                dtype=work_dtype,
+                available_cores=available_cores,
+                spilled=spilled,
+                storage_params=profile.get("storage"),
+                codec=codec,
+                method=method,
+                oversample=oversample,
+                power_iters=power_iters,
+            )
+            for procs in candidates
+        }
+        # Tie-break toward fewer processes: equal modeled time means the
+        # extra workers buy nothing.
+        chosen[name] = min(
+            per_candidate, key=lambda procs: (per_candidate[procs], procs)
         )
+        scores[name] = per_candidate[chosen[name]]
     if not scores:
         raise ValueError(
             f"profile names no auto-eligible backend "
             f"(candidates: {AUTO_CANDIDATES})"
         )
     best = min(scores, key=lambda name: (scores[name], AUTO_CANDIDATES.index(name)))
+    best_procs = chosen[best]
     ranked = ", ".join(
         f"{name} {scores[name]:.3g}s" for name in sorted(scores, key=scores.get)
     )
     regime = " (spilled: I/O charged, staging copies dropped)" if spilled else ""
     algo = f" method={method}" if method != "exact" else ""
+    notes = []
+    if rank_procs and len(candidates) > 1:
+        notes.append(
+            f"n_procs={best_procs} ranked cheapest of "
+            f"candidates {list(candidates)} (calibrated profile)"
+        )
+    elif not explicit_procs:
+        natural = available_cores - 1 if available_cores > 1 else 1
+        if n_procs < natural:
+            notes.append(
+                f"n_procs clamped to {n_procs} (uncalibrated cap 8 of "
+                f"{natural} usable cores; calibrate to rank candidates)"
+            )
+    best_max_cores = int((backends.get(best) or {}).get("max_cores", 0.0))
+    if 0 < best_max_cores < min(best_procs, available_cores):
+        notes.append(
+            f"{best} capped at {best_max_cores} core(s) by its "
+            f"max_cores parameter"
+        )
+    suffix = "".join(f"; {note}" for note in notes)
     reason = (
         f"modeled fastest for dims={'x'.join(map(str, dims))} "
         f"core={'x'.join(map(str, core))} on {available_cores} core(s) "
-        f"with {n_procs} proc(s){algo}{regime}: {ranked}"
+        f"with {best_procs} proc(s){algo}{regime}: {ranked}{suffix}"
     )
     logger.debug("select_backend: %s (%s)", best, ranked)
     return Selection(
         backend=best,
-        n_procs=n_procs,
+        n_procs=best_procs,
         dtype=work_dtype.name,
         scores=scores,
         reason=reason,
@@ -514,21 +637,71 @@ def select_backend(
 
 @dataclass(frozen=True)
 class StorageSelection:
-    """The storage policy's verdict for one input."""
+    """The storage policy's verdict for one input.
+
+    ``codec`` / ``chunk_bytes`` only matter to spilled (``mmap``)
+    selections: the codec the store will encode staged blocks with, and
+    the write-through chunk size (``None`` = let the store derive it
+    from the budget). Memory-mode selections keep the raw defaults.
+    """
 
     mode: str  # "memory" or "mmap"
     memory_budget: int | None
     reason: str = ""
+    codec: str = "raw"
+    chunk_bytes: int | None = None
 
     @property
     def spilled(self) -> bool:
         return self.mode == "mmap"
 
 
+def _pick_codec(
+    nbytes: int, codec: str, profile: dict | None
+) -> tuple[str, int | None, str]:
+    """Codec + chunk size for a spilled selection: ``(codec, chunk, note)``.
+
+    An explicit ``codec`` is honored verbatim (``narrow`` included —
+    lossy narrowing is always an explicit opt-in, never auto-chosen).
+    ``"auto"`` ranks raw against zlib with :func:`spill_seconds` — but
+    only under a *calibrated* profile; the shipped defaults are
+    placeholders, and guessing a codec from placeholders could slow the
+    run down. The chunk size likewise comes from a calibrated
+    ``spill_chunk_bytes`` or stays ``None`` (store default).
+    """
+    prof = profile if isinstance(profile, dict) else {}
+    storage = {**_DEFAULT_STORAGE, **(prof.get("storage") or {})}
+    calibrated = bool(prof.get("calibrated"))
+    chunk: int | None = None
+    if calibrated:
+        chunk = max(4096, int(storage["spill_chunk_bytes"]))
+    if codec != "auto":
+        choice = check_codec(codec)
+        if choice == "raw":
+            return choice, chunk, ""
+        return choice, chunk, f"; codec {choice} (explicit)"
+    if not calibrated:
+        return "raw", chunk, ""
+    candidates = ["raw", f"zlib:{DEFAULT_ZLIB_LEVEL}"]
+    times = {
+        cand: spill_seconds(float(nbytes), cand, storage)
+        for cand in candidates
+    }
+    best = min(times, key=lambda cand: (times[cand], candidates.index(cand)))
+    ranked = ", ".join(
+        f"{cand} {times[cand]:.3g}s"
+        for cand in sorted(times, key=times.get)
+    )
+    return best, chunk, f"; codec {best} modeled cheapest ({ranked})"
+
+
 def select_storage(
     nbytes: int,
     storage: str = "auto",
     memory_budget: int | str | None = None,
+    *,
+    codec: str = "auto",
+    profile: dict | None = None,
 ) -> StorageSelection:
     """Decide where an input's working set lives: RAM or spill files.
 
@@ -541,6 +714,12 @@ def select_storage(
 
     ``memory_budget`` accepts bytes or a ``"512M"``-style string. A
     budget of 0 with ``storage="auto"`` always spills.
+
+    For spilled selections, ``codec`` picks the block codec: a spec
+    from :data:`repro.storage.SPILL_CODECS` is explicit, ``"auto"``
+    ranks raw vs zlib under a calibrated ``profile`` (and never picks
+    the lossy ``narrow``); the profile's calibrated chunk size rides
+    along as ``chunk_bytes``.
     """
     if storage not in STORAGE_MODES:
         raise ValueError(
@@ -549,6 +728,8 @@ def select_storage(
     nbytes = int(nbytes)
     if nbytes < 0:
         raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+    if codec != "auto":
+        check_codec(codec)  # validate early, even for memory-mode runs
     budget = (
         parse_bytes(memory_budget)
         if memory_budget is not None
@@ -559,17 +740,22 @@ def select_storage(
             mode="memory", memory_budget=budget, reason="explicit memory"
         )
     if storage == "mmap":
+        chosen, chunk, note = _pick_codec(nbytes, codec, profile)
         return StorageSelection(
-            mode="mmap", memory_budget=budget, reason="explicit mmap"
+            mode="mmap", memory_budget=budget,
+            reason=f"explicit mmap{note}",
+            codec=chosen, chunk_bytes=chunk,
         )
     if budget is not None and nbytes > budget:
+        chosen, chunk, note = _pick_codec(nbytes, codec, profile)
         return StorageSelection(
             mode="mmap",
             memory_budget=budget,
             reason=(
                 f"input is {nbytes} bytes, over the {budget}-byte "
-                f"memory budget: spilling"
+                f"memory budget: spilling{note}"
             ),
+            codec=chosen, chunk_bytes=chunk,
         )
     return StorageSelection(
         mode="memory",
@@ -606,8 +792,18 @@ def profile_from_trace(trace) -> dict:
     yield the executing backend's observed ``sketch_rate`` — returned as
     ``{"backends": {name: {"sketch_rate": ...}}}`` alongside (or instead
     of) the storage term.
+
+    Codec-encoded spills are learned apart: a ``spill:write`` span that
+    carries a ``codec`` attribute times encode + encoded write, so it
+    feeds ``<kind>_encode_bytes_per_s`` (over its logical ``raw_bytes``)
+    and — for zlib — the observed ``zlib_ratio`` (encoded over logical
+    bytes), never the raw ``spill_write_bytes_per_s``. ``spill:decode``
+    spans feed ``<kind>_decode_bytes_per_s`` the same way.
     """
     totals = {"spill:write": [0.0, 0.0], "spill:read": [0.0, 0.0]}
+    # per codec kind: [logical_bytes, seconds, encoded_bytes]
+    encodes: dict[str, list[float]] = {}
+    decodes: dict[str, list[float]] = {}
     sketch_spans: list[tuple[str, dict, float]] = []
     for span in getattr(trace, "spans", ()) or ():
         kind = getattr(span, "kind", None)
@@ -618,17 +814,40 @@ def profile_from_trace(trace) -> dict:
             continue
         if kind != "io":
             continue
-        slot = totals.get(span.name)
-        if slot is None:
-            continue
+        attrs = span.attrs or {}
+        codec = attrs.get("codec")
         try:
-            nbytes = float(span.attrs.get("bytes", 0) or 0)
+            nbytes = float(attrs.get("bytes", 0) or 0)
         except (TypeError, ValueError):
             continue
         seconds = float(span.seconds)
-        if nbytes > 0 and math.isfinite(seconds) and seconds > 0:
-            slot[0] += nbytes
-            slot[1] += seconds
+        if not (nbytes > 0 and math.isfinite(seconds) and seconds > 0):
+            continue
+        if codec and codec != "raw" and span.name in (
+            "spill:write", "spill:decode"
+        ):
+            family = str(codec).split(":", 1)[0]
+            if span.name == "spill:write":
+                try:
+                    raw_bytes = float(attrs.get("raw_bytes", 0) or 0)
+                except (TypeError, ValueError):
+                    continue
+                if raw_bytes > 0:
+                    slot = encodes.setdefault(family, [0.0, 0.0, 0.0])
+                    slot[0] += raw_bytes
+                    slot[1] += seconds
+                    slot[2] += nbytes
+            else:
+                # spill:decode reports bytes as the logical decoded size
+                slot = decodes.setdefault(family, [0.0, 0.0])
+                slot[0] += nbytes
+                slot[1] += seconds
+            continue
+        slot = totals.get(span.name)
+        if slot is None:
+            continue
+        slot[0] += nbytes
+        slot[1] += seconds
     storage: dict[str, float] = {}
     written, w_seconds = totals["spill:write"]
     if written > 0 and w_seconds > 1e-6:
@@ -636,6 +855,16 @@ def profile_from_trace(trace) -> dict:
     read, r_seconds = totals["spill:read"]
     if read > 0 and r_seconds > 1e-6:
         storage["spill_read_bytes_per_s"] = read / r_seconds
+    for family, (logical, seconds, encoded) in encodes.items():
+        key = f"{family}_encode_bytes_per_s"
+        if key in _DEFAULT_STORAGE and logical > 0 and seconds > 1e-6:
+            storage[key] = logical / seconds
+            if family == "zlib" and encoded > 0:
+                storage["zlib_ratio"] = encoded / logical
+    for family, (logical, seconds) in decodes.items():
+        key = f"{family}_decode_bytes_per_s"
+        if key in _DEFAULT_STORAGE and logical > 0 and seconds > 1e-6:
+            storage[key] = logical / seconds
     profile: dict = {}
     if storage:
         profile["storage"] = storage
@@ -684,13 +913,87 @@ def _sketch_rate_from_spans(
         cores = min(cores, max_cores)
     efficiency = float(params["efficiency"]) if cores > 1 else 1.0
     itemsize = float(meta.get("itemsize", 8) or 8)
-    dtype_speedup = 8.0 / itemsize
+    # Same clamp as estimate_seconds, so the measured rate round-trips.
+    dtype_speedup = min(2.0, 8.0 / itemsize)
     return backend, flops / seconds / (cores * efficiency * dtype_speedup)
 
 
 # --------------------------------------------------------------------- #
 # calibration
 # --------------------------------------------------------------------- #
+
+
+def _probe_storage(rng, probe_bytes: int) -> dict[str, float] | None:
+    """Measure spill write/read and codec encode/decode bandwidths.
+
+    One throwaway :class:`MmapStore` in the default spill root: a raw
+    put/get pass gives the directory's write/read rates, a zlib and a
+    narrow put/get give the codec rates (logical bytes per second, the
+    way :func:`spill_seconds` charges them) plus the observed
+    compression ratio, and a small chunk-size ladder finds the fastest
+    write-through granularity. Best-of is not needed — each direction
+    moves ``probe_bytes``, big enough to dominate syscall noise.
+    Returns ``None`` if the spill directory cannot be used at all.
+    """
+    from repro.storage import MmapStore  # lazy: avoids an import cycle
+
+    data = rng.standard_normal(max(1, int(probe_bytes) // 8))
+    nbytes = float(data.nbytes)
+    out: dict[str, float] = {}
+    try:
+        store = MmapStore()
+    except OSError:
+        return None
+    with store:
+        t0 = perf_counter()
+        store.put("raw", data)
+        out["spill_write_bytes_per_s"] = nbytes / max(
+            perf_counter() - t0, 1e-9
+        )
+        t0 = perf_counter()
+        float(np.asarray(store.get("raw")).sum())  # fault every page
+        out["spill_read_bytes_per_s"] = nbytes / max(
+            perf_counter() - t0, 1e-9
+        )
+        t0 = perf_counter()
+        store.put("z", data, codec=f"zlib:{DEFAULT_ZLIB_LEVEL}")
+        out["zlib_encode_bytes_per_s"] = nbytes / max(
+            perf_counter() - t0, 1e-9
+        )
+        stored = store.block_meta("z").stored_nbytes
+        out["zlib_ratio"] = max(1e-6, float(stored) / nbytes)
+        t0 = perf_counter()
+        float(np.asarray(store.get("z")).sum())  # decode + full read
+        out["zlib_decode_bytes_per_s"] = nbytes / max(
+            perf_counter() - t0, 1e-9
+        )
+        t0 = perf_counter()
+        store.put("n", data, codec="narrow")
+        out["narrow_encode_bytes_per_s"] = nbytes / max(
+            perf_counter() - t0, 1e-9
+        )
+        t0 = perf_counter()
+        float(np.asarray(store.get("n")).sum())
+        out["narrow_decode_bytes_per_s"] = nbytes / max(
+            perf_counter() - t0, 1e-9
+        )
+    best_chunk = None
+    best_seconds = float("inf")
+    for chunk in (256 * 2**10, 2**20, 4 * 2**20, DEFAULT_CHUNK_BYTES):
+        try:
+            chunked = MmapStore(chunk_bytes=chunk)
+        except OSError:
+            break
+        with chunked:
+            t0 = perf_counter()
+            chunked.put("c", data)
+            seconds = perf_counter() - t0
+        if seconds < best_seconds:
+            best_seconds = seconds
+            best_chunk = chunk
+    if best_chunk is not None:
+        out["spill_chunk_bytes"] = float(best_chunk)
+    return out
 
 
 def calibrate(
@@ -701,6 +1004,8 @@ def calibrate(
     n_procs: int | None = None,
     backends=AUTO_CANDIDATES,
     seed: int = 0,
+    storage_probe: bool = True,
+    probe_bytes: int = 4 * 2**20,
 ) -> dict:
     """Measure per-backend throughput on this machine; returns a profile.
 
@@ -711,6 +1016,13 @@ def calibrate(
     ``rate`` / ``startup`` replaced by measurements; persist it with
     :func:`save_profile` and it is picked up by every ``backend="auto"``
     session.
+
+    With ``storage_probe`` (the default) the profile's ``storage``
+    section is measured too — spill write/read bandwidth, zlib/narrow
+    encode+decode rates, the observed compression ratio and the fastest
+    write-through chunk size (:func:`_probe_storage`) — which is what
+    arms :func:`select_storage`'s codec/chunk choice and the spilled
+    backend charge with real numbers.
     """
     from repro.backends import (  # lazy: avoids an import cycle
         BackendUnavailableError,
@@ -753,9 +1065,15 @@ def calibrate(
         params["startup"] = startup if name != "sequential" else 0.0
         profile["measured"].append(name)
         backend.close()
+    storage_probed = False
+    if storage_probe:
+        measured_storage = _probe_storage(rng, probe_bytes)
+        if measured_storage:
+            profile["storage"].update(measured_storage)
+            storage_probed = True
     # Only a profile with at least one real measurement counts as
     # calibrated; skipped backends are visible via the "measured" list.
-    profile["calibrated"] = bool(profile["measured"])
+    profile["calibrated"] = bool(profile["measured"]) or storage_probed
     return profile
 
 
@@ -766,6 +1084,7 @@ __all__ = [
     "Selection",
     "StorageSelection",
     "calibrate",
+    "candidate_procs",
     "default_profile",
     "default_profile_path",
     "estimate_seconds",
@@ -777,5 +1096,6 @@ __all__ = [
     "save_profile",
     "select_backend",
     "select_storage",
+    "spill_seconds",
     "sweep_flops",
 ]

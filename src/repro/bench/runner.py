@@ -110,6 +110,7 @@ def run_backends(
     reference: str = "sequential",
     storage: str = "auto",
     memory_budget: int | str | None = None,
+    spill_codec: str = "auto",
 ) -> dict[str, dict[str, float]]:
     """Execute the same decomposition on several backends; compare.
 
@@ -125,9 +126,12 @@ def run_backends(
     the *same* plan. ``n_procs=None`` picks the machine's natural pool
     size clamped to a plannable count for this metadata.
 
-    ``storage`` / ``memory_budget`` apply the session storage policy to
-    every backend's run, so out-of-core (``"mmap"``) sweeps measure the
-    spill path under the same plans as resident ones.
+    ``storage`` / ``memory_budget`` / ``spill_codec`` apply the session
+    storage policy to every backend's run, so out-of-core (``"mmap"``)
+    sweeps measure the spill path — including encoded spills — under the
+    same plans as resident ones. Spilled runs also report
+    ``spill_bytes_written`` / ``spill_bytes_logical``, so codec sweeps
+    can compare achieved compression alongside wall clock.
     """
     import numpy as np
 
@@ -152,7 +156,7 @@ def run_backends(
         except BackendUnavailableError as exc:
             out[name] = {"unavailable": str(exc)}
             continue
-        session = TuckerSession(backend=backend)
+        session = TuckerSession(backend=backend, spill_codec=spill_codec)
         start = perf_counter()
         result = session.run(
             tensor,
@@ -175,6 +179,13 @@ def run_backends(
             "flops": stats["flops"],
             "events": stats["events"],
         }
+        if result.storage != "memory":
+            out[name]["spill_bytes_written"] = float(
+                result.spill_bytes_written
+            )
+            out[name]["spill_bytes_logical"] = float(
+                result.spill_bytes_logical
+            )
         backend.close()
     ref_core = cores.get(reference)
     for name, metrics in out.items():
@@ -291,6 +302,7 @@ def run_batch(
     reference: str = "sequential",
     storage: str = "auto",
     memory_budget: int | str | None = None,
+    spill_codec: str = "auto",
 ) -> dict[str, dict[str, float]]:
     """Stream the same tensor batch through each backend; compare throughput.
 
@@ -329,7 +341,9 @@ def run_batch(
         except BackendUnavailableError as exc:
             out[name] = {"unavailable": str(exc)}
             continue
-        with TuckerSession(backend=backend) as session:
+        with TuckerSession(
+            backend=backend, spill_codec=spill_codec
+        ) as session:
             batch = session.run_many(
                 arrays,
                 core_dims,

@@ -85,6 +85,13 @@ def _add_storage_args(p) -> None:
         help="root directory for spill files "
         "(default: $REPRO_SPILL_DIR, else the system tempdir)",
     )
+    p.add_argument(
+        "--spill-codec", default="auto", metavar="CODEC",
+        help="spill block encoding: 'auto' (raw unless a calibrated "
+        "profile says compression pays; default), 'raw', 'zlib' / "
+        "'zlib:LEVEL' (lossless), or 'narrow' (lossy float64->float32 "
+        "with the realized error bound reported per run)",
+    )
 
 
 def _meta_from_args(args) -> TensorMeta:
@@ -142,9 +149,9 @@ def cmd_decompose(args) -> int:
     try:
         session = TuckerSession(
             backend=args.backend, n_procs=args.procs, calibration=calibration,
-            trace=bool(args.trace),
+            spill_codec=args.spill_codec, trace=bool(args.trace),
         )
-    except ValueError as exc:  # bad profile path, bad backend config, ...
+    except ValueError as exc:  # bad profile path, bad codec, bad backend ...
         raise SystemExit(str(exc)) from None
     result = session.run(
         tensor,
@@ -188,6 +195,10 @@ def cmd_decompose(args) -> int:
         "selection_reason": result.selection_reason,
         "storage": result.storage,
         "storage_reason": result.storage_reason,
+        "spill_codec": result.spill_codec,
+        "spill_bytes_written": result.spill_bytes_written,
+        "spill_bytes_logical": result.spill_bytes_logical,
+        "spill_error_bound": result.spill_error_bound,
         "seconds": result.seconds,
         "ledger": stats,
     }
@@ -205,6 +216,17 @@ def cmd_decompose(args) -> int:
     if result.storage != "memory":
         print(f"storage:            {result.storage} "
               f"({result.storage_reason})")
+        if result.spill_bytes_logical:
+            ratio = result.spill_bytes_written / result.spill_bytes_logical
+            bound = (
+                f", error bound {result.spill_error_bound:.3e}"
+                if result.spill_error_bound
+                else ""
+            )
+            print(f"spill codec:        {result.spill_codec} "
+                  f"({result.spill_bytes_written:,} of "
+                  f"{result.spill_bytes_logical:,} logical bytes, "
+                  f"ratio {ratio:.2f}{bound})")
     print(f"plan:               tree={plan.tree_kind}, grid={plan.grid_kind}, "
           f"P={plan.n_procs} (cache {'hit' if result.from_cache else 'miss'})")
     init_name = "sthosvd" if result.method == "exact" else result.method
@@ -268,7 +290,7 @@ def cmd_batch(args) -> int:
     try:
         session = TuckerSession(
             backend=args.backend, n_procs=args.procs, calibration=calibration,
-            trace=bool(args.trace),
+            spill_codec=args.spill_codec, trace=bool(args.trace),
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
@@ -314,6 +336,10 @@ def cmd_batch(args) -> int:
                     "from_cache": item.from_cache,
                     "auto_selected": item.result.auto_selected,
                     "storage": item.result.storage,
+                    "spill_codec": item.result.spill_codec,
+                    "spill_bytes_written": item.result.spill_bytes_written,
+                    "spill_bytes_logical": item.result.spill_bytes_logical,
+                    "spill_error_bound": item.result.spill_error_bound,
                     "seconds": item.seconds,
                     "ledger": item.result.stats,
                 }
@@ -375,6 +401,7 @@ def cmd_serve(args) -> int:
             max_queue=args.max_queue,
             storage=args.storage,
             spill_dir=args.spill_dir,
+            spill_codec=args.spill_codec,
             prefetch=not args.no_prefetch,
             deadline=args.deadline,
             trace=bool(args.trace),
@@ -409,6 +436,7 @@ def cmd_calibrate(args) -> int:
             repeats=args.repeats,
             n_procs=args.procs,
             seed=args.seed,
+            storage_probe=not args.no_storage_probe,
         )
         path = backend_select.save_profile(profile, args.out)
     except (ValueError, OSError) as exc:  # bad probe args, unwritable --out
@@ -434,6 +462,29 @@ def cmd_calibrate(args) -> int:
          "source"],
         rows,
     ))
+    if not args.no_storage_probe:
+        storage = profile.get("storage", {})
+
+        def _rate(key):
+            value = storage.get(key)
+            return "-" if value is None else f"{value / 1e6:.0f}M/s"
+
+        storage_rows = [
+            ["raw", _rate("spill_write_bytes_per_s"),
+             _rate("spill_read_bytes_per_s"), "1.00"],
+            ["zlib", _rate("zlib_encode_bytes_per_s"),
+             _rate("zlib_decode_bytes_per_s"),
+             f"{storage.get('zlib_ratio', 1.0):.2f}"],
+            ["narrow", _rate("narrow_encode_bytes_per_s"),
+             _rate("narrow_decode_bytes_per_s"), "0.50"],
+        ]
+        print(ascii_table(
+            ["spill codec", "encode/write", "decode/read", "ratio"],
+            storage_rows,
+        ))
+        chunk = storage.get("spill_chunk_bytes")
+        if chunk:
+            print(f"spill chunk size:   {int(chunk):,} bytes")
     print(f"profile written to {path}")
     print("auto-selection sessions pick it up via "
           "TuckerSession(backend='auto')")
@@ -809,6 +860,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_cal.add_argument(
         "--out", help="write the profile here (default: the machine "
         "profile path, $REPRO_CALIBRATION or ~/.cache/repro)",
+    )
+    p_cal.add_argument(
+        "--no-storage-probe", action="store_true",
+        help="skip the spill-storage probe (write/read bandwidth, "
+        "zlib/narrow encode+decode rates, compression ratio, chunk size)",
     )
     p_cal.add_argument("--json", action="store_true")
     p_cal.set_defaults(func=cmd_calibrate)

@@ -123,7 +123,10 @@ class DistTensor:
                 blocks[rank] = np.ascontiguousarray(tensor[index])
             else:
                 key = store.next_key(f"rank{rank}")
-                store.put(key, tensor[index])
+                # Bricks are mutable per-rank working state, so they are
+                # always spilled raw: an encoded block could not back the
+                # writable mapping below, whatever the store's default.
+                store.put(key, tensor[index], codec="raw")
                 # Writable mapping: ranks own their bricks (collectives
                 # may accumulate in place); mutations land in the spill
                 # file, exactly like a local buffer would.

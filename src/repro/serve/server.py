@@ -39,7 +39,8 @@ class TuckerServer:
     ----------
     workers: number of worker threads, each owning a full
         :class:`~repro.session.TuckerSession` (backend pools included).
-    backend / n_procs / planner / storage / spill_dir / trace: forwarded
+    backend / n_procs / planner / storage / spill_dir / spill_codec /
+        trace: forwarded
         to every worker session — ``n_procs`` is *per worker*; size it so
         ``workers x n_procs`` fits the machine.
     memory_budget: global working-set budget across all workers. Each
@@ -65,6 +66,7 @@ class TuckerServer:
         max_queue: int = DEFAULT_MAX_QUEUE,
         storage: str = "auto",
         spill_dir: str | None = None,
+        spill_codec: str = "auto",
         prefetch: bool = True,
         deadline: float | None = None,
         trace: bool = False,
@@ -93,6 +95,7 @@ class TuckerServer:
                     storage=storage,
                     memory_budget=memory_budget,
                     spill_dir=spill_dir,
+                    spill_codec=spill_codec,
                     trace=trace,
                 ),
                 admission=self.admission,

@@ -68,8 +68,15 @@ class ServeWorker:
         self.inflight = 0
         #: per-run traces, collected when the session traces (CLI --trace)
         self.traces: list = []
+        # Warm chunks match the session's budget-bounded store geometry,
+        # so prefetch never leases a larger chunk than a spill would.
         self.prefetcher = (
-            Prefetcher(max_bytes=admission.budget) if prefetch else None
+            Prefetcher(
+                chunk_bytes=session.prefetch_chunk_bytes(),
+                max_bytes=admission.budget,
+            )
+            if prefetch
+            else None
         )
         self.thread = threading.Thread(
             target=self._loop, name=f"repro-serve-w{index}", daemon=True

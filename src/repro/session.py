@@ -69,6 +69,7 @@ from repro.backends.schedule import (
 from repro.storage import (
     DEFAULT_CHUNK_BYTES,
     MmapStore,
+    check_codec,
     parse_bytes,
     warm_pages,
 )
@@ -114,7 +115,12 @@ class TuckerResult:
     reused backend never inflates a later result's volumes — and
     ``stats`` is its uniform summary. ``storage`` reports where the
     working set lived (``"memory"`` or ``"mmap"``) and
-    ``storage_reason`` why the policy picked it.
+    ``storage_reason`` why the policy picked it. Spilled runs also
+    report the block codec (``spill_codec``), the encoded vs logical
+    spill volume (``spill_bytes_written`` / ``spill_bytes_logical`` —
+    their ratio is the achieved compression), and, for the lossy
+    ``narrow`` codec, the largest recorded per-block relative error
+    (``spill_error_bound``; ``0.0`` for lossless codecs).
 
     ``seconds`` is the wall-clock duration of this run's root span —
     the session times every run through its tracer, so result timings
@@ -147,6 +153,10 @@ class TuckerResult:
     ledger: StatsLedger | None = None
     storage: str = "memory"
     storage_reason: str = ""
+    spill_codec: str = "raw"
+    spill_bytes_written: int = 0
+    spill_bytes_logical: int = 0
+    spill_error_bound: float = 0.0
     seconds: float = 0.0
     trace: Trace | None = None
 
@@ -554,6 +564,15 @@ class TuckerSession:
         Root directory for spill files (default ``$REPRO_SPILL_DIR``,
         else the system tempdir). Each spilled run uses a private
         subdirectory, removed when the run finishes.
+    spill_codec:
+        How spilled blocks are encoded on disk: ``"auto"`` (the
+        default: raw, unless a calibrated profile's measured
+        encode/decode rates say compression pays), ``"raw"``
+        (memmap-able flat files), ``"zlib"`` / ``"zlib:<level>"``
+        (lossless deflate), or ``"narrow"`` (lossy float64→float32
+        with the realized error bound recorded per block and surfaced
+        as ``result.spill_error_bound``). Overridable per run; the
+        lossy ``narrow`` is never chosen automatically.
     trace:
         ``True`` to record a full :class:`~repro.obs.Trace` per run
         (``result.trace``): phase spans, one step span per ledger
@@ -577,6 +596,7 @@ class TuckerSession:
         storage: str = "auto",
         memory_budget: int | str | None = None,
         spill_dir: str | None = None,
+        spill_codec: str = "auto",
         trace: bool | Tracer = False,
     ) -> None:
         self._auto = isinstance(backend, str) and backend == AUTO_BACKEND
@@ -634,6 +654,10 @@ class TuckerSession:
             parse_bytes(memory_budget) if memory_budget is not None else None
         )
         self._spill_dir = spill_dir
+        # Fail fast on a bad codec name; "auto" defers to the selector.
+        self._spill_codec = (
+            spill_codec if spill_codec == "auto" else check_codec(spill_codec)
+        )
         # The session always owns a real tracer: the per-run root span
         # is what result.seconds reads even with tracing off (one span
         # per run, drained immediately — no accumulation). Inner
@@ -652,15 +676,25 @@ class TuckerSession:
     # -- storage policy ---------------------------------------------------- #
 
     def _select_storage(
-        self, nbytes: int, storage: str | None, memory_budget
+        self, nbytes: int, storage: str | None, memory_budget,
+        spill_codec: str | None = None,
     ) -> StorageSelection:
-        """Resolve per-run knobs over the session defaults."""
+        """Resolve per-run knobs over the session defaults.
+
+        Auto sessions hand the selector their calibration profile, which
+        is what lets ``codec="auto"`` rank zlib against raw with measured
+        encode/decode rates (uncalibrated selections always stay raw).
+        """
         return select_storage(
             nbytes,
             storage if storage is not None else self._storage,
             memory_budget
             if memory_budget is not None
             else self._memory_budget,
+            codec=(
+                spill_codec if spill_codec is not None else self._spill_codec
+            ),
+            profile=getattr(self, "_profile", None),
         )
 
     def _open_store(
@@ -670,7 +704,10 @@ class TuckerSession:
 
         ``max_block_bytes`` is the budget divided by the out-of-core
         lease factor, so a full worker fan-out's concurrent block leases
-        stay within the budget.
+        stay within the budget. The write-through chunk comes from the
+        selection (a calibrated profile's measured sweet spot) capped at
+        the block geometry; the selection's codec becomes the store's
+        default for every spilled block.
         """
         if not selection.spilled:
             return None
@@ -683,15 +720,39 @@ class TuckerSession:
             if budget is not None
             else None
         )
+        chunk = (
+            selection.chunk_bytes
+            if selection.chunk_bytes is not None
+            else DEFAULT_CHUNK_BYTES
+        )
         return MmapStore(
             root=spill_dir if spill_dir is not None else self._spill_dir,
             max_block_bytes=max_block,
             chunk_bytes=(
-                min(DEFAULT_CHUNK_BYTES, max_block)
-                if max_block is not None
-                else DEFAULT_CHUNK_BYTES
+                min(chunk, max_block) if max_block is not None else chunk
             ),
+            codec=selection.codec,
         )
+
+    def prefetch_chunk_bytes(
+        self, memory_budget: int | str | None = None
+    ) -> int:
+        """The page-warm chunk size matching this session's store geometry.
+
+        Prefetch leases its warm chunks through the resident gauge, so it
+        must never lease a bigger chunk than the budget-bounded store
+        itself would write: mirror :meth:`_open_store`'s arithmetic
+        (budget over the lease factor, floored at one page, capped at
+        the default chunk). Unbudgeted sessions keep the default.
+        """
+        budget = (
+            parse_bytes(memory_budget)
+            if memory_budget is not None
+            else self._memory_budget
+        )
+        if budget is None:
+            return DEFAULT_CHUNK_BYTES
+        return min(DEFAULT_CHUNK_BYTES, max(4096, budget // OC_LEASE_FACTOR))
 
     # -- adaptive backend selection --------------------------------------- #
 
@@ -702,6 +763,7 @@ class TuckerSession:
         dtype,
         storage: str | None = None,
         memory_budget: int | str | None = None,
+        spill_codec: str | None = None,
     ) -> None:
         """Pick and install the backend for this input (auto mode only).
 
@@ -721,7 +783,9 @@ class TuckerSession:
             else np.dtype(np.float64)
         )
         nbytes = int(np.prod([int(d) for d in meta.dims])) * work_dtype.itemsize
-        spilled = self._select_storage(nbytes, storage, memory_budget).spilled
+        storage_sel = self._select_storage(
+            nbytes, storage, memory_budget, spill_codec
+        )
         procs = n_procs if n_procs is not None else self._auto_procs
         effective_procs = resolve_auto_procs(procs)
         selection = select_backend(
@@ -730,7 +794,9 @@ class TuckerSession:
             n_procs=procs,
             dtype=dtype,
             profile=self._profile,
-            spilled=spilled,
+            spilled=storage_sel.spilled,
+            # Spilled scoring charges the codec this run will spill with.
+            codec=storage_sel.codec,
             # Instances cached at exactly this worker count have already
             # paid their startup (pool spin-up); don't charge it again. A
             # same-name pool at a *different* count must be rebuilt, so
@@ -975,6 +1041,7 @@ class TuckerSession:
         dtype,
         storage: str | None = None,
         memory_budget: int | str | None = None,
+        spill_codec: str | None = None,
     ) -> tuple[CompiledPlan, bool]:
         """Compile (or fetch from cache); returns ``(plan, from_cache)``."""
         from repro.hooi.portfolio import select_plan
@@ -985,6 +1052,7 @@ class TuckerSession:
             dtype,
             storage,
             memory_budget,
+            spill_codec,
         )
         procs = self._resolve_procs(planner, n_procs, meta)
         if (
@@ -1071,6 +1139,7 @@ class TuckerSession:
         dtype,
         storage: str | None = None,
         memory_budget: int | str | None = None,
+        spill_codec: str | None = None,
     ) -> tuple[np.ndarray, CompiledPlan, bool]:
         """Resolve dtype, validate shapes, compile-or-fetch the plan."""
         # Keep ndarray subclasses (np.memmap in particular): a lazily
@@ -1080,7 +1149,8 @@ class TuckerSession:
         if isinstance(plan, Plan):
             work_dtype = resolve_dtype(arr, dtype)
             self._auto_select(
-                plan.meta, plan.n_procs, work_dtype, storage, memory_budget
+                plan.meta, plan.n_procs, work_dtype, storage, memory_budget,
+                spill_codec,
             )
             if plan.meta.dims != arr.shape:
                 raise ValueError(
@@ -1110,7 +1180,8 @@ class TuckerSession:
         if isinstance(plan, CompiledPlan):
             work_dtype = resolve_dtype(arr, dtype) if dtype is not None else plan.dtype
             self._auto_select(
-                plan.meta, plan.n_procs, work_dtype, storage, memory_budget
+                plan.meta, plan.n_procs, work_dtype, storage, memory_budget,
+                spill_codec,
             )
             if plan.meta.dims != arr.shape:
                 raise ValueError(
@@ -1128,7 +1199,8 @@ class TuckerSession:
         core = check_core_dims(core_dims, arr.shape)
         meta = TensorMeta(dims=arr.shape, core=core)
         compiled, from_cache = self._compile(
-            meta, n_procs, planner, work_dtype, storage, memory_budget
+            meta, n_procs, planner, work_dtype, storage, memory_budget,
+            spill_codec,
         )
         return arr, compiled, from_cache
 
@@ -1231,6 +1303,7 @@ class TuckerSession:
         storage: str | None = None,
         memory_budget: int | str | None = None,
         spill_dir: str | None = None,
+        spill_codec: str | None = None,
     ) -> TuckerResult:
         """Iterate HOOI from an initial decomposition (or factor list).
 
@@ -1238,7 +1311,8 @@ class TuckerSession:
         matrices. Per-iteration errors come from the norm identity using
         backend reductions, so no rank ever holds the full tensor on the
         distributed backend. ``storage`` / ``memory_budget`` /
-        ``spill_dir`` override the session's storage policy for this run.
+        ``spill_dir`` / ``spill_codec`` override the session's storage
+        policy for this run.
         """
         with self._run_lock:
             tmark = self.tracer.mark()
@@ -1248,7 +1322,8 @@ class TuckerSession:
                         tensor, init, plan=plan, planner=planner,
                         n_procs=n_procs, dtype=dtype, max_iters=max_iters,
                         tol=tol, storage=storage, memory_budget=memory_budget,
-                        spill_dir=spill_dir, root=root,
+                        spill_dir=spill_dir, spill_codec=spill_codec,
+                        root=root,
                     )
             except BaseException:
                 self._stash_error_trace(tmark)
@@ -1259,7 +1334,7 @@ class TuckerSession:
 
     def _hooi_impl(
         self, tensor, init, *, plan, planner, n_procs, dtype, max_iters,
-        tol, storage, memory_budget, spill_dir, root,
+        tol, storage, memory_budget, spill_dir, spill_codec, root,
     ) -> TuckerResult:
         factors = init if isinstance(init, (list, tuple)) else init.factors
         core_dims = tuple(f.shape[1] for f in factors)
@@ -1267,15 +1342,17 @@ class TuckerSession:
         with tr.span("compile", kind="phase"):
             arr, compiled, from_cache = self._prepare(
                 tensor, core_dims, plan, planner, n_procs, dtype,
-                storage, memory_budget,
+                storage, memory_budget, spill_codec,
             )
         # Policy sees the *working* bytes: a float32 file run at float64
         # occupies twice its on-disk size once cast.
         selection = self._select_storage(
-            arr.size * compiled.dtype.itemsize, storage, memory_budget
+            arr.size * compiled.dtype.itemsize, storage, memory_budget,
+            spill_codec,
         )
         tr.event(
-            "select:storage", mode=selection.mode, reason=selection.reason
+            "select:storage", mode=selection.mode, codec=selection.codec,
+            reason=selection.reason,
         )
         self._annotate_root(root, compiled, selection, from_cache)
         mark = self.backend.mark_stats()
@@ -1322,6 +1399,7 @@ class TuckerSession:
             ledger=self.backend.ledger_since(mark),
             storage=selection.mode,
             storage_reason=selection.reason,
+            **(run_store.codec_stats() if run_store is not None else {}),
             **self._result_meta(),
         )
 
@@ -1440,6 +1518,7 @@ class TuckerSession:
         storage: str | None = None,
         memory_budget: int | str | None = None,
         spill_dir: str | None = None,
+        spill_codec: str | None = None,
     ) -> TuckerResult:
         """One STHOSVD pass on the backend (static grid, optimal order)."""
         with self._run_lock:
@@ -1450,7 +1529,7 @@ class TuckerSession:
                         tensor, core_dims, plan=plan, planner=planner,
                         n_procs=n_procs, dtype=dtype, storage=storage,
                         memory_budget=memory_budget, spill_dir=spill_dir,
-                        root=root,
+                        spill_codec=spill_codec, root=root,
                     )
             except BaseException:
                 self._stash_error_trace(tmark)
@@ -1461,21 +1540,23 @@ class TuckerSession:
 
     def _sthosvd_impl(
         self, tensor, core_dims, *, plan, planner, n_procs, dtype,
-        storage, memory_budget, spill_dir, root,
+        storage, memory_budget, spill_dir, spill_codec, root,
     ) -> TuckerResult:
         tr = self._tr()
         with tr.span("compile", kind="phase"):
             arr, compiled, from_cache = self._prepare(
                 tensor, core_dims, plan, planner, n_procs, dtype,
-                storage, memory_budget,
+                storage, memory_budget, spill_codec,
             )
         # Policy sees the *working* bytes: a float32 file run at float64
         # occupies twice its on-disk size once cast.
         selection = self._select_storage(
-            arr.size * compiled.dtype.itemsize, storage, memory_budget
+            arr.size * compiled.dtype.itemsize, storage, memory_budget,
+            spill_codec,
         )
         tr.event(
-            "select:storage", mode=selection.mode, reason=selection.reason
+            "select:storage", mode=selection.mode, codec=selection.codec,
+            reason=selection.reason,
         )
         self._annotate_root(root, compiled, selection, from_cache)
         mark = self.backend.mark_stats()
@@ -1500,6 +1581,7 @@ class TuckerSession:
             ledger=self.backend.ledger_since(mark),
             storage=selection.mode,
             storage_reason=selection.reason,
+            **(run_store.codec_stats() if run_store is not None else {}),
             **self._result_meta(),
         )
 
@@ -1522,6 +1604,7 @@ class TuckerSession:
         storage: str | None = None,
         memory_budget: int | str | None = None,
         spill_dir: str | None = None,
+        spill_codec: str | None = None,
     ) -> TuckerResult:
         """The full pipeline: STHOSVD init + HOOI refinement to tolerance.
 
@@ -1574,7 +1657,7 @@ class TuckerSession:
                         oversample=oversample, power_iters=power_iters,
                         seed=seed, storage=storage,
                         memory_budget=memory_budget, spill_dir=spill_dir,
-                        root=root,
+                        spill_codec=spill_codec, root=root,
                     )
             except BaseException:
                 self._stash_error_trace(tmark)
@@ -1604,7 +1687,7 @@ class TuckerSession:
     def _run_impl(
         self, tensor, core_dims, *, plan, planner, n_procs, dtype,
         max_iters, tol, skip_hooi, method, oversample, power_iters, seed,
-        storage, memory_budget, spill_dir, root,
+        storage, memory_budget, spill_dir, spill_codec, root,
     ) -> TuckerResult:
         if method != "exact" and method not in RAND_METHODS:
             raise ValueError(
@@ -1615,15 +1698,17 @@ class TuckerSession:
         with tr.span("compile", kind="phase"):
             arr, compiled, from_cache = self._prepare(
                 tensor, core_dims, plan, planner, n_procs, dtype,
-                storage, memory_budget,
+                storage, memory_budget, spill_codec,
             )
         # Policy sees the *working* bytes: a float32 file run at float64
         # occupies twice its on-disk size once cast.
         selection = self._select_storage(
-            arr.size * compiled.dtype.itemsize, storage, memory_budget
+            arr.size * compiled.dtype.itemsize, storage, memory_budget,
+            spill_codec,
         )
         tr.event(
-            "select:storage", mode=selection.mode, reason=selection.reason
+            "select:storage", mode=selection.mode, codec=selection.codec,
+            reason=selection.reason,
         )
         if selection.spilled:
             logger.info("run spills to mmap store: %s", selection.reason)
@@ -1692,6 +1777,11 @@ class TuckerSession:
                         ledger=self.backend.ledger_since(mark),
                         storage=selection.mode,
                         storage_reason=selection.reason,
+                        **(
+                            run_store.codec_stats()
+                            if run_store is not None
+                            else {}
+                        ),
                         **self._result_meta(),
                     )
                 dec, errors, converged, stopped_reason = self._hooi_loop(
@@ -1715,6 +1805,7 @@ class TuckerSession:
             ledger=self.backend.ledger_since(mark),
             storage=selection.mode,
             storage_reason=selection.reason,
+            **(run_store.codec_stats() if run_store is not None else {}),
             **self._result_meta(),
         )
 
@@ -1738,6 +1829,7 @@ class TuckerSession:
         storage: str | None = None,
         memory_budget: int | str | None = None,
         spill_dir: str | None = None,
+        spill_codec: str | None = None,
         prefetch: bool = True,
     ) -> BatchResult:
         """Decompose a stream of tensors through one warm session.
@@ -1799,6 +1891,8 @@ class TuckerSession:
             )
         if memory_budget is not None:
             parse_bytes(memory_budget)  # fail fast on a bad budget string
+        if spill_codec is not None and spill_codec != "auto":
+            check_codec(spill_codec)  # fail fast on a bad codec name
         info = self.cache_info()
         hits0, misses0 = info["hits"], info["misses"]
         self._run_lock.acquire()  # whole-batch scope: tmark..drain is positional
@@ -1809,7 +1903,13 @@ class TuckerSession:
         items: list[BatchItem] = []
         failures: list[BatchFailure] = []
         ledger = StatsLedger()
-        prefetcher = Prefetcher() if prefetch else None
+        # Warm chunks sized to the (possibly overridden) budget geometry,
+        # never larger than the run stores this batch will open.
+        prefetcher = (
+            Prefetcher(chunk_bytes=self.prefetch_chunk_bytes(memory_budget))
+            if prefetch
+            else None
+        )
         seq = 0
         index = 0
         exhausted = False
@@ -1883,6 +1983,7 @@ class TuckerSession:
                                 storage=storage,
                                 memory_budget=memory_budget,
                                 spill_dir=spill_dir,
+                                spill_codec=spill_codec,
                             )
                         except Exception as exc:
                             if on_error == "raise":

@@ -26,8 +26,11 @@ block bytes instead of merely asserting it finished.
 from repro.storage.store import (
     DEFAULT_CHUNK_BYTES,
     DEFAULT_MAX_BLOCK_BYTES,
+    DEFAULT_ZLIB_LEVEL,
     MEMORY_BUDGET_ENV,
+    SPILL_CODECS,
     SPILL_DIR_ENV,
+    BlockMeta,
     BlockStore,
     CorruptBlockError,
     InMemoryStore,
@@ -35,6 +38,8 @@ from repro.storage.store import (
     ResidentGauge,
     StorageError,
     StoredTensor,
+    check_codec,
+    codec_kind,
     default_memory_budget,
     default_spill_root,
     parse_bytes,
@@ -43,17 +48,22 @@ from repro.storage.store import (
 )
 
 __all__ = [
+    "BlockMeta",
     "BlockStore",
     "CorruptBlockError",
     "DEFAULT_CHUNK_BYTES",
     "DEFAULT_MAX_BLOCK_BYTES",
+    "DEFAULT_ZLIB_LEVEL",
     "InMemoryStore",
     "MEMORY_BUDGET_ENV",
     "MmapStore",
     "ResidentGauge",
+    "SPILL_CODECS",
     "SPILL_DIR_ENV",
     "StorageError",
     "StoredTensor",
+    "check_codec",
+    "codec_kind",
     "default_memory_budget",
     "default_spill_root",
     "parse_bytes",

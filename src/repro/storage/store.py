@@ -3,8 +3,14 @@
 Layout of an :class:`MmapStore` spill directory::
 
     <root>/store-XXXXXX/          one directory per store instance
-        t0.blk                    raw C-order little/native-endian bytes
-        t0.json                   manifest: {"key", "shape", "dtype", "nbytes"}
+        t0.blk                    block bytes: raw C-order data, a zlib
+                                  stream, or float32-narrowed data,
+                                  per the manifest's "codec"
+        t0.json                   manifest: {"key", "shape", "dtype",
+                                  "nbytes"[, "codec", "stored_nbytes",
+                                  "stored_dtype", "codec_*_error"]}
+        t0.dec                    decode scratch (raw bytes) of an
+                                  encoded block, created on first read
         ...
 
 A block is *committed* only once its manifest exists (the manifest is
@@ -30,7 +36,9 @@ import shutil
 import tempfile
 import threading
 import weakref
+import zlib
 from contextlib import contextmanager
+from typing import NamedTuple
 
 import numpy as np
 
@@ -51,6 +59,12 @@ DEFAULT_MAX_BLOCK_BYTES = 64 * 2**20
 
 #: manifest schema version (bump on incompatible changes).
 MANIFEST_VERSION = 1
+
+#: block codec families (``zlib`` accepts an optional ``:<level>``).
+SPILL_CODECS = ("raw", "zlib", "narrow")
+
+#: compression level used when a bare ``"zlib"`` spec names no level.
+DEFAULT_ZLIB_LEVEL = 6
 
 _KEY_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 
@@ -96,6 +110,63 @@ def parse_bytes(text) -> int:
             f"got {text!r}"
         )
     return int(float(match.group(1)) * _SUFFIX[match.group(2).lower()])
+
+
+def check_codec(codec) -> str:
+    """Normalize a codec spec to its canonical string.
+
+    Accepted: ``"raw"`` (or ``None``/``""``), ``"zlib"`` /
+    ``"zlib:<level>"`` with level in 0..9, and ``"narrow"``
+    (float64 blocks stored as float32 with a recorded error bound).
+    Raises :class:`ValueError` on anything else.
+    """
+    if codec is None:
+        return "raw"
+    spec = str(codec).strip().lower()
+    if spec in ("", "raw"):
+        return "raw"
+    if spec == "narrow":
+        return "narrow"
+    if spec == "zlib":
+        return f"zlib:{DEFAULT_ZLIB_LEVEL}"
+    if spec.startswith("zlib:"):
+        try:
+            level = int(spec[len("zlib:"):])
+        except ValueError:
+            level = -1
+        if 0 <= level <= 9:
+            return f"zlib:{level}"
+        raise ValueError(
+            f"zlib level must be an integer in 0..9, got {codec!r}"
+        )
+    raise ValueError(
+        f"unknown spill codec {codec!r}; expected one of "
+        f"raw, zlib[:level], narrow"
+    )
+
+
+def codec_kind(codec: str) -> str:
+    """The codec family of a canonical spec (``"zlib:6"`` -> ``"zlib"``)."""
+    return codec.split(":", 1)[0]
+
+
+class BlockMeta(NamedTuple):
+    """A block manifest, validated: geometry plus codec facts.
+
+    ``nbytes`` is always the *logical* (decoded) size; ``stored_nbytes``
+    is what the data file holds on disk (equal for ``raw`` blocks).
+    ``abs_error`` / ``rel_error`` are the recorded per-element bounds of
+    a ``narrow`` encode (0.0 for lossless codecs).
+    """
+
+    shape: tuple[int, ...]
+    dtype: np.dtype
+    nbytes: int
+    codec: str = "raw"
+    stored_nbytes: int = 0
+    stored_dtype: np.dtype | None = None
+    abs_error: float = 0.0
+    rel_error: float = 0.0
 
 
 def default_memory_budget() -> int | None:
@@ -231,12 +302,15 @@ class BlockStore(abc.ABC):
     # -- the protocol ------------------------------------------------------ #
 
     @abc.abstractmethod
-    def put(self, key: str, array: np.ndarray, *, dtype=None) -> None:
+    def put(self, key: str, array: np.ndarray, *, dtype=None, codec=None) -> None:
         """Store a block (write-through; chunked on spill media).
 
         ``dtype``, when given, converts while writing — chunk by chunk
         on spill media, so a dtype change never materializes a full
-        converted copy of the source.
+        converted copy of the source. ``codec`` overrides the store's
+        default block encoding for this block (``"raw"`` forces a
+        directly mappable — and therefore writable — block on an
+        encoding store; RAM stores ignore it).
         """
 
     @abc.abstractmethod
@@ -303,7 +377,7 @@ class InMemoryStore(BlockStore):
         super().__init__(**kwargs)
         self._blocks: dict[str, np.ndarray] = {}
 
-    def put(self, key: str, array: np.ndarray, *, dtype=None) -> None:
+    def put(self, key: str, array: np.ndarray, *, dtype=None, codec=None) -> None:
         self._check_open()
         self.check_key(key)
         self._blocks[key] = np.array(
@@ -379,12 +453,19 @@ class MmapStore(BlockStore):
         removed.
     chunk_bytes:
         Write-through granularity of :meth:`put` — bounds the resident
-        bytes of any single spill copy.
+        bytes of any single spill copy (and of codec encode/decode).
     max_block_bytes:
         Per-block ceiling the out-of-core kernels cut their work to
         (sessions derive it from ``memory_budget``).
     gauge:
         Resident-byte accounting; defaults to the process-wide gauge.
+    codec:
+        Default block codec for :meth:`put` — ``"raw"`` (memmap-able,
+        the default), ``"zlib[:level]"`` (lossless deflate stream), or
+        ``"narrow"`` (float64 stored as float32 with a recorded error
+        bound). Non-raw blocks are decoded chunk-by-chunk into a raw
+        scratch file on first read; :meth:`create` outputs are always
+        raw.
     """
 
     kind = "mmap"
@@ -396,9 +477,18 @@ class MmapStore(BlockStore):
         chunk_bytes: int = DEFAULT_CHUNK_BYTES,
         max_block_bytes: int | None = None,
         gauge: ResidentGauge | None = None,
+        codec: str = "raw",
     ) -> None:
         super().__init__(max_block_bytes=max_block_bytes, gauge=gauge)
         self.chunk_bytes = max(1, int(chunk_bytes))
+        self.codec = check_codec(codec)
+        #: put() accounting: bytes actually written vs logical bytes, and
+        #: the worst narrow-encode error seen — surfaced per run in
+        #: :meth:`codec_stats` / ``TuckerResult``.
+        self.spill_bytes_written = 0
+        self.spill_bytes_logical = 0
+        self.spill_abs_error = 0.0
+        self.spill_rel_error = 0.0
         root = root if root is not None else default_spill_root()
         if root is not None:
             os.makedirs(root, exist_ok=True)
@@ -406,6 +496,15 @@ class MmapStore(BlockStore):
         self._finalizer = weakref.finalize(
             self, _remove_tree, self.directory
         )
+
+    def codec_stats(self) -> dict:
+        """Accumulated spill accounting for this store's :meth:`put` calls."""
+        return {
+            "spill_codec": self.codec,
+            "spill_bytes_written": int(self.spill_bytes_written),
+            "spill_bytes_logical": int(self.spill_bytes_logical),
+            "spill_error_bound": float(self.spill_rel_error),
+        }
 
     # -- paths / manifests ------------------------------------------------- #
 
@@ -416,7 +515,11 @@ class MmapStore(BlockStore):
     def _manifest_path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.json")
 
-    def _write_manifest(self, key: str, shape, dtype, nbytes: int) -> None:
+    def _write_manifest(
+        self, key: str, shape, dtype, nbytes: int, *,
+        codec: str = "raw", stored_nbytes: int | None = None,
+        stored_dtype=None, abs_error: float = 0.0, rel_error: float = 0.0,
+    ) -> None:
         manifest = {
             "version": MANIFEST_VERSION,
             "key": key,
@@ -424,6 +527,15 @@ class MmapStore(BlockStore):
             "dtype": np.dtype(dtype).str,
             "nbytes": int(nbytes),
         }
+        if codec != "raw":
+            manifest["codec"] = codec
+            manifest["stored_nbytes"] = int(
+                nbytes if stored_nbytes is None else stored_nbytes
+            )
+            if codec_kind(codec) == "narrow":
+                manifest["stored_dtype"] = np.dtype(stored_dtype).str
+                manifest["codec_abs_error"] = float(abs_error)
+                manifest["codec_rel_error"] = float(rel_error)
         path = self._manifest_path(key)
         tmp = path + ".tmp"
         with open(tmp, "w", encoding="utf-8") as fh:
@@ -431,11 +543,19 @@ class MmapStore(BlockStore):
         os.replace(tmp, path)  # committed atomically, data file first
 
     def meta_of(self, key: str) -> tuple[tuple[int, ...], np.dtype]:
-        shape, dtype, _ = self._load_manifest(key)
-        return shape, dtype
+        meta = self._load_manifest(key)
+        return meta.shape, meta.dtype
 
-    def _load_manifest(self, key: str):
-        """Validated ``(shape, dtype, nbytes)``; typed errors otherwise."""
+    def block_meta(self, key: str) -> BlockMeta:
+        """The validated manifest, codec facts included."""
+        return self._load_manifest(key)
+
+    def block_codec(self, key: str) -> str:
+        """The canonical codec a committed block was stored with."""
+        return self._load_manifest(key).codec
+
+    def _load_manifest(self, key: str) -> BlockMeta:
+        """Validated :class:`BlockMeta`; typed errors otherwise."""
         self._check_open()
         self.check_key(key)
         path = self._manifest_path(key)
@@ -480,10 +600,53 @@ class MmapStore(BlockStore):
                 f"x {dtype} is {expected} bytes, manifest says {nbytes}",
                 key=key, path=path, reason="inconsistent-manifest",
             )
-        return shape, dtype, nbytes
+        raw_codec = manifest.get("codec", "raw")
+        try:
+            codec = check_codec(raw_codec)
+        except ValueError:
+            raise CorruptBlockError(
+                f"block {key!r} manifest names unknown codec {raw_codec!r}",
+                key=key, path=path, reason="unknown-codec",
+            ) from None
+        if codec == "raw":
+            return BlockMeta(shape, dtype, nbytes, "raw", nbytes, dtype)
+        try:
+            stored_nbytes = int(manifest["stored_nbytes"])
+            if codec_kind(codec) == "narrow":
+                stored_dtype = np.dtype(manifest["stored_dtype"])
+                abs_error = float(manifest["codec_abs_error"])
+                rel_error = float(manifest["codec_rel_error"])
+            else:
+                stored_dtype = dtype
+                abs_error = rel_error = 0.0
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CorruptBlockError(
+                f"block {key!r} manifest is malformed: {exc!r}",
+                key=key, path=path, reason="bad-manifest-fields",
+            ) from None
+        if codec_kind(codec) == "narrow":
+            size = int(np.prod(shape, dtype=np.int64))
+            if stored_nbytes != size * stored_dtype.itemsize:
+                raise CorruptBlockError(
+                    f"block {key!r} manifest is inconsistent: narrow "
+                    f"shape {shape} x {stored_dtype} should store "
+                    f"{size * stored_dtype.itemsize} bytes, manifest "
+                    f"says {stored_nbytes}",
+                    key=key, path=path, reason="inconsistent-manifest",
+                )
+        elif stored_nbytes < 0:
+            raise CorruptBlockError(
+                f"block {key!r} manifest is malformed: negative "
+                f"stored_nbytes {stored_nbytes}",
+                key=key, path=path, reason="bad-manifest-fields",
+            )
+        return BlockMeta(
+            shape, dtype, nbytes, codec, stored_nbytes, stored_dtype,
+            abs_error, rel_error,
+        )
 
-    def _checked_path(self, key: str) -> tuple[str, tuple[int, ...], np.dtype]:
-        shape, dtype, nbytes = self._load_manifest(key)
+    def _checked_path(self, key: str) -> tuple[str, BlockMeta]:
+        meta = self._load_manifest(key)
         path = self.path_of(key)
         try:
             actual = os.path.getsize(path)
@@ -492,17 +655,20 @@ class MmapStore(BlockStore):
                 f"block {key!r} data file is missing",
                 key=key, path=path, reason="missing-data",
             ) from None
-        if actual != nbytes:
+        if actual != meta.stored_nbytes:
             raise CorruptBlockError(
                 f"block {key!r} data file is {actual} bytes, manifest "
-                f"says {nbytes} (truncated or overwritten spill file)",
+                f"says {meta.stored_nbytes} (truncated or overwritten "
+                f"spill file)",
                 key=key, path=path, reason="size-mismatch",
             )
-        return path, shape, dtype
+        return path, meta
 
     # -- the protocol ------------------------------------------------------ #
 
-    def put(self, key: str, array: np.ndarray, *, dtype=None) -> None:
+    def put(
+        self, key: str, array: np.ndarray, *, dtype=None, codec=None
+    ) -> None:
         """Spill ``array`` write-through in ``chunk_bytes`` chunks.
 
         The source may be any ndarray (including a strided memmap view,
@@ -511,6 +677,10 @@ class MmapStore(BlockStore):
         block is ever resident on top of the source's own pages.
         ``dtype`` converts per chunk while writing — a working-precision
         change never materializes a full converted copy.
+
+        ``codec`` overrides the store default for this block. ``narrow``
+        only applies to float64 blocks (anything else falls back to
+        ``raw``); zero-byte blocks are always committed raw.
         """
         self._check_open()
         self.check_key(key)
@@ -520,17 +690,57 @@ class MmapStore(BlockStore):
             array = array.reshape(1)  # np.memmap needs >= 1 dimension
         target = np.dtype(dtype) if dtype is not None else array.dtype
         path = self.path_of(key)
+        self._drop_decoded(key)  # a re-put invalidates any decode scratch
         nbytes = array.size * target.itemsize
         if nbytes == 0:
             with open(path, "wb"):
                 pass  # data file of exactly the manifest's 0 bytes
             self._write_manifest(key, shape, target, 0)
             return
-        with self.tracer.span(
-            "spill:write", kind="io", key=key, bytes=int(nbytes)
-        ):
-            self._spill_copy(array, path, target, nbytes)
-        self._write_manifest(key, shape, target, nbytes)
+        codec = check_codec(codec) if codec is not None else self.codec
+        if codec == "narrow" and target != np.dtype(np.float64):
+            codec = "raw"  # narrowing is defined for float64 only
+        kind = codec_kind(codec)
+        if kind == "raw":
+            with self.tracer.span(
+                "spill:write", kind="io", key=key, bytes=int(nbytes)
+            ):
+                self._spill_copy(array, path, target, nbytes)
+            self._write_manifest(key, shape, target, nbytes)
+            stored = nbytes
+        elif kind == "zlib":
+            level = int(codec.split(":", 1)[1])
+            with self.tracer.span(
+                "spill:write", kind="io", key=key
+            ) as span:
+                stored = self._spill_zlib(array, path, target, level)
+                span.set(
+                    bytes=int(stored), raw_bytes=int(nbytes), codec=codec
+                )
+            self._write_manifest(
+                key, shape, target, nbytes,
+                codec=codec, stored_nbytes=stored,
+            )
+        else:  # narrow
+            with self.tracer.span(
+                "spill:write", kind="io", key=key
+            ) as span:
+                stored, abs_err, rel_err = self._spill_narrow(
+                    array, path, target
+                )
+                span.set(
+                    bytes=int(stored), raw_bytes=int(nbytes), codec=codec
+                )
+            self._write_manifest(
+                key, shape, target, nbytes,
+                codec=codec, stored_nbytes=stored,
+                stored_dtype=np.float32,
+                abs_error=abs_err, rel_error=rel_err,
+            )
+            self.spill_abs_error = max(self.spill_abs_error, abs_err)
+            self.spill_rel_error = max(self.spill_rel_error, rel_err)
+        self.spill_bytes_written += int(stored)
+        self.spill_bytes_logical += int(nbytes)
 
     def _spill_copy(
         self, array: np.ndarray, path: str, target: np.dtype, nbytes: int
@@ -564,14 +774,234 @@ class MmapStore(BlockStore):
         finally:
             del mm
 
+    def _iter_chunks(self, array: np.ndarray, target: np.dtype, scale=1):
+        """Yield leased, C-contiguous ``target``-dtype chunks of ``array``.
+
+        The effective chunk budget is ``chunk_bytes // scale`` — codec
+        writers that hold per-chunk temporaries (the narrow error
+        computation) pass ``scale > 1`` so their whole working set stays
+        within the store's chunk bound. The lease covers each chunk for
+        as long as the consumer holds it (generator suspension keeps the
+        ``with`` open across the yield).
+        """
+        budget = max(1, self.chunk_bytes // int(scale))
+        if array.flags["C_CONTIGUOUS"]:
+            src = array.reshape(-1)
+            elems = max(1, budget // target.itemsize)
+            for start in range(0, src.shape[0], elems):
+                piece = src[start:start + elems]
+                with self.gauge.lease(piece.size * target.itemsize):
+                    yield np.ascontiguousarray(piece, dtype=target)
+        else:
+            nbytes = array.size * target.itemsize
+            row_bytes = max(1, nbytes // max(1, array.shape[0]))
+            rows = max(1, budget // row_bytes)
+            for start in range(0, array.shape[0], rows):
+                stop = min(array.shape[0], start + rows)
+                with self.gauge.lease((stop - start) * row_bytes):
+                    slab = np.ascontiguousarray(
+                        array[start:stop], dtype=target
+                    )
+                    yield slab.reshape(-1)
+
+    def _spill_zlib(
+        self, array: np.ndarray, path: str, target: np.dtype, level: int
+    ) -> int:
+        """Deflate ``array`` into one sequential stream; returns bytes."""
+        comp = zlib.compressobj(level)
+        stored = 0
+        with open(path, "wb") as fh:
+            for chunk in self._iter_chunks(array, target):
+                # The sync flush drains deflate's internal buffering per
+                # chunk, so resident output never exceeds ~one chunk —
+                # without it the encoder can burst several buffered
+                # chunks at once, breaking the chunk_bytes residency
+                # bound the gauge enforces.
+                data = comp.compress(chunk) + comp.flush(zlib.Z_SYNC_FLUSH)
+                if data:
+                    with self.gauge.lease(len(data)):
+                        fh.write(data)
+                    stored += len(data)
+            data = comp.flush()
+            if data:
+                with self.gauge.lease(len(data)):
+                    fh.write(data)
+                stored += len(data)
+        return stored
+
+    def _spill_narrow(
+        self, array: np.ndarray, path: str, target: np.dtype
+    ) -> tuple[int, float, float]:
+        """float64 -> float32 with measured per-element error bounds.
+
+        Returns ``(stored_nbytes, max_abs_error, max_rel_error)`` where
+        the bounds are exact maxima over the elements written (the
+        decode path reproduces them bit-for-bit, so the bounds hold for
+        every later read).
+        """
+        narrow = np.dtype(np.float32)
+        stored = 0
+        abs_err = 0.0
+        rel_err = 0.0
+        with open(path, "wb") as fh:
+            # scale=4: the f8 chunk plus its f4 copy and the f8 error
+            # temporaries stay well inside one chunk_bytes of residency.
+            for chunk in self._iter_chunks(array, target, scale=4):
+                extra = chunk.size * (
+                    narrow.itemsize + 2 * target.itemsize
+                )
+                with self.gauge.lease(extra):
+                    narrowed = chunk.astype(narrow)
+                    diff = np.abs(chunk - narrowed)
+                    if diff.size:
+                        abs_err = max(abs_err, float(diff.max()))
+                        denom = np.abs(chunk)
+                        mask = denom > 0
+                        if np.any(mask):
+                            rel_err = max(
+                                rel_err,
+                                float((diff[mask] / denom[mask]).max()),
+                            )
+                    fh.write(narrowed)
+                    stored += narrowed.nbytes
+        return stored, abs_err, rel_err
+
     def _map(self, key: str, mode: str) -> np.ndarray:
-        path, shape, dtype = self._checked_path(key)
+        path, meta = self._checked_path(key)
+        shape, dtype = meta.shape, meta.dtype
+        if meta.codec != "raw":
+            if mode != "r":
+                raise StorageError(
+                    f"block {key!r} is stored with codec "
+                    f"{meta.codec!r}; encoded blocks are read-only"
+                )
+            path = self._ensure_decoded(key, path, meta)
         if int(np.prod(shape, dtype=np.int64)) == 0:
             return np.empty(shape, dtype=dtype)  # nothing to map
         if shape == ():
             # stored as one element; hand back the true 0-d view
             return np.memmap(path, dtype=dtype, mode=mode, shape=(1,)).reshape(())
         return np.memmap(path, dtype=dtype, mode=mode, shape=shape)
+
+    # -- codec decode (non-raw blocks) ------------------------------------- #
+
+    def _decoded_path(self, key: str) -> str:
+        # Not .blk/.json, so keys() and the corruption checks never see it.
+        return os.path.join(self.directory, f"{key}.dec")
+
+    def _drop_decoded(self, key: str) -> None:
+        try:
+            os.remove(self._decoded_path(key))
+        except FileNotFoundError:
+            pass
+
+    def mappable_path(self, key: str) -> str | None:
+        """A raw file of the block's bytes that workers may ``np.memmap``.
+
+        Raw blocks map in place; encoded blocks are decoded (once) into
+        a scratch file first. ``None`` only for zero-byte blocks.
+        """
+        path, meta = self._checked_path(key)
+        if int(np.prod(meta.shape, dtype=np.int64)) == 0:
+            return None
+        if meta.codec == "raw":
+            return path
+        return self._ensure_decoded(key, path, meta)
+
+    def _ensure_decoded(self, key: str, src: str, meta: BlockMeta) -> str:
+        """Decode an encoded block into its raw scratch file (cached)."""
+        dst = self._decoded_path(key)
+        try:
+            if os.path.getsize(dst) == meta.nbytes:
+                return dst
+        except OSError:
+            pass
+        tmp = dst + ".tmp"
+        try:
+            with self.tracer.span(
+                "spill:decode", kind="io", key=key,
+                bytes=int(meta.nbytes), codec=meta.codec,
+            ):
+                if codec_kind(meta.codec) == "zlib":
+                    self._decode_zlib(key, src, tmp, meta)
+                else:
+                    self._decode_narrow(key, src, tmp, meta)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+        os.replace(tmp, dst)
+        return dst
+
+    def _decode_zlib(
+        self, key: str, src: str, dst: str, meta: BlockMeta
+    ) -> None:
+        dec = zlib.decompressobj()
+        written = 0
+
+        def emit(fout, data: bytes) -> int:
+            if not data:
+                return 0
+            if written + len(data) > meta.nbytes:
+                raise CorruptBlockError(
+                    f"block {key!r} compressed data decodes past its "
+                    f"{meta.nbytes}-byte manifest size",
+                    key=key, path=src, reason="corrupt-compressed-data",
+                )
+            with self.gauge.lease(len(data)):
+                fout.write(data)
+            return len(data)
+
+        try:
+            with open(src, "rb") as fin, open(dst, "wb") as fout:
+                while True:
+                    comp = fin.read(self.chunk_bytes)
+                    if not comp:
+                        break
+                    with self.gauge.lease(len(comp)):
+                        # max_length bounds each inflate burst so a
+                        # corrupt stream cannot balloon residency.
+                        data = dec.decompress(comp, self.chunk_bytes)
+                        written += emit(fout, data)
+                        while dec.unconsumed_tail:
+                            data = dec.decompress(
+                                dec.unconsumed_tail, self.chunk_bytes
+                            )
+                            written += emit(fout, data)
+                written += emit(fout, dec.flush())
+        except zlib.error as exc:
+            raise CorruptBlockError(
+                f"block {key!r} compressed data is corrupt: {exc}",
+                key=key, path=src, reason="corrupt-compressed-data",
+            ) from None
+        if written != meta.nbytes:
+            raise CorruptBlockError(
+                f"block {key!r} compressed data decoded to {written} "
+                f"bytes, manifest says {meta.nbytes}",
+                key=key, path=src, reason="corrupt-compressed-data",
+            )
+
+    def _decode_narrow(
+        self, key: str, src: str, dst: str, meta: BlockMeta
+    ) -> None:
+        size = int(np.prod(meta.shape, dtype=np.int64))
+        src_mm = np.memmap(
+            src, dtype=meta.stored_dtype, mode="r", shape=(size,)
+        )
+        dst_mm = np.memmap(dst, dtype=meta.dtype, mode="w+", shape=(size,))
+        try:
+            elems = max(1, self.chunk_bytes // meta.dtype.itemsize)
+            for start in range(0, size, elems):
+                stop = min(size, start + elems)
+                with self.gauge.lease(
+                    (stop - start) * meta.dtype.itemsize
+                ):
+                    dst_mm[start:stop] = src_mm[start:stop]
+            dst_mm.flush()
+        finally:
+            del src_mm, dst_mm
 
     def get(self, key: str) -> np.ndarray:
         # The span covers manifest validation + the mmap syscall; the
@@ -600,7 +1030,11 @@ class MmapStore(BlockStore):
         if self._closed:
             return
         self.check_key(key)
-        for path in (self.path_of(key), self._manifest_path(key)):
+        for path in (
+            self.path_of(key),
+            self._manifest_path(key),
+            self._decoded_path(key),
+        ):
             try:
                 os.remove(path)
             except FileNotFoundError:
@@ -619,8 +1053,7 @@ class MmapStore(BlockStore):
         self._check_open()
         total = 0
         for key in self.keys():
-            _, _, nbytes = self._load_manifest(key)
-            total += nbytes
+            total += self._load_manifest(key).nbytes
         return total
 
     def close(self) -> None:
@@ -683,12 +1116,21 @@ class StoredTensor:
     def spill(
         cls, store: BlockStore, array: np.ndarray, *, key: str | None = None
     ) -> "StoredTensor":
-        """Write ``array`` through the store and hand back its handle."""
+        """Write ``array`` through the store and hand back its handle.
+
+        ``path`` stays ``None`` for codec-encoded blocks — their on-disk
+        bytes are not directly mappable, so readers must go through
+        :meth:`open` / :meth:`mappable` (which decode on demand).
+        """
         key = key if key is not None else store.next_key("t")
         store.put(key, array)
+        path = store.path_of(key)
+        codec_of = getattr(store, "block_codec", None)
+        if path is not None and codec_of is not None:
+            if codec_of(key) != "raw":
+                path = None
         return cls(
-            store, array.shape, array.dtype, key=key,
-            path=store.path_of(key), owned=True,
+            store, array.shape, array.dtype, key=key, path=path, owned=True,
         )
 
     @classmethod
@@ -770,6 +1212,24 @@ class StoredTensor:
                 offset=self.offset, shape=self.shape,
             )
         return self.store.get(self.key)
+
+    def mappable(self) -> tuple[str, int] | None:
+        """``(path, offset)`` of raw bytes a worker can ``np.memmap``.
+
+        Directly-mapped handles answer immediately; codec-encoded blocks
+        ask the store for a decoded scratch file (chunked, leased, done
+        once and cached). ``None`` means there is no file to map — the
+        caller should fall back to :meth:`open` in-process.
+        """
+        if self.path is not None:
+            return self.path, self.offset
+        if self.key is None:
+            return None
+        resolve = getattr(self.store, "mappable_path", None)
+        if resolve is None:
+            return None
+        path = resolve(self.key)
+        return (path, 0) if path is not None else None
 
     def writer(self) -> np.ndarray:
         """A mutable mapping (owned blocks only)."""

@@ -297,6 +297,62 @@ class TestStorageConformance:
             ]
         assert tags["memory"] == tags["mmap"], name
 
+    #: the codec dimension of the storage axis: raw and zlib must stay
+    #: bit-exact vs the resident reference; narrow is lossy by contract
+    #: and must stay within its *recorded* per-block bound.
+    CODECS = ["raw", "zlib", "narrow"]
+
+    @pytest.mark.parametrize("codec", CODECS)
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_codec_matches_in_memory_sequential(self, name, codec, tmp_path):
+        from repro.storage import resident_gauge
+
+        dims, core, procs = SHAPES[0]
+        t = tensor_for(dims, core, seed=sum(dims))
+        gauge = resident_gauge()
+        gauge.reset()
+        budget = 16 * 1024
+        session = TuckerSession(
+            backend=make_backend(name, procs),
+            storage="mmap",
+            memory_budget=budget,
+            spill_dir=str(tmp_path),
+            spill_codec=codec,
+        )
+        try:
+            res = session.run(
+                t, core, planner="optimal", n_procs=procs, max_iters=3,
+                tol=-np.inf,
+            )
+        finally:
+            session.close()
+        ref = reference_run(dims, core, procs, "optimal")
+        label = f"{name}/{codec}"
+        assert res.storage == "mmap", label
+        assert res.spill_codec == ("zlib:6" if codec == "zlib" else codec)
+        assert res.spill_bytes_logical > 0, label
+        if codec == "narrow" and name != "simcluster":
+            # float32 narrowing: the recorded bound is small but nonzero,
+            # the stored bytes are half the logical bytes, and the
+            # decomposition stays within float32 round-off accumulation.
+            assert 0 < res.spill_error_bound < 1e-5, label
+            assert res.spill_bytes_written < res.spill_bytes_logical, label
+            assert_same_decomposition(res, ref, atol=1e-4, label=label)
+        elif codec == "narrow":
+            # simcluster spills only its per-rank bricks, and those are
+            # mutable working state — always stored raw, so a narrow
+            # session stays lossless there by contract.
+            assert res.spill_error_bound == 0.0, label
+            assert res.spill_bytes_written == res.spill_bytes_logical, label
+            assert_same_decomposition(res, ref, atol=1e-10, label=label)
+        else:
+            assert res.spill_error_bound == 0.0, label
+            assert_same_decomposition(res, ref, atol=1e-10, label=label)
+        # encode/decode lease through the gauge like every other block
+        # path: the budget bound holds for encoded spills too
+        assert 0 < gauge.peak <= budget, (label, gauge.peak)
+        assert list(tmp_path.iterdir()) == [], label
+
     @pytest.mark.parametrize("name", BACKEND_NAMES)
     def test_float32_spilled_stays_float32(self, name, tmp_path):
         dims, core, procs = SHAPES[0]

@@ -31,6 +31,7 @@ from repro.backends.select import (
     default_profile_path,
     estimate_seconds,
     profile_from_trace,
+    select_storage,
     sweep_flops,
 )
 from repro.session import TuckerSession
@@ -660,3 +661,271 @@ class TestProfileFromTrace:
             (16, 14, 12), (3, 3, 2), profile=merged, spilled=True,
         )
         assert sel.backend in AUTO_CANDIDATES
+
+    def _codec_span(self, sid, name, seconds, nbytes, **extra):
+        from repro.obs.trace import Span
+
+        return Span(
+            sid=sid, name=name, kind="io", start=0.0, end=seconds,
+            attrs={"bytes": nbytes, **extra},
+        )
+
+    def test_codec_write_spans_feed_encode_rate_and_ratio(self):
+        from repro.obs.trace import Trace
+
+        # 1e9 logical bytes encoded to 2e8 in 2s: encode rate is charged
+        # over *logical* bytes (5e8/s), the ratio over encoded bytes.
+        trace = Trace(spans=(
+            self._codec_span(1, "spill:write", 2.0, 2.0e8,
+                             codec="zlib:6", raw_bytes=1.0e9),
+        ))
+        storage = profile_from_trace(trace)["storage"]
+        assert storage["zlib_encode_bytes_per_s"] == pytest.approx(5.0e8)
+        assert storage["zlib_ratio"] == pytest.approx(0.2)
+        # Encoded writes never masquerade as raw spill bandwidth.
+        assert "spill_write_bytes_per_s" not in storage
+
+    def test_codec_decode_spans_feed_decode_rate(self):
+        from repro.obs.trace import Trace
+
+        trace = Trace(spans=(
+            self._codec_span(1, "spill:decode", 0.5, 1.0e9, codec="zlib:6"),
+            self._codec_span(2, "spill:decode", 0.25, 1.0e9, codec="narrow"),
+        ))
+        storage = profile_from_trace(trace)["storage"]
+        assert storage["zlib_decode_bytes_per_s"] == pytest.approx(2.0e9)
+        assert storage["narrow_decode_bytes_per_s"] == pytest.approx(4.0e9)
+
+    def test_codec_spans_and_raw_spans_learned_apart(self):
+        from repro.obs.trace import Trace
+
+        trace = Trace(spans=(
+            self._codec_span(1, "spill:write", 0.5, 5.0e8),  # raw write
+            self._codec_span(2, "spill:write", 1.0, 3.0e8,
+                             codec="zlib:6", raw_bytes=6.0e8),
+        ))
+        storage = profile_from_trace(trace)["storage"]
+        assert storage["spill_write_bytes_per_s"] == pytest.approx(1.0e9)
+        assert storage["zlib_encode_bytes_per_s"] == pytest.approx(6.0e8)
+        assert storage["zlib_ratio"] == pytest.approx(0.5)
+
+    def test_unknown_codec_family_spans_dropped(self):
+        from repro.obs.trace import Trace
+
+        trace = Trace(spans=(
+            self._codec_span(1, "spill:write", 1.0, 1e8,
+                             codec="lz9", raw_bytes=1e9),
+        ))
+        assert profile_from_trace(trace) == {}
+
+
+class TestCalibratedProcRanking:
+    """With a calibrated profile, the cost model picks n_procs itself."""
+
+    def _many_core_profile(self):
+        profile = default_profile()
+        profile["calibrated"] = True
+        # Cripple sequential so a parallel backend wins outright.
+        profile["backends"]["sequential"]["rate"] = 1.0
+        return profile
+
+    def test_calibrated_profile_ranks_beyond_cap8(self):
+        sel = select_backend(
+            (512, 512, 512), (32, 32, 32),
+            available_cores=32, profile=self._many_core_profile(),
+        )
+        # Cap-8 is gone: the big tensor amortizes dispatch overhead, so
+        # the ladder's widest rung (all-but-one core) models cheapest.
+        assert sel.n_procs == 31
+        assert "ranked cheapest of candidates" in sel.reason
+        assert "calibrated profile" in sel.reason
+
+    def test_uncalibrated_default_keeps_cap8_and_says_so(self):
+        sel = select_backend(
+            (512, 512, 512), (32, 32, 32), available_cores=32,
+        )
+        assert sel.n_procs == 8
+        assert "clamped" in sel.reason
+        assert "uncalibrated cap 8" in sel.reason
+        assert "calibrate to rank candidates" in sel.reason
+
+    def test_small_input_ranks_fewer_procs(self):
+        # A tiny tensor's dispatch overhead dominates: the calibrated
+        # ladder settles on a single process, below the cap-8 default.
+        profile = self._many_core_profile()
+        profile["backends"]["threaded"]["per_task"] = 1.0
+        profile["backends"]["procpool"]["per_task"] = 1.0
+        sel = select_backend(
+            (4, 4, 4), (2, 2, 2), available_cores=32, profile=profile,
+        )
+        assert sel.n_procs == 1
+
+    def test_explicit_procs_skip_the_ladder(self):
+        sel = select_backend(
+            (512, 512, 512), (32, 32, 32), n_procs=3,
+            available_cores=32, profile=self._many_core_profile(),
+        )
+        assert sel.n_procs == 3
+        assert "ranked cheapest" not in sel.reason
+
+    def test_candidate_ladder_shape(self):
+        from repro.backends.select import candidate_procs
+
+        assert candidate_procs(1) == (1,)
+        # 32 cores: 1, powers of two through 16, the cap-8 default (8,
+        # already a power of two) and all-but-one.
+        assert candidate_procs(32) == (1, 2, 4, 8, 16, 31)
+        assert all(p <= 31 for p in candidate_procs(32))
+
+    def test_clamp_note_absent_on_small_machines(self):
+        # 4 usable cores sit under the cap: nothing was clamped, so the
+        # reason must not claim otherwise.
+        sel = select_backend((64, 64, 64), (8, 8, 8), available_cores=5)
+        assert "clamped" not in sel.reason
+
+
+class TestDtypeSpeedupClamp:
+    def test_half_precision_not_modeled_faster_than_float32(self):
+        # BLAS has no fast path below float32; a float16 input must not
+        # be priced at a 4x speedup numpy cannot deliver.
+        params = default_profile()["backends"]["sequential"]
+        kw = dict(n_procs=1, available_cores=1)
+        f32 = estimate_seconds(params, (32, 32, 32), (4, 4, 4),
+                               dtype=np.float32, **kw)
+        f16 = estimate_seconds(params, (32, 32, 32), (4, 4, 4),
+                               dtype=np.float16, **kw)
+        assert f16 == pytest.approx(f32)
+
+
+class TestCodecSelection:
+    """select_storage's codec half: explicit honored, auto is modeled."""
+
+    def _calibrated(self, **storage):
+        profile = default_profile()
+        profile["calibrated"] = True
+        profile["storage"].update(storage)
+        return profile
+
+    def test_explicit_codec_honored_even_uncalibrated(self):
+        sel = select_storage(10**9, "mmap", codec="narrow")
+        assert sel.codec == "narrow"
+        assert "explicit" in sel.reason
+
+    def test_explicit_zlib_level_normalized(self):
+        sel = select_storage(10**9, "mmap", codec="zlib")
+        assert sel.codec == "zlib:6"
+
+    def test_auto_without_calibration_stays_raw(self):
+        # The shipped storage defaults are placeholders: guessing a
+        # codec from them could slow the run down.
+        sel = select_storage(10**9, "mmap", codec="auto")
+        assert sel.codec == "raw"
+        assert sel.chunk_bytes is None
+
+    def test_auto_calibrated_picks_zlib_on_compressible_data(self):
+        profile = self._calibrated(
+            zlib_encode_bytes_per_s=5.0e9,
+            zlib_decode_bytes_per_s=5.0e9,
+            zlib_ratio=0.2,
+            spill_write_bytes_per_s=1.0e8,
+        )
+        sel = select_storage(10**9, "mmap", codec="auto", profile=profile)
+        assert sel.codec == "zlib:6"
+        assert "modeled cheapest" in sel.reason
+
+    def test_auto_calibrated_picks_raw_on_incompressible_data(self):
+        profile = self._calibrated(
+            zlib_encode_bytes_per_s=1.0e8,
+            zlib_ratio=0.999,
+        )
+        sel = select_storage(10**9, "mmap", codec="auto", profile=profile)
+        assert sel.codec == "raw"
+
+    def test_narrow_never_auto_selected(self):
+        # Narrowing is lossy: even absurdly favorable measured rates
+        # must not make "auto" choose it.
+        profile = self._calibrated(
+            narrow_encode_bytes_per_s=1.0e15,
+            narrow_decode_bytes_per_s=1.0e15,
+            zlib_encode_bytes_per_s=1.0,
+            spill_write_bytes_per_s=1.0,
+        )
+        sel = select_storage(10**9, "mmap", codec="auto", profile=profile)
+        assert sel.codec in ("raw", "zlib:6")
+
+    def test_calibrated_chunk_size_rides_along(self):
+        profile = self._calibrated(spill_chunk_bytes=2.0**20)
+        sel = select_storage(10**9, "mmap", codec="auto", profile=profile)
+        assert sel.chunk_bytes == 2**20
+
+    def test_memory_mode_keeps_raw_codec(self):
+        sel = select_storage(1024, "auto", memory_budget=10**9,
+                             codec="zlib")
+        assert sel.mode == "memory"
+        assert sel.codec == "raw"
+
+    def test_bad_codec_rejected_early(self):
+        with pytest.raises(ValueError, match="codec"):
+            select_storage(1024, "memory", codec="gzip")
+
+    def test_auto_budget_spill_also_picks_codec(self):
+        profile = self._calibrated(
+            zlib_encode_bytes_per_s=5.0e9,
+            zlib_decode_bytes_per_s=5.0e9,
+            zlib_ratio=0.2,
+            spill_write_bytes_per_s=1.0e8,
+        )
+        sel = select_storage(10**9, "auto", memory_budget=1024,
+                             codec="auto", profile=profile)
+        assert sel.spilled
+        assert sel.codec == "zlib:6"
+
+
+class TestSpillSecondsCodecs:
+    def test_codecs_price_differently(self):
+        from repro.backends.select import spill_seconds
+
+        storage = default_profile()["storage"]
+        nbytes = 1.0e9
+        raw = spill_seconds(nbytes, "raw", storage)
+        zl = spill_seconds(nbytes, "zlib:6", storage)
+        na = spill_seconds(nbytes, "narrow", storage)
+        assert raw > 0 and zl > 0 and na > 0
+        # Default zlib rates are conservative: encode dominates.
+        assert zl > raw
+        # Narrow halves the written bytes at near-memcpy encode rates.
+        expected_na = (
+            nbytes / storage["narrow_encode_bytes_per_s"]
+            + nbytes / 2.0 / storage["spill_write_bytes_per_s"]
+            + nbytes / storage["narrow_decode_bytes_per_s"]
+            + nbytes / storage["spill_read_bytes_per_s"]
+        )
+        assert na == pytest.approx(expected_na)
+
+
+class TestCalibrateStorageProbe:
+    def test_probe_measures_all_codec_rates(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path))
+        profile = calibrate(
+            backends=(), storage_probe=True, probe_bytes=1 << 16,
+        )
+        storage = profile["storage"]
+        for key in (
+            "spill_write_bytes_per_s", "spill_read_bytes_per_s",
+            "zlib_encode_bytes_per_s", "zlib_decode_bytes_per_s",
+            "narrow_encode_bytes_per_s", "narrow_decode_bytes_per_s",
+        ):
+            assert storage[key] > 0, key
+        assert 0 < storage["zlib_ratio"] <= 1.5
+        assert storage["spill_chunk_bytes"] >= 256 * 2**10
+        # A storage-only probe still counts as calibrated: it armed the
+        # codec/chunk choice with real numbers.
+        assert profile["calibrated"] is True
+        assert profile["measured"] == []
+        # The probe cleans up after itself.
+        assert list(tmp_path.iterdir()) == []
+
+    def test_probe_off_leaves_defaults_uncalibrated(self):
+        profile = calibrate(backends=(), storage_probe=False)
+        assert profile["calibrated"] is False
+        assert profile["storage"] == default_profile()["storage"]

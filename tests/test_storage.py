@@ -27,12 +27,14 @@ from hypothesis import strategies as st
 from repro.backends.blockpar import oc_block_slices
 from repro.backends.select import STORAGE_MODES, select_storage
 from repro.storage import (
+    DEFAULT_ZLIB_LEVEL,
     CorruptBlockError,
     InMemoryStore,
     MmapStore,
     ResidentGauge,
     StorageError,
     StoredTensor,
+    check_codec,
     parse_bytes,
 )
 
@@ -612,3 +614,215 @@ class TestReviewRegressions:
             assert store.chunk_bytes >= 4096
         finally:
             store.close()
+
+
+# --------------------------------------------------------------------- #
+# spill codecs
+# --------------------------------------------------------------------- #
+
+
+class TestCodecs:
+    def test_check_codec_normalizes_and_rejects(self):
+        assert check_codec(None) == "raw"
+        assert check_codec("") == "raw"
+        assert check_codec("raw") == "raw"
+        assert check_codec("zlib") == f"zlib:{DEFAULT_ZLIB_LEVEL}"
+        assert check_codec("zlib:1") == "zlib:1"
+        assert check_codec("narrow") == "narrow"
+        assert check_codec("NARROW") == "narrow"  # specs are case-folded
+        for bad in ("gzip", "zlib:10", "zlib:-1", "zlib:x", "zlib:"):
+            with pytest.raises(ValueError):
+                check_codec(bad)
+
+    @settings(max_examples=25, deadline=None)
+    @given(shape=shapes, chunk=chunk_sizes, seed=st.integers(0, 2**16))
+    def test_zlib_round_trip_bit_identical(
+        self, tmp_path_factory, shape, chunk, seed
+    ):
+        array = _array_for(shape, np.float64, seed)
+        with MmapStore(
+            root=str(tmp_path_factory.mktemp("z")),
+            chunk_bytes=chunk,
+            codec="zlib:6",
+        ) as store:
+            store.put("blk", array)
+            meta = store.block_meta("blk")
+            assert meta.codec == "zlib:6"
+            assert meta.nbytes == array.nbytes
+            back = np.asarray(store.get("blk"))
+            assert back.tobytes() == array.tobytes()
+
+    def test_zlib_compresses_compressible_data(self, tmp_path):
+        array = np.zeros((64, 64), dtype=np.float64)
+        array[::4] = 1.0
+        with MmapStore(root=str(tmp_path), codec="zlib:6") as store:
+            store.put("blk", array)
+            meta = store.block_meta("blk")
+            assert 0 < meta.stored_nbytes < array.nbytes
+            stats = store.codec_stats()
+            assert stats["spill_codec"] == "zlib:6"
+            assert stats["spill_bytes_written"] == meta.stored_nbytes
+            assert stats["spill_bytes_logical"] == array.nbytes
+            assert stats["spill_error_bound"] == 0.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(shape=shapes, chunk=chunk_sizes, seed=st.integers(0, 2**16))
+    def test_narrow_within_recorded_bound(
+        self, tmp_path_factory, shape, chunk, seed
+    ):
+        array = _array_for(shape, np.float64, seed)
+        with MmapStore(
+            root=str(tmp_path_factory.mktemp("n")),
+            chunk_bytes=chunk,
+            codec="narrow",
+        ) as store:
+            store.put("blk", array)
+            meta = store.block_meta("blk")
+            assert meta.codec == "narrow"
+            assert meta.stored_nbytes == array.size * 4
+            back = np.asarray(store.get("blk"))
+            # the decode is exactly the float32 round-trip...
+            np.testing.assert_array_equal(
+                back, array.astype(np.float32).astype(np.float64)
+            )
+            # ...and the manifest's recorded bounds actually hold.
+            diff = np.abs(back - array)
+            assert float(diff.max(initial=0.0)) <= meta.abs_error
+            nonzero = array != 0
+            if nonzero.any():
+                rel = (diff[nonzero] / np.abs(array[nonzero])).max()
+                assert float(rel) <= meta.rel_error + 1e-300
+
+    def test_narrow_non_float64_falls_back_to_raw(self, tmp_path):
+        array = _array_for((8, 8), np.float32, 1)
+        with MmapStore(root=str(tmp_path), codec="narrow") as store:
+            store.put("blk", array)
+            assert store.block_codec("blk") == "raw"
+            assert np.asarray(store.get("blk")).tobytes() == array.tobytes()
+
+    def test_store_codec_overridable_per_put(self, tmp_path):
+        array = _array_for((16, 16), np.float64, 2)
+        with MmapStore(root=str(tmp_path), codec="zlib:6") as store:
+            store.put("enc", array)
+            store.put("flat", array, codec="raw")
+            assert store.block_codec("enc") == "zlib:6"
+            assert store.block_codec("flat") == "raw"
+
+    def test_codec_blocks_are_read_only(self, tmp_path):
+        array = _array_for((8, 8), np.float64, 3)
+        with MmapStore(root=str(tmp_path), codec="zlib:6") as store:
+            store.put("blk", array)
+            with pytest.raises(StorageError, match="read-only"):
+                store.writer("blk")
+            # created outputs stay raw (and therefore writable)
+            store.create("out", (4, 4), np.float64)
+            w = store.writer("out")
+            w[...] = 1.0
+            w.flush()
+            del w
+            assert store.block_codec("out") == "raw"
+
+    @pytest.mark.parametrize("codec", ["zlib:6", "narrow"])
+    def test_encode_decode_hold_gauge_chunk_bound(self, tmp_path, codec):
+        gauge = ResidentGauge()
+        chunk = 4096
+        array = _array_for((64, 64), np.float64, 4)  # 8 chunks worth
+        with MmapStore(
+            root=str(tmp_path), chunk_bytes=chunk, gauge=gauge, codec=codec
+        ) as store:
+            store.put("blk", array)
+            np.asarray(store.get("blk"))
+            # chunked encode + decode never lease more than a few chunks
+            # at once -- far below the whole block
+            assert gauge.peak <= 3 * chunk
+            assert gauge.peak < array.nbytes
+
+    def test_corrupt_compressed_payload(self, tmp_path):
+        array = _array_for((32, 32), np.float64, 5)
+        with MmapStore(root=str(tmp_path), codec="zlib:6") as store:
+            store.put("blk", array)
+            path = store.path_of("blk")
+            size = os.path.getsize(path)
+            with open(path, "r+b") as fh:
+                fh.seek(size // 2)
+                byte = fh.read(1)
+                fh.seek(size // 2)
+                fh.write(bytes([byte[0] ^ 0xFF]))
+            with pytest.raises(CorruptBlockError) as info:
+                store.get("blk")
+            assert info.value.reason == "corrupt-compressed-data"
+
+    def test_truncated_compressed_payload_is_size_mismatch(self, tmp_path):
+        array = _array_for((32, 32), np.float64, 6)
+        with MmapStore(root=str(tmp_path), codec="zlib:6") as store:
+            store.put("blk", array)
+            with open(store.path_of("blk"), "r+b") as fh:
+                fh.truncate(7)
+            with pytest.raises(CorruptBlockError) as info:
+                store.get("blk")
+            assert info.value.reason == "size-mismatch"
+
+    def test_unknown_manifest_codec(self, tmp_path):
+        array = _array_for((8, 8), np.float64, 7)
+        with MmapStore(root=str(tmp_path), codec="zlib:6") as store:
+            store.put("blk", array)
+            manifest_path = os.path.join(store.directory, "blk.json")
+            with open(manifest_path) as fh:
+                manifest = json.load(fh)
+            manifest["codec"] = "gzip"
+            with open(manifest_path, "w") as fh:
+                json.dump(manifest, fh)
+            with pytest.raises(CorruptBlockError) as info:
+                store.get("blk")
+            assert info.value.reason == "unknown-codec"
+
+    def test_decoded_scratch_invisible_and_cleaned(self, tmp_path):
+        array = _array_for((16, 16), np.float64, 8)
+        with MmapStore(root=str(tmp_path), codec="zlib:6") as store:
+            store.put("blk", array)
+            np.asarray(store.get("blk"))  # forces the decode scratch
+            scratch = os.path.join(store.directory, "blk.dec")
+            assert os.path.exists(scratch)
+            assert list(store.keys()) == ["blk"]
+            store.delete("blk")
+            assert not os.path.exists(scratch)
+        assert os.listdir(str(tmp_path)) == []
+
+    def test_mappable_path_decodes_for_workers(self, tmp_path):
+        array = _array_for((16, 16), np.float64, 9)
+        with MmapStore(root=str(tmp_path), codec="zlib:6") as store:
+            store.put("blk", array)
+            path = store.mappable_path("blk")
+            assert path is not None
+            mapped = np.memmap(path, dtype=np.float64, mode="r",
+                               shape=(16, 16))
+            np.testing.assert_array_equal(np.asarray(mapped), array)
+            del mapped
+
+    def test_put_overwrite_drops_stale_scratch(self, tmp_path):
+        first = _array_for((16, 16), np.float64, 10)
+        second = _array_for((16, 16), np.float64, 11)
+        with MmapStore(root=str(tmp_path), codec="zlib:6") as store:
+            store.put("blk", first)
+            np.asarray(store.get("blk"))  # materialize stale scratch
+            store.put("blk", second)
+            np.testing.assert_array_equal(
+                np.asarray(store.get("blk")), second
+            )
+
+    def test_spill_handles_for_codec_blocks_resolve_mappable(self, tmp_path):
+        array = _array_for((16, 16), np.float64, 12)
+        with MmapStore(root=str(tmp_path), codec="zlib:6") as store:
+            handle = StoredTensor.spill(store, array, key="blk")
+            # encoded blocks carry no direct path; workers go through
+            # mappable() which decodes to scratch
+            assert handle.path is None
+            mapped = handle.mappable()
+            assert mapped is not None
+            path, offset = mapped
+            assert offset == 0
+            view = np.memmap(path, dtype=np.float64, mode="r",
+                             shape=(16, 16))
+            np.testing.assert_array_equal(np.asarray(view), array)
+            del view
+            handle.close()
